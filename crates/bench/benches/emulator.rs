@@ -1,0 +1,56 @@
+//! Emulator micro-benchmarks: the per-tick stepping cost at several
+//! population sizes, and the two interaction counters (exact
+//! grid-accelerated vs the sub-zone approximation) — the ablation
+//! behind the Sec. IV-B claim that sub-zone counts are the practical
+//! signal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmog_util::rng::Rng64;
+use mmog_world::config::{EmulatorConfig, TraceSet};
+use mmog_world::emulator::GameEmulator;
+use mmog_world::entity::Position;
+use mmog_world::interaction::{count_pairs_exact, count_pairs_subzone};
+use mmog_world::zone::ZoneGrid;
+use std::hint::black_box;
+
+fn bench_emulator_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulator_step");
+    for entities in [250usize, 1000, 2000, 4000] {
+        let cfg = EmulatorConfig {
+            peak_entities: entities,
+            ..TraceSet::Set5.config()
+        };
+        let mut emu = GameEmulator::new(cfg, 1);
+        // Warm up to steady-state population.
+        for _ in 0..20 {
+            emu.step();
+        }
+        group.throughput(Throughput::Elements(entities as u64));
+        group.bench_function(BenchmarkId::from_parameter(entities), |b| {
+            b.iter(|| black_box(emu.step().total))
+        });
+    }
+    group.finish();
+}
+
+fn bench_interaction_counters(c: &mut Criterion) {
+    let grid = ZoneGrid::new(1000.0, 16);
+    let mut rng = Rng64::seed_from(3);
+    let mut group = c.benchmark_group("interaction_pairs");
+    for n in [500usize, 2000] {
+        let positions: Vec<Position> = (0..n)
+            .map(|_| Position::new(rng.range_f64(0.0, 1000.0), rng.range_f64(0.0, 1000.0)))
+            .collect();
+        let counts = grid.count_map(&positions);
+        group.bench_function(BenchmarkId::new("exact_radius30", n), |b| {
+            b.iter(|| black_box(count_pairs_exact(&grid, &positions, 30.0)))
+        });
+        group.bench_function(BenchmarkId::new("subzone_approx", n), |b| {
+            b.iter(|| black_box(count_pairs_subzone(&counts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emulator_step, bench_interaction_counters);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Matching micro-benchmarks: the cost of one request–offer match over
+//! the Table III platform, and the bulk-rounding primitives — the code
+//! every provisioning tick exercises for every server group.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmog_datacenter::locations::table3_hp12;
+use mmog_datacenter::matching::match_request;
+use mmog_datacenter::policy::HostingPolicy;
+use mmog_datacenter::request::{OperatorId, ResourceRequest};
+use mmog_datacenter::resource::ResourceVector;
+use mmog_util::geo::{DistanceClass, GeoPoint};
+use mmog_util::time::SimTime;
+use std::hint::black_box;
+
+fn bench_match(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match_request");
+    for tolerance in [DistanceClass::VeryClose, DistanceClass::VeryFar] {
+        group.bench_function(BenchmarkId::from_parameter(tolerance.label()), |b| {
+            // Fresh platform per iteration batch: grants mutate state.
+            b.iter_batched(
+                table3_hp12,
+                |mut centers| {
+                    let req = ResourceRequest::new(
+                        OperatorId(1),
+                        ResourceVector::new(1.0, 1.0, 1.0, 1.0),
+                        GeoPoint::new(52.37, 4.90),
+                        tolerance,
+                    );
+                    black_box(match_request(&mut centers, &req, SimTime::ZERO))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_rounding(c: &mut Criterion) {
+    let hp1 = HostingPolicy::hp(1);
+    let req = ResourceVector::new(0.37, 1.21, 2.3, 0.61);
+    c.bench_function("policy_round_request", |b| {
+        b.iter(|| black_box(hp1.round_request(black_box(&req))))
+    });
+}
+
+criterion_group!(benches, bench_match, bench_rounding);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion version of Figure 6: the time taken to make one
+//! prediction, per algorithm, plus the observation (update) path and
+//! the neural training step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmog_predict::eval::PredictorKind;
+use mmog_util::rng::Rng64;
+use std::hint::black_box;
+
+/// A noisy diurnal signal like the emulator's world totals.
+fn signal(n: usize) -> Vec<f64> {
+    let mut rng = Rng64::seed_from(6);
+    (0..n)
+        .map(|i| {
+            (1000.0
+                + 600.0 * (i as f64 * 2.0 * std::f64::consts::PI / 720.0).sin()
+                + 20.0 * rng.normal())
+            .max(0.0)
+        })
+        .collect()
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let series = signal(1500);
+    let mut group = c.benchmark_group("predict");
+    for kind in [
+        PredictorKind::Neural,
+        PredictorKind::SlidingWindowMedian,
+        PredictorKind::Average,
+        PredictorKind::ExpSmoothing50,
+        PredictorKind::LastValue,
+        PredictorKind::MovingAverage,
+        PredictorKind::Ar,
+    ] {
+        let mut p = kind.build(&series[..720]);
+        for &x in &series {
+            p.observe(x);
+        }
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| black_box(p.predict()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_observe(c: &mut Criterion) {
+    let series = signal(1500);
+    let mut group = c.benchmark_group("observe");
+    for kind in [
+        PredictorKind::Neural,
+        PredictorKind::SlidingWindowMedian,
+        PredictorKind::Ar,
+    ] {
+        let mut p = kind.build(&series[..720]);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(kind.label()), |b| {
+            b.iter(|| {
+                p.observe(black_box(series[i % series.len()]));
+                i += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_neural_training(c: &mut Criterion) {
+    let series = signal(1500);
+    c.bench_function("neural_offline_training_1500_samples", |b| {
+        b.iter(|| {
+            let cfg = mmog_predict::neural::NeuralConfig {
+                max_eras: 10, // bounded: measure per-era cost, not convergence
+                ..Default::default()
+            };
+            let (p, report) = mmog_predict::neural::NeuralPredictor::train(cfg, black_box(&series));
+            black_box((p.config().window, report.eras))
+        })
+    });
+}
+
+criterion_group!(benches, bench_predict, bench_observe, bench_neural_training);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Workload-substrate benchmarks: trace synthesis throughput and the
+//! Figure 3 analyses (envelope, IQR, autocorrelation) that post-process
+//! every generated region.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmog_util::stats;
+use mmog_workload::analysis;
+use mmog_workload::runescape::{generate, RuneScapeConfig};
+use std::hint::black_box;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generate");
+    group.sample_size(10);
+    for days in [1u64, 7] {
+        let mut cfg = RuneScapeConfig::paper_default(days, 9);
+        cfg.regions.truncate(1);
+        cfg.regions[0].groups = 40;
+        group.throughput(Throughput::Elements(days * 720 * 40));
+        group.bench_function(BenchmarkId::new("region0_40groups_days", days), |b| {
+            b.iter(|| black_box(generate(&cfg).total_groups()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut cfg = RuneScapeConfig::paper_default(3, 13);
+    cfg.regions.truncate(1);
+    cfg.regions[0].groups = 40;
+    let trace = generate(&cfg);
+    let region = &trace.regions[0];
+    let mut group = c.benchmark_group("figure3_analysis");
+    group.sample_size(10);
+    group.bench_function("load_envelope", |b| {
+        b.iter(|| black_box(analysis::load_envelope(black_box(region)).median.len()))
+    });
+    group.bench_function("iqr_series", |b| {
+        b.iter(|| black_box(analysis::iqr_series(black_box(region)).len()))
+    });
+    let series = region.groups[0].series.values();
+    group.bench_function("acf_one_group_lag780", |b| {
+        b.iter(|| black_box(stats::autocorrelation(black_box(series), 780).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the headroom ablation.
+fn main() {
+    let opts = mmog_bench::RunOpts::from_args();
+    print!("{}", mmog_bench::experiments::ablation_headroom(&opts));
+}

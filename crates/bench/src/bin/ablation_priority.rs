@@ -1,0 +1,5 @@
+//! Regenerates the request-priority extension (the paper's future work).
+fn main() {
+    let opts = mmog_bench::RunOpts::from_args();
+    print!("{}", mmog_bench::experiments::ablation_priority(&opts));
+}

@@ -1,0 +1,71 @@
+//! Runs the full experiment suite and writes one report per table and
+//! figure under `results/`.
+//!
+//! The header prints the Table II evaluation-space coverage map; each
+//! experiment then regenerates its figure/table (see DESIGN.md §4 for
+//! the experiment index). Pass `--quick` for a smoke-scale run or
+//! `--days N --cap N` for custom scales.
+
+use mmog_bench::experiments as exp;
+use mmog_bench::RunOpts;
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+const TABLE2: &str = "\
+Table II: evaluation-space coverage (bold = the section's focus)
+Section  Allocation    Predictors  Update models  Policies  Latency  MMOGs
+V-B      static+dyn.   ALL         O(n^2)         HP-1/2    none     one
+V-C      dynamic       Neural      ALL            optimal   none     one
+V-D      dynamic       Neural      O(n^2)         ALL       none     one
+V-E      dynamic       Neural      O(n^2)         east/west ALL      one
+V-F      dynamic       Neural      O(n^2) mix     optimal   none     SEVERAL
+";
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("cannot create results/");
+    println!("{TABLE2}");
+    println!(
+        "Running the full suite at scale: {} days, group cap {:?}, seed {}\n",
+        opts.days, opts.cap, opts.seed
+    );
+
+    let experiments: Vec<(&str, fn(&RunOpts) -> String)> = vec![
+        ("fig01_growth", exp::fig01_growth),
+        ("fig02_global_population", exp::fig02_global_population),
+        ("fig03_regional_patterns", exp::fig03_regional_patterns),
+        ("fig04_packet_cdfs", exp::fig04_packet_cdfs),
+        ("table1_emulator_sets", exp::table1_emulator_sets),
+        ("fig05_prediction_accuracy", exp::fig05_prediction_accuracy),
+        ("fig06_prediction_time", exp::fig06_prediction_time),
+        ("table5_prediction_impact", exp::table5_prediction_impact),
+        ("fig08_static_vs_dynamic", exp::fig08_static_vs_dynamic),
+        (
+            "fig09_10_table6_interaction",
+            exp::fig09_10_table6_interaction,
+        ),
+        ("fig11_resource_bulk", exp::fig11_resource_bulk),
+        ("fig12_time_bulk", exp::fig12_time_bulk),
+        ("fig13_latency_tolerance", exp::fig13_latency_tolerance),
+        (
+            "fig14_allocation_by_center",
+            exp::fig14_allocation_by_center,
+        ),
+        ("table7_multi_mmog", exp::table7_multi_mmog),
+        ("ablation_headroom", exp::ablation_headroom),
+        ("ablation_aoi", exp::ablation_aoi),
+        ("ablation_priority", exp::ablation_priority),
+    ];
+
+    for (name, f) in experiments {
+        let start = Instant::now();
+        let report = f(&opts);
+        let elapsed = start.elapsed();
+        let path = out_dir.join(format!("{name}.txt"));
+        fs::write(&path, &report).expect("cannot write report");
+        println!("== {name} ({elapsed:.1?}) -> {}", path.display());
+        println!("{report}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 1 (MMORPG market growth).
+fn main() {
+    let opts = mmog_bench::RunOpts::from_args();
+    print!("{}", mmog_bench::experiments::fig01_growth(&opts));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 2 (global concurrent players with population events).
+fn main() {
+    let opts = mmog_bench::RunOpts::from_args();
+    print!(
+        "{}",
+        mmog_bench::experiments::fig02_global_population(&opts)
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 (packet length / IAT CDFs).
+fn main() {
+    let opts = mmog_bench::RunOpts::from_args();
+    print!("{}", mmog_bench::experiments::fig04_packet_cdfs(&opts));
+}

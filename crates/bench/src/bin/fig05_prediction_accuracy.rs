@@ -1,0 +1,8 @@
+//! Regenerates Figure 5 (prediction accuracy bake-off).
+fn main() {
+    let opts = mmog_bench::RunOpts::from_args();
+    print!(
+        "{}",
+        mmog_bench::experiments::fig05_prediction_accuracy(&opts)
+    );
+}

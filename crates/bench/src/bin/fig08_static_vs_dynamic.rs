@@ -1,0 +1,8 @@
+//! Regenerates Figure 8 (static vs dynamic over-allocation).
+fn main() {
+    let opts = mmog_bench::RunOpts::from_args();
+    print!(
+        "{}",
+        mmog_bench::experiments::fig08_static_vs_dynamic(&opts)
+    );
+}

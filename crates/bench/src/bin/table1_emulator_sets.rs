@@ -1,0 +1,5 @@
+//! Regenerates Table I (the eight emulated data sets).
+fn main() {
+    let opts = mmog_bench::RunOpts::from_args();
+    print!("{}", mmog_bench::experiments::table1_emulator_sets(&opts));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table V and Figure 7 (prediction impact on provisioning).
+fn main() {
+    let opts = mmog_bench::RunOpts::from_args();
+    print!(
+        "{}",
+        mmog_bench::experiments::table5_prediction_impact(&opts)
+    );
+}

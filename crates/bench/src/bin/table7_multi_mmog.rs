@@ -1,0 +1,5 @@
+//! Regenerates Table VII (multi-MMOG workload mixes).
+fn main() {
+    let opts = mmog_bench::RunOpts::from_args();
+    print!("{}", mmog_bench::experiments::table7_multi_mmog(&opts));
+}

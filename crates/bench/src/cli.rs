@@ -1,0 +1,69 @@
+//! Minimal argument parsing shared by the experiment binaries.
+
+use mmog_sim::scenario::ScenarioOpts;
+
+/// Scale options for an experiment run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Trace length in days (paper: 14).
+    pub days: u64,
+    /// Optional cap on server groups per region (paper: none).
+    pub cap: Option<u32>,
+    /// Deterministic seed.
+    pub seed: u64,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        Self {
+            days: 14,
+            cap: None,
+            seed: 2008,
+        }
+    }
+}
+
+impl RunOpts {
+    /// Parses `--days N`, `--cap N`, `--seed N`, `--quick` from the
+    /// process arguments. `--quick` is shorthand for a 3-day, 6-group
+    /// smoke run. Unknown flags are ignored so binaries stay composable.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {
+                    opts.days = 3;
+                    opts.cap = Some(6);
+                }
+                "--days" if i + 1 < args.len() => {
+                    opts.days = args[i + 1].parse().unwrap_or(opts.days);
+                    i += 1;
+                }
+                "--cap" if i + 1 < args.len() => {
+                    opts.cap = args[i + 1].parse().ok();
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    opts.seed = args[i + 1].parse().unwrap_or(opts.seed);
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The equivalent scenario options.
+    #[must_use]
+    pub fn scenario(&self) -> ScenarioOpts {
+        ScenarioOpts {
+            days: self.days,
+            seed: self.seed,
+            group_cap: self.cap,
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Data centers: machine pools, capacity accounting and lease ledgers.
+//!
+//! Sec. II-B: "each data center consists of a single cluster of
+//! computing resources, and … a resource owner (hoster) possesses only
+//! one data center. … The allocated resources are reserved for MMOG
+//! execution for the whole duration of the game operator's request,
+//! i.e., task preemption or migration are not supported." The time bulk
+//! of the hosting policy sets the earliest release: Sec. V-B notes "the
+//! deallocation of resources was allowed only at least six hours after
+//! the start of the allocation".
+
+use crate::policy::HostingPolicy;
+use crate::request::OperatorId;
+use crate::resource::ResourceVector;
+use mmog_util::geo::GeoPoint;
+use mmog_util::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a data center (hoster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DataCenterId(pub u32);
+
+/// Identifier of a lease within one data center.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LeaseId(pub u64);
+
+/// Static description of one data center.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataCenterSpec {
+    /// Identifier.
+    pub id: DataCenterId,
+    /// Display name (e.g. "US East (1)").
+    pub name: String,
+    /// Country, for the Table III inventory.
+    pub country: String,
+    /// Continent, for the Table III inventory.
+    pub continent: String,
+    /// Geographic location (drives the latency-tolerance matching).
+    pub location: GeoPoint,
+    /// Machine count.
+    pub machines: u32,
+    /// Per-machine capacity in units. Sec. V-A: "Each machine … is
+    /// capable of handling at least one game server at full load."
+    pub machine_capacity: ResourceVector,
+    /// The hosting policy in force.
+    pub policy: HostingPolicy,
+}
+
+impl DataCenterSpec {
+    /// Total capacity: machines × per-machine capacity.
+    #[must_use]
+    pub fn capacity(&self) -> ResourceVector {
+        self.machine_capacity * f64::from(self.machines)
+    }
+
+    /// The default per-machine capacity: one game-server unit of CPU
+    /// and outbound bandwidth with headroom, plus the memory and
+    /// inbound bandwidth a full server needs.
+    #[must_use]
+    pub fn default_machine_capacity() -> ResourceVector {
+        ResourceVector::new(1.2, 4.0, 6.0, 1.2)
+    }
+}
+
+/// A granted lease.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lease {
+    /// Lease identifier (unique within the center).
+    pub id: LeaseId,
+    /// The operator holding the lease.
+    pub operator: OperatorId,
+    /// Amounts granted (already bulk-rounded).
+    pub amounts: ResourceVector,
+    /// Grant time.
+    pub start: SimTime,
+    /// Earliest release time (`start + time bulk`).
+    pub earliest_release: SimTime,
+}
+
+/// A data center with live allocation state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataCenter {
+    /// Static description.
+    pub spec: DataCenterSpec,
+    allocated: ResourceVector,
+    leases: Vec<Lease>,
+    next_lease: u64,
+}
+
+impl DataCenter {
+    /// Wraps a spec with empty allocation state.
+    #[must_use]
+    pub fn new(spec: DataCenterSpec) -> Self {
+        Self {
+            spec,
+            allocated: ResourceVector::ZERO,
+            leases: Vec::new(),
+            next_lease: 0,
+        }
+    }
+
+    /// Currently allocated totals.
+    #[must_use]
+    pub fn allocated(&self) -> ResourceVector {
+        self.allocated
+    }
+
+    /// Remaining free capacity.
+    #[must_use]
+    pub fn free(&self) -> ResourceVector {
+        (self.spec.capacity() - self.allocated).clamp_non_negative()
+    }
+
+    /// Active leases.
+    #[must_use]
+    pub fn leases(&self) -> &[Lease] {
+        &self.leases
+    }
+
+    /// Grants a lease for exactly `amounts` (caller must have
+    /// bulk-rounded; [`crate::matching`] does). Returns `None` when the
+    /// amounts do not fit the free capacity or are all zero.
+    pub fn grant(
+        &mut self,
+        operator: OperatorId,
+        amounts: ResourceVector,
+        now: SimTime,
+    ) -> Option<LeaseId> {
+        if amounts.is_negligible(1e-9) {
+            return None;
+        }
+        if !amounts.fits_within(&self.free(), 1e-9) {
+            return None;
+        }
+        let id = LeaseId(self.next_lease);
+        self.next_lease += 1;
+        self.allocated += amounts;
+        self.leases.push(Lease {
+            id,
+            operator,
+            amounts,
+            start: now,
+            earliest_release: now + self.spec.policy.time_bulk,
+        });
+        Some(id)
+    }
+
+    /// Releases one lease. Fails (returns `false`, leaving the lease in
+    /// place) before its earliest release time — the time bulk is a
+    /// contractual minimum.
+    pub fn release(&mut self, lease: LeaseId, now: SimTime) -> bool {
+        let Some(idx) = self.leases.iter().position(|l| l.id == lease) else {
+            return false;
+        };
+        if now < self.leases[idx].earliest_release {
+            return false;
+        }
+        let l = self.leases.swap_remove(idx);
+        self.allocated = (self.allocated - l.amounts).clamp_non_negative();
+        true
+    }
+
+    /// Leases of one operator that may be released at `now`, sorted by
+    /// grant time (oldest first).
+    #[must_use]
+    pub fn releasable(&self, operator: OperatorId, now: SimTime) -> Vec<Lease> {
+        let mut out: Vec<Lease> = self
+            .leases
+            .iter()
+            .filter(|l| l.operator == operator && now >= l.earliest_release)
+            .copied()
+            .collect();
+        out.sort_by_key(|l| l.start);
+        out
+    }
+
+    /// Total amounts held by one operator.
+    #[must_use]
+    pub fn held_by(&self, operator: OperatorId) -> ResourceVector {
+        self.leases
+            .iter()
+            .filter(|l| l.operator == operator)
+            .fold(ResourceVector::ZERO, |acc, l| acc + l.amounts)
+    }
+
+    /// Distance to a point, km.
+    #[must_use]
+    pub fn distance_km(&self, from: &GeoPoint) -> f64 {
+        self.spec.location.distance_km(from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmog_util::time::SimDuration;
+
+    fn spec(machines: u32, policy: HostingPolicy) -> DataCenterSpec {
+        DataCenterSpec {
+            id: DataCenterId(0),
+            name: "test".into(),
+            country: "NL".into(),
+            continent: "Europe".into(),
+            location: GeoPoint::new(52.37, 4.9),
+            machines,
+            machine_capacity: DataCenterSpec::default_machine_capacity(),
+            policy,
+        }
+    }
+
+    fn dc() -> DataCenter {
+        DataCenter::new(spec(10, HostingPolicy::hp(5)))
+    }
+
+    #[test]
+    fn capacity_scales_with_machines() {
+        let c = dc();
+        let cap = c.spec.capacity();
+        assert!((cap.cpu - 12.0).abs() < 1e-9);
+        assert!((cap.memory - 40.0).abs() < 1e-9);
+        assert_eq!(c.free(), cap);
+    }
+
+    #[test]
+    fn grant_reduces_free_capacity() {
+        let mut c = dc();
+        let amounts = ResourceVector::new(1.11, 2.0, 0.0, 0.0);
+        let lease = c.grant(OperatorId(1), amounts, SimTime::ZERO).unwrap();
+        assert!((c.free().cpu - (12.0 - 1.11)).abs() < 1e-9);
+        assert_eq!(c.leases().len(), 1);
+        assert_eq!(c.leases()[0].id, lease);
+        assert_eq!(c.held_by(OperatorId(1)), amounts);
+        assert_eq!(c.held_by(OperatorId(2)), ResourceVector::ZERO);
+    }
+
+    #[test]
+    fn grant_rejects_over_capacity() {
+        let mut c = dc();
+        let too_much = ResourceVector::new(1000.0, 0.0, 0.0, 0.0);
+        assert!(c.grant(OperatorId(1), too_much, SimTime::ZERO).is_none());
+        assert!(c
+            .grant(OperatorId(1), ResourceVector::ZERO, SimTime::ZERO)
+            .is_none());
+        assert!(c.leases().is_empty());
+    }
+
+    #[test]
+    fn release_respects_time_bulk() {
+        let mut c = dc(); // HP-5: 180-minute time bulk
+        let amounts = ResourceVector::new(0.37, 2.0, 0.0, 0.0);
+        let lease = c.grant(OperatorId(1), amounts, SimTime::ZERO).unwrap();
+        // Too early: one minute before the bulk expires.
+        let early = SimTime::from_minutes(178);
+        assert!(!c.release(lease, early));
+        assert_eq!(c.leases().len(), 1);
+        // On time.
+        let due = SimTime::from_minutes(180);
+        assert!(c.release(lease, due));
+        assert!(c.leases().is_empty());
+        assert_eq!(c.free(), c.spec.capacity());
+    }
+
+    #[test]
+    fn release_unknown_lease_is_false() {
+        let mut c = dc();
+        assert!(!c.release(LeaseId(77), SimTime::from_days(10)));
+    }
+
+    #[test]
+    fn releasable_filters_by_operator_and_time() {
+        let mut c = dc();
+        let a = ResourceVector::new(0.37, 2.0, 0.0, 0.0);
+        let l1 = c.grant(OperatorId(1), a, SimTime::ZERO).unwrap();
+        let _l2 = c.grant(OperatorId(2), a, SimTime::ZERO).unwrap();
+        let l3 = c
+            .grant(OperatorId(1), a, SimTime::ZERO + SimDuration::from_hours(1))
+            .unwrap();
+        let now = SimTime::from_hours(3);
+        let rel = c.releasable(OperatorId(1), now);
+        // Only the first lease of operator 1 has matured at t=3h.
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel[0].id, l1);
+        let later = SimTime::from_hours(4);
+        let rel = c.releasable(OperatorId(1), later);
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel[0].id, l1, "oldest first");
+        assert_eq!(rel[1].id, l3);
+    }
+
+    #[test]
+    fn many_grants_fill_capacity_exactly() {
+        let mut c = DataCenter::new(spec(1, HostingPolicy::hp(5)));
+        let unit = ResourceVector::new(0.37, 2.0, 0.0, 0.0);
+        let mut granted = 0;
+        while c.grant(OperatorId(1), unit, SimTime::ZERO).is_some() {
+            granted += 1;
+        }
+        // 1.2 CPU / 0.37 = 3 grants (memory: 4/2 = 2 → binding at 2).
+        assert_eq!(granted, 2, "memory should bind first");
+        assert!(c.free().memory < 2.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! The Table III experimental platform.
+//!
+//! "The data centers are located on four continents and in seven
+//! countries": Finland (2 centers, 8 machines), Sweden (2, 8), U.K.
+//! (2, 20), Netherlands (2, 15), US West (2, 35), Canada West (1, 15),
+//! US Central (1, 15), US East (2, 32), Canada East (1, 10), and
+//! Australia (2, 8). Machine totals are per location; co-located
+//! centers split them (Sec. V-B halves the machines when assigning
+//! HP-1/HP-2 round-robin).
+
+use crate::center::{DataCenter, DataCenterId, DataCenterSpec};
+use crate::policy::HostingPolicy;
+use mmog_util::geo::GeoPoint;
+
+/// One Table III row: location name, country, continent, coordinates,
+/// number of co-located centers, total machines at the location.
+struct LocationRow {
+    name: &'static str,
+    country: &'static str,
+    continent: &'static str,
+    point: GeoPoint,
+    centers: u32,
+    machines_total: u32,
+}
+
+const TABLE3: [LocationRow; 10] = [
+    LocationRow {
+        name: "Finland",
+        country: "Finland",
+        continent: "Europe",
+        point: GeoPoint::new(60.17, 24.94), // Helsinki
+        centers: 2,
+        machines_total: 8,
+    },
+    LocationRow {
+        name: "Sweden",
+        country: "Sweden",
+        continent: "Europe",
+        point: GeoPoint::new(59.33, 18.07), // Stockholm
+        centers: 2,
+        machines_total: 8,
+    },
+    LocationRow {
+        name: "U.K.",
+        country: "U.K.",
+        continent: "Europe",
+        point: GeoPoint::new(51.51, -0.13), // London
+        centers: 2,
+        machines_total: 20,
+    },
+    LocationRow {
+        name: "Netherlands",
+        country: "Netherlands",
+        continent: "Europe",
+        point: GeoPoint::new(52.37, 4.90), // Amsterdam
+        centers: 2,
+        machines_total: 15,
+    },
+    LocationRow {
+        name: "US West",
+        country: "U.S.",
+        continent: "North America",
+        point: GeoPoint::new(37.34, -121.89), // San Jose
+        centers: 2,
+        machines_total: 35,
+    },
+    LocationRow {
+        name: "Canada West",
+        country: "Canada",
+        continent: "North America",
+        point: GeoPoint::new(49.28, -123.12), // Vancouver
+        centers: 1,
+        machines_total: 15,
+    },
+    LocationRow {
+        name: "US Central",
+        country: "U.S.",
+        continent: "North America",
+        point: GeoPoint::new(41.88, -87.63), // Chicago
+        centers: 1,
+        machines_total: 15,
+    },
+    LocationRow {
+        name: "US East",
+        country: "U.S.",
+        continent: "North America",
+        point: GeoPoint::new(38.90, -77.04), // Washington, D.C.
+        centers: 2,
+        machines_total: 32,
+    },
+    LocationRow {
+        name: "Canada East",
+        country: "Canada",
+        continent: "North America",
+        point: GeoPoint::new(43.65, -79.38), // Toronto
+        centers: 1,
+        machines_total: 10,
+    },
+    LocationRow {
+        name: "Australia",
+        country: "Australia",
+        continent: "Australia",
+        point: GeoPoint::new(-33.87, 151.21), // Sydney
+        centers: 2,
+        machines_total: 8,
+    },
+];
+
+/// Builds the Table III data centers. `policy_for` selects each
+/// center's hosting policy, given `(index_within_location, spec name)`
+/// — Sec. V-B assigns HP-1 to the first co-located center and HP-2 to
+/// the second, halving machines, which the machine split here already
+/// does.
+#[must_use]
+pub fn table3_centers<F>(mut policy_for: F) -> Vec<DataCenter>
+where
+    F: FnMut(usize, &str) -> HostingPolicy,
+{
+    let mut id = 0u32;
+    let mut out = Vec::new();
+    for row in &TABLE3 {
+        // Split the location's machines across its centers (remainder to
+        // the first).
+        let base = row.machines_total / row.centers;
+        let remainder = row.machines_total % row.centers;
+        for i in 0..row.centers {
+            let machines = base + u32::from(i < remainder);
+            let name = if row.centers > 1 {
+                format!("{} ({})", row.name, i + 1)
+            } else {
+                row.name.to_string()
+            };
+            let policy = policy_for(i as usize, &name);
+            out.push(DataCenter::new(DataCenterSpec {
+                id: DataCenterId(id),
+                name,
+                country: row.country.into(),
+                continent: row.continent.into(),
+                location: row.point,
+                machines,
+                machine_capacity: DataCenterSpec::default_machine_capacity(),
+                policy,
+            }));
+            id += 1;
+        }
+    }
+    out
+}
+
+/// Convenience: Table III with the Sec. V-B policy assignment (HP-1 /
+/// HP-2 round-robin within each location).
+#[must_use]
+pub fn table3_hp12() -> Vec<DataCenter> {
+    table3_centers(|i, _| {
+        if i % 2 == 0 {
+            HostingPolicy::hp(1)
+        } else {
+            HostingPolicy::hp(2)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_centers_on_four_continents() {
+        let centers = table3_hp12();
+        // 2+2+2+2+2+1+1+2+1+2 = 17 centers.
+        assert_eq!(centers.len(), 17);
+        let mut continents: Vec<&str> = centers.iter().map(|c| c.spec.continent.as_str()).collect();
+        continents.sort_unstable();
+        continents.dedup();
+        assert_eq!(continents.len(), 3); // Europe, North America, Australia
+        let mut countries: Vec<&str> = centers.iter().map(|c| c.spec.country.as_str()).collect();
+        countries.sort_unstable();
+        countries.dedup();
+        assert_eq!(countries.len(), 7, "{countries:?}"); // Table III: seven countries
+    }
+
+    #[test]
+    fn machine_totals_match_table3() {
+        let centers = table3_hp12();
+        let total: u32 = centers.iter().map(|c| c.spec.machines).sum();
+        assert_eq!(total, 8 + 8 + 20 + 15 + 35 + 15 + 15 + 32 + 10 + 8);
+        // Co-located splits: Netherlands 15 → 8 + 7.
+        let nl: Vec<u32> = centers
+            .iter()
+            .filter(|c| c.spec.country == "Netherlands")
+            .map(|c| c.spec.machines)
+            .collect();
+        assert_eq!(nl, vec![8, 7]);
+    }
+
+    #[test]
+    fn policy_round_robin_applied() {
+        let centers = table3_hp12();
+        let uk: Vec<&str> = centers
+            .iter()
+            .filter(|c| c.spec.country == "U.K.")
+            .map(|c| c.spec.policy.name.as_str())
+            .collect();
+        assert_eq!(uk, vec!["HP-1", "HP-2"]);
+        // Single-center locations get HP-1.
+        let chi = centers
+            .iter()
+            .find(|c| c.spec.name == "US Central")
+            .unwrap();
+        assert_eq!(chi.spec.policy.name, "HP-1");
+    }
+
+    #[test]
+    fn ids_unique_and_dense() {
+        let centers = table3_hp12();
+        let mut ids: Vec<u32> = centers.iter().map(|c| c.spec.id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..centers.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn east_and_west_coast_are_far_apart() {
+        let centers = table3_hp12();
+        let east = centers
+            .iter()
+            .find(|c| c.spec.name == "US East (1)")
+            .unwrap();
+        let west = centers
+            .iter()
+            .find(|c| c.spec.name == "US West (1)")
+            .unwrap();
+        let d = east.spec.location.distance_km(&west.spec.location);
+        assert!(d > 3500.0, "coast-to-coast {d} km");
+        // Within a location, co-located centers are at distance ~0.
+        let east2 = centers
+            .iter()
+            .find(|c| c.spec.name == "US East (2)")
+            .unwrap();
+        assert!(east.spec.location.distance_km(&east2.spec.location) < 1.0);
+    }
+
+    #[test]
+    fn custom_policy_selector_sees_names() {
+        let mut seen = Vec::new();
+        let _ = table3_centers(|i, name| {
+            seen.push((i, name.to_string()));
+            HostingPolicy::hp(5)
+        });
+        assert_eq!(seen.len(), 17);
+        assert!(seen.iter().any(|(_, n)| n == "Australia (2)"));
+        assert!(seen.iter().any(|(_, n)| n == "Canada East"));
+    }
+}

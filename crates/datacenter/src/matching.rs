@@ -1,0 +1,327 @@
+//! The request–offer matching mechanism of Sec. II-C.
+//!
+//! "The resource allocation is realized by a request-offer matching
+//! mechanism based on multiple criteria that favor the game operator. …
+//! First, the number and the type of resources requested must match with
+//! the offer; when they do not match, the matching mechanism ensures
+//! that the offer includes at least the requested amounts. Second,
+//! depending on the game latency tolerance, the matching mechanism
+//! locates the resources closest to the request. Third, to deal with
+//! data center policies, the matching mechanism selects first the finer
+//! grained resources with the shorter period of reservation time."
+//!
+//! The matcher therefore (a) filters the centers admissible under the
+//! request's distance class, (b) ranks them by policy granularity, then
+//! time bulk, then distance, and (c) fills the request greedily across
+//! the ranked list, quantising each grant to the center's bulks. The
+//! effect seen in Sec. V-E — "the resources of the data centers with
+//! unsuitable hosting policies [are] unused when suitable alternatives
+//! exist" — emerges from this ranking.
+
+use crate::center::{DataCenter, LeaseId};
+use crate::request::ResourceRequest;
+use crate::resource::ResourceVector;
+use mmog_util::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One grant resulting from a match.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Grant {
+    /// Index of the data center in the slice passed to
+    /// [`match_request`].
+    pub center_index: usize,
+    /// The lease created.
+    pub lease: LeaseId,
+    /// The amounts granted (bulk-rounded).
+    pub amounts: ResourceVector,
+    /// Distance from the request origin, km.
+    pub distance_km: f64,
+}
+
+/// Outcome of matching one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchOutcome {
+    /// Grants made, in allocation order.
+    pub grants: Vec<Grant>,
+    /// Amounts that no admissible center could supply.
+    pub unmet: ResourceVector,
+}
+
+impl MatchOutcome {
+    /// Total amounts granted across all centers.
+    #[must_use]
+    pub fn granted(&self) -> ResourceVector {
+        self.grants
+            .iter()
+            .fold(ResourceVector::ZERO, |acc, g| acc + g.amounts)
+    }
+
+    /// True when the full request was satisfied.
+    #[must_use]
+    pub fn fully_met(&self) -> bool {
+        self.unmet.is_negligible(1e-9)
+    }
+}
+
+/// Matches one request against a set of data centers, mutating their
+/// lease ledgers. See the module docs for the criteria ordering.
+pub fn match_request(
+    centers: &mut [DataCenter],
+    request: &ResourceRequest,
+    now: SimTime,
+) -> MatchOutcome {
+    // Rank admissible centers: finer granularity, shorter time bulk,
+    // then closest (the Sec. II-C criteria, operator-favouring order).
+    let mut ranked: Vec<(usize, f64)> = centers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| {
+            let d = c.distance_km(&request.origin);
+            request.tolerance.admits(d).then_some((i, d))
+        })
+        .collect();
+    ranked.sort_by(|&(i, di), &(j, dj)| {
+        let (pi, pj) = (&centers[i].spec.policy, &centers[j].spec.policy);
+        pi.granularity()
+            .partial_cmp(&pj.granularity())
+            .expect("granularities are finite")
+            .then(pi.time_bulk.cmp(&pj.time_bulk))
+            .then(di.partial_cmp(&dj).expect("distances are finite"))
+    });
+
+    let mut remaining = request.amounts.clamp_non_negative();
+    let mut grants = Vec::new();
+    for (idx, distance_km) in ranked {
+        if remaining.is_negligible(1e-9) {
+            break;
+        }
+        let center = &mut centers[idx];
+        let policy = center.spec.policy.clone();
+        let free = center.free();
+        // Per resource: round the remaining need up to the bulk grid,
+        // but never beyond what the free pool can supply in whole bulks.
+        let grant_amounts = remaining.map(|r, want| {
+            if want <= 0.0 {
+                return 0.0;
+            }
+            let rounded = policy.round_up(r, want);
+            if rounded <= free.get(r) + 1e-9 {
+                rounded
+            } else {
+                policy.round_down(r, free.get(r))
+            }
+        });
+        if grant_amounts.is_negligible(1e-9) {
+            continue;
+        }
+        if let Some(lease) = center.grant(request.operator, grant_amounts, now) {
+            remaining = (remaining - grant_amounts).clamp_non_negative();
+            grants.push(Grant {
+                center_index: idx,
+                lease,
+                amounts: grant_amounts,
+                distance_km,
+            });
+        }
+    }
+    MatchOutcome {
+        grants,
+        unmet: remaining,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::center::{DataCenterId, DataCenterSpec};
+    use crate::policy::HostingPolicy;
+    use crate::request::OperatorId;
+    use mmog_util::geo::{DistanceClass, GeoPoint};
+
+    fn center(id: u32, lat: f64, lon: f64, machines: u32, policy: HostingPolicy) -> DataCenter {
+        DataCenter::new(DataCenterSpec {
+            id: DataCenterId(id),
+            name: format!("dc{id}"),
+            country: "X".into(),
+            continent: "Y".into(),
+            location: GeoPoint::new(lat, lon),
+            machines,
+            machine_capacity: DataCenterSpec::default_machine_capacity(),
+            policy,
+        })
+    }
+
+    fn cpu_req(amount: f64, tolerance: DistanceClass) -> ResourceRequest {
+        ResourceRequest::new(
+            OperatorId(1),
+            ResourceVector::new(amount, 0.0, 0.0, 0.0),
+            GeoPoint::new(50.0, 10.0),
+            tolerance,
+        )
+    }
+
+    #[test]
+    fn grants_at_least_the_requested_amount() {
+        // Criterion 1: "the offer includes at least the requested
+        // amounts" — bulk rounding grants upward.
+        let mut centers = vec![center(0, 50.0, 10.0, 10, HostingPolicy::hp(5))];
+        let out = match_request(
+            &mut centers,
+            &cpu_req(1.0, DistanceClass::VeryFar),
+            SimTime::ZERO,
+        );
+        assert!(out.fully_met());
+        let granted = out.granted().cpu;
+        assert!(granted >= 1.0);
+        assert!((granted - 1.11).abs() < 1e-9, "3 bulks of 0.37: {granted}");
+    }
+
+    #[test]
+    fn distance_filter_respects_tolerance() {
+        // One center far away: SameLocation tolerance finds nothing.
+        let mut centers = vec![center(0, 0.0, 0.0, 10, HostingPolicy::hp(5))];
+        let out = match_request(
+            &mut centers,
+            &cpu_req(1.0, DistanceClass::SameLocation),
+            SimTime::ZERO,
+        );
+        assert!(out.grants.is_empty());
+        assert!((out.unmet.cpu - 1.0).abs() < 1e-9);
+        // VeryFar admits it.
+        let out = match_request(
+            &mut centers,
+            &cpu_req(1.0, DistanceClass::VeryFar),
+            SimTime::ZERO,
+        );
+        assert!(out.fully_met());
+    }
+
+    #[test]
+    fn finer_granularity_preferred_over_distance() {
+        // Near center with coarse CPU bulk vs far center with fine bulk:
+        // the matcher must pick the fine one first (Sec. V-E's East-coast
+        // penalty).
+        let mut centers = vec![
+            center(0, 50.0, 10.0, 10, HostingPolicy::hp(7)), // near, coarse (1.11)
+            center(1, 50.0, 40.0, 10, HostingPolicy::hp(3)), // ~2100km, fine (0.22)
+        ];
+        let out = match_request(
+            &mut centers,
+            &cpu_req(0.4, DistanceClass::VeryFar),
+            SimTime::ZERO,
+        );
+        assert_eq!(out.grants.len(), 1);
+        assert_eq!(
+            out.grants[0].center_index, 1,
+            "fine-grained center must win"
+        );
+    }
+
+    #[test]
+    fn shorter_time_bulk_breaks_granularity_ties() {
+        let mut centers = vec![
+            center(0, 50.0, 10.0, 10, HostingPolicy::hp(9)), // 0.37 / 720 min
+            center(1, 50.0, 10.5, 10, HostingPolicy::hp(5)), // 0.37 / 180 min
+        ];
+        let out = match_request(
+            &mut centers,
+            &cpu_req(0.3, DistanceClass::VeryFar),
+            SimTime::ZERO,
+        );
+        assert_eq!(out.grants[0].center_index, 1, "shorter lease must win");
+    }
+
+    #[test]
+    fn closest_breaks_full_ties() {
+        let mut centers = vec![
+            center(0, 50.0, 20.0, 10, HostingPolicy::hp(5)), // ~700 km
+            center(1, 50.0, 10.1, 10, HostingPolicy::hp(5)), // ~7 km
+        ];
+        let out = match_request(
+            &mut centers,
+            &cpu_req(0.3, DistanceClass::VeryFar),
+            SimTime::ZERO,
+        );
+        assert_eq!(out.grants[0].center_index, 1, "closest must win ties");
+    }
+
+    #[test]
+    fn spills_across_centers_when_first_is_full() {
+        // First-ranked center too small: remainder goes to the next.
+        let mut centers = vec![
+            center(0, 50.0, 10.0, 1, HostingPolicy::hp(3)), // fine but tiny (1.2 CPU)
+            center(1, 50.0, 11.0, 10, HostingPolicy::hp(5)),
+        ];
+        let out = match_request(
+            &mut centers,
+            &cpu_req(3.0, DistanceClass::VeryFar),
+            SimTime::ZERO,
+        );
+        assert!(out.fully_met(), "unmet: {}", out.unmet);
+        assert_eq!(out.grants.len(), 2);
+        assert_eq!(out.grants[0].center_index, 0);
+        assert_eq!(out.grants[1].center_index, 1);
+        // The tiny center granted whole bulks only.
+        let g0 = out.grants[0].amounts.cpu;
+        assert!(
+            (g0 / 0.22).fract().abs() < 1e-6,
+            "grant {g0} not on bulk grid"
+        );
+    }
+
+    #[test]
+    fn reports_unmet_when_everything_is_full() {
+        let mut centers = vec![center(0, 50.0, 10.0, 1, HostingPolicy::hp(5))];
+        let out = match_request(
+            &mut centers,
+            &cpu_req(100.0, DistanceClass::VeryFar),
+            SimTime::ZERO,
+        );
+        assert!(!out.fully_met());
+        assert!(out.unmet.cpu > 90.0);
+    }
+
+    #[test]
+    fn zero_request_matches_nothing() {
+        let mut centers = vec![center(0, 50.0, 10.0, 10, HostingPolicy::hp(5))];
+        let out = match_request(
+            &mut centers,
+            &cpu_req(0.0, DistanceClass::VeryFar),
+            SimTime::ZERO,
+        );
+        assert!(out.grants.is_empty());
+        assert!(out.fully_met());
+    }
+
+    #[test]
+    fn multi_resource_request_quantised_per_type() {
+        let mut centers = vec![center(0, 50.0, 10.0, 10, HostingPolicy::hp(1))];
+        let req = ResourceRequest::new(
+            OperatorId(1),
+            ResourceVector::new(0.3, 1.0, 1.0, 0.1),
+            GeoPoint::new(50.0, 10.0),
+            DistanceClass::VeryFar,
+        );
+        let out = match_request(&mut centers, &req, SimTime::ZERO);
+        assert!(out.fully_met());
+        let g = out.granted();
+        assert!((g.cpu - 0.5).abs() < 1e-9); // 2 × 0.25
+        assert!((g.memory - 1.0).abs() < 1e-9); // n/a bulk → exact
+        assert!((g.ext_net_in - 6.0).abs() < 1e-9); // one huge inbound bulk
+        assert!((g.ext_net_out - 0.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_amounts_treated_as_zero() {
+        let mut centers = vec![center(0, 50.0, 10.0, 10, HostingPolicy::hp(5))];
+        let req = ResourceRequest::new(
+            OperatorId(1),
+            ResourceVector::new(-5.0, 0.0, 0.0, 0.0),
+            GeoPoint::new(50.0, 10.0),
+            DistanceClass::VeryFar,
+        );
+        let out = match_request(&mut centers, &req, SimTime::ZERO);
+        assert!(out.grants.is_empty());
+        assert!(out.fully_met());
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests for policies, centers and matching.
+
+use mmog_datacenter::center::{DataCenter, DataCenterId, DataCenterSpec};
+use mmog_datacenter::matching::match_request;
+use mmog_datacenter::policy::HostingPolicy;
+use mmog_datacenter::request::{OperatorId, ResourceRequest};
+use mmog_datacenter::resource::{ResourceType, ResourceVector};
+use mmog_util::geo::{DistanceClass, GeoPoint};
+use mmog_util::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn any_policy() -> impl Strategy<Value = HostingPolicy> {
+    (
+        prop::option::of(0.05f64..2.0),
+        prop::option::of(0.5f64..4.0),
+        prop::option::of(0.5f64..8.0),
+        prop::option::of(0.05f64..1.0),
+        1u64..3000,
+    )
+        .prop_map(|(cpu, mem, ni, no, mins)| {
+            HostingPolicy::new(
+                "prop",
+                cpu,
+                mem,
+                ni,
+                no,
+                SimDuration::from_minutes_ceil(mins),
+            )
+        })
+}
+
+fn any_amounts() -> impl Strategy<Value = ResourceVector> {
+    (0.0f64..20.0, 0.0f64..20.0, 0.0f64..20.0, 0.0f64..20.0)
+        .prop_map(|(c, m, i, o)| ResourceVector::new(c, m, i, o))
+}
+
+fn center(machines: u32, policy: HostingPolicy) -> DataCenter {
+    DataCenter::new(DataCenterSpec {
+        id: DataCenterId(0),
+        name: "prop".into(),
+        country: "X".into(),
+        continent: "Y".into(),
+        location: GeoPoint::new(50.0, 10.0),
+        machines,
+        machine_capacity: DataCenterSpec::default_machine_capacity(),
+        policy,
+    })
+}
+
+proptest! {
+    #[test]
+    fn round_up_is_cover_and_grid_aligned(policy in any_policy(), amount in 0.0f64..50.0) {
+        for r in ResourceType::ALL {
+            let rounded = policy.round_up(r, amount);
+            prop_assert!(rounded + 1e-9 >= amount, "{r}: {rounded} < {amount}");
+            if let Some(bulk) = policy.bulk(r) {
+                let ratio = rounded / bulk;
+                prop_assert!((ratio - ratio.round()).abs() < 1e-6, "{r}: {rounded} off-grid");
+                // Never over-covers by a full bulk.
+                prop_assert!(rounded < amount + bulk + 1e-9);
+            } else {
+                prop_assert_eq!(rounded, amount.max(0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn round_down_never_exceeds(policy in any_policy(), amount in 0.0f64..50.0) {
+        for r in ResourceType::ALL {
+            let down = policy.round_down(r, amount);
+            prop_assert!(down <= amount + 1e-6);
+            prop_assert!(down >= 0.0);
+        }
+    }
+
+    #[test]
+    fn grants_never_exceed_capacity(
+        policy in any_policy(),
+        machines in 1u32..20,
+        requests in prop::collection::vec(any_amounts(), 1..20),
+    ) {
+        let mut c = center(machines, policy);
+        let cap = c.spec.capacity();
+        for (i, amounts) in requests.into_iter().enumerate() {
+            let _ = c.grant(OperatorId(i as u32), amounts, SimTime::ZERO);
+            prop_assert!(c.allocated().fits_within(&cap, 1e-6));
+        }
+    }
+
+    #[test]
+    fn allocation_equals_sum_of_leases(
+        policy in any_policy(),
+        machines in 1u32..20,
+        requests in prop::collection::vec(any_amounts(), 1..15),
+    ) {
+        let mut c = center(machines, policy);
+        for (i, amounts) in requests.into_iter().enumerate() {
+            let _ = c.grant(OperatorId(i as u32), amounts, SimTime::ZERO);
+        }
+        let lease_sum = c
+            .leases()
+            .iter()
+            .fold(ResourceVector::ZERO, |acc, l| acc + l.amounts);
+        for r in ResourceType::ALL {
+            prop_assert!((lease_sum.get(r) - c.allocated().get(r)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn release_restores_capacity(
+        policy in any_policy(),
+        machines in 1u32..20,
+        amounts in any_amounts(),
+    ) {
+        let mut c = center(machines, policy);
+        let before = c.free();
+        if let Some(lease) = c.grant(OperatorId(0), amounts, SimTime::ZERO) {
+            // Wait out any time bulk, then release.
+            let later = SimTime::from_days(10);
+            prop_assert!(c.release(lease, later));
+            for r in ResourceType::ALL {
+                prop_assert!((c.free().get(r) - before.get(r)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn matching_covers_request_or_reports_unmet(
+        policy in any_policy(),
+        machines in 1u32..30,
+        amounts in any_amounts(),
+    ) {
+        let mut centers = vec![center(machines, policy)];
+        let req = ResourceRequest::new(
+            OperatorId(1),
+            amounts,
+            GeoPoint::new(50.0, 10.0),
+            DistanceClass::VeryFar,
+        );
+        let out = match_request(&mut centers, &req, SimTime::ZERO);
+        let granted = out.granted();
+        for r in ResourceType::ALL {
+            // granted + unmet >= requested (the offer covers at least the
+            // request; bulk rounding may exceed it).
+            prop_assert!(
+                granted.get(r) + out.unmet.get(r) + 1e-6 >= amounts.get(r),
+                "{r}: granted {} + unmet {} < requested {}",
+                granted.get(r),
+                out.unmet.get(r),
+                amounts.get(r)
+            );
+            // And the grant never exceeds the center's capacity.
+            prop_assert!(granted.get(r) <= centers[0].spec.capacity().get(r) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn matching_prefers_finer_granularity(
+        fine_bulk in 0.05f64..0.3,
+        coarse_extra in 0.1f64..1.0,
+        cpu in 0.05f64..5.0,
+    ) {
+        let fine = HostingPolicy::new(
+            "fine", Some(fine_bulk), None, None, None, SimDuration::from_hours(3));
+        let coarse = HostingPolicy::new(
+            "coarse", Some(fine_bulk + coarse_extra), None, None, None, SimDuration::from_hours(3));
+        // Coarse center is closer; fine must still win.
+        let mut centers = vec![center(50, coarse), center(50, fine)];
+        centers[1].spec.location = GeoPoint::new(40.0, 30.0);
+        let req = ResourceRequest::new(
+            OperatorId(1),
+            ResourceVector::new(cpu, 0.0, 0.0, 0.0),
+            GeoPoint::new(50.0, 10.0),
+            DistanceClass::VeryFar,
+        );
+        let out = match_request(&mut centers, &req, SimTime::ZERO);
+        prop_assert!(!out.grants.is_empty());
+        prop_assert_eq!(out.grants[0].center_index, 1);
+    }
+}

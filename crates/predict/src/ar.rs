@@ -1,0 +1,257 @@
+//! Autoregressive AR(p) prediction via Yule–Walker / Levinson–Durbin.
+//!
+//! Sec. IV-A dismisses the ARMA family as "more time consuming and
+//! resource intensive, thus being ill suited for MMOGs". We implement
+//! the AR(p) member anyway so the claim can be tested: the fit is
+//! periodic (amortised), the per-prediction cost is `O(p)`, and the
+//! bake-off harness measures both accuracy and latency.
+
+use crate::traits::Predictor;
+use std::collections::VecDeque;
+
+/// Solves the Yule–Walker equations for AR coefficients using the
+/// Levinson–Durbin recursion. `autocov[k]` is the lag-`k` sample
+/// autocovariance; returns `phi[1..=p]` (index 0 unused → dropped).
+/// Returns `None` when the series has (near-)zero variance.
+#[must_use]
+pub fn levinson_durbin(autocov: &[f64], order: usize) -> Option<Vec<f64>> {
+    if autocov.len() <= order || autocov[0] <= 1e-12 {
+        return None;
+    }
+    let mut phi = vec![0.0; order + 1];
+    let mut prev = vec![0.0; order + 1];
+    let mut error = autocov[0];
+    for k in 1..=order {
+        let mut acc = autocov[k];
+        for j in 1..k {
+            acc -= prev[j] * autocov[k - j];
+        }
+        let lambda = acc / error;
+        phi[k] = lambda;
+        for j in 1..k {
+            phi[j] = prev[j] - lambda * prev[k - j];
+        }
+        error *= 1.0 - lambda * lambda;
+        if error <= 1e-12 {
+            // Perfectly predictable — keep the coefficients found so far.
+            prev[..=k].copy_from_slice(&phi[..=k]);
+            break;
+        }
+        prev[..=k].copy_from_slice(&phi[..=k]);
+    }
+    Some(phi[1..].to_vec())
+}
+
+/// Sample autocovariances for lags `0..=max_lag` around the mean.
+#[must_use]
+pub fn autocovariance(xs: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    (0..=max_lag.min(n - 1))
+        .map(|lag| {
+            (0..n - lag)
+                .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+                .sum::<f64>()
+                / n as f64
+        })
+        .collect()
+}
+
+/// An AR(p) one-step predictor refit periodically on a sliding history.
+#[derive(Debug, Clone)]
+pub struct ArPredictor {
+    order: usize,
+    refit_every: usize,
+    max_history: usize,
+    history: VecDeque<f64>,
+    coeffs: Vec<f64>,
+    mean: f64,
+    since_fit: usize,
+}
+
+impl ArPredictor {
+    /// Creates an AR(p) predictor that refits every `refit_every`
+    /// observations over at most `max_history` retained samples.
+    ///
+    /// # Panics
+    /// Panics if `order == 0` or `refit_every == 0` or
+    /// `max_history <= order`.
+    #[must_use]
+    pub fn new(order: usize, refit_every: usize, max_history: usize) -> Self {
+        assert!(order > 0, "order must be positive");
+        assert!(refit_every > 0, "refit interval must be positive");
+        assert!(max_history > order, "history must exceed the order");
+        Self {
+            order,
+            refit_every,
+            max_history,
+            history: VecDeque::with_capacity(max_history),
+            coeffs: Vec::new(),
+            mean: 0.0,
+            since_fit: 0,
+        }
+    }
+
+    /// Paper-scale default: AR(6) refit every 64 samples on a one-day
+    /// history window.
+    #[must_use]
+    pub fn default_paper() -> Self {
+        Self::new(6, 64, 720)
+    }
+
+    fn refit(&mut self) {
+        let xs: Vec<f64> = self.history.iter().copied().collect();
+        self.mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let cov = autocovariance(&xs, self.order);
+        if let Some(coeffs) = levinson_durbin(&cov, self.order) {
+            self.coeffs = coeffs;
+        }
+    }
+}
+
+impl Predictor for ArPredictor {
+    fn name(&self) -> &str {
+        "AR(p)"
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.history.push_back(value);
+        if self.history.len() > self.max_history {
+            self.history.pop_front();
+        }
+        self.since_fit += 1;
+        if self.history.len() > self.order * 4 && self.since_fit >= self.refit_every {
+            self.refit();
+            self.since_fit = 0;
+        }
+    }
+
+    fn predict(&self) -> f64 {
+        if self.coeffs.is_empty() {
+            // Not fitted yet: persistence fallback.
+            return self.history.back().copied().unwrap_or(0.0);
+        }
+        let mut acc = self.mean;
+        for (i, phi) in self.coeffs.iter().enumerate() {
+            let lagged = match self.history.len().checked_sub(i + 1) {
+                Some(idx) => self.history[idx],
+                None => self.mean,
+            };
+            acc += phi * (lagged - self.mean);
+        }
+        acc
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+        self.coeffs.clear();
+        self.mean = 0.0;
+        self.since_fit = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmog_util::rng::Rng64;
+
+    #[test]
+    fn levinson_recovers_ar1_coefficient() {
+        // Simulate AR(1) with phi = 0.8.
+        let mut rng = Rng64::seed_from(1);
+        let mut xs = vec![0.0];
+        for _ in 0..20_000 {
+            let prev = *xs.last().unwrap();
+            xs.push(0.8 * prev + rng.normal());
+        }
+        let cov = autocovariance(&xs, 1);
+        let phi = levinson_durbin(&cov, 1).unwrap();
+        assert!((phi[0] - 0.8).abs() < 0.03, "phi {}", phi[0]);
+    }
+
+    #[test]
+    fn levinson_recovers_ar2_coefficients() {
+        let (p1, p2) = (0.6, -0.3);
+        let mut rng = Rng64::seed_from(2);
+        let mut xs = vec![0.0, 0.0];
+        for _ in 0..30_000 {
+            let n = xs.len();
+            xs.push(p1 * xs[n - 1] + p2 * xs[n - 2] + rng.normal());
+        }
+        let cov = autocovariance(&xs, 2);
+        let phi = levinson_durbin(&cov, 2).unwrap();
+        assert!((phi[0] - p1).abs() < 0.03, "phi1 {}", phi[0]);
+        assert!((phi[1] - p2).abs() < 0.03, "phi2 {}", phi[1]);
+    }
+
+    #[test]
+    fn degenerate_series_yields_none() {
+        let cov = autocovariance(&[5.0; 100], 3);
+        assert!(levinson_durbin(&cov, 3).is_none());
+        assert!(levinson_durbin(&[], 1).is_none());
+    }
+
+    #[test]
+    fn autocovariance_lag0_is_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let cov = autocovariance(&xs, 0);
+        assert!((cov[0] - 1.25).abs() < 1e-12);
+        assert!(autocovariance(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn predictor_tracks_ar_process_better_than_mean() {
+        let mut rng = Rng64::seed_from(3);
+        let mut xs = vec![100.0];
+        for _ in 0..3000 {
+            let prev = *xs.last().unwrap();
+            xs.push(100.0 + 0.9 * (prev - 100.0) + rng.normal() * 2.0);
+        }
+        let mut ar = ArPredictor::new(2, 50, 1000);
+        let mut err_ar = 0.0;
+        let mut err_mean = 0.0;
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        for &x in &xs {
+            let p = ar.predict();
+            if ar.name() == "AR(p)" && !p.is_nan() {
+                err_ar += (p - x).abs();
+                err_mean += (mean - x).abs();
+            }
+            ar.observe(x);
+        }
+        assert!(err_ar < err_mean, "AR {err_ar} vs mean {err_mean}");
+    }
+
+    #[test]
+    fn unfitted_predictor_falls_back_to_last_value() {
+        let mut ar = ArPredictor::new(3, 1000, 2000);
+        assert_eq!(ar.predict(), 0.0);
+        ar.observe(42.0);
+        assert_eq!(ar.predict(), 42.0);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut ar = ArPredictor::default_paper();
+        for i in 0..500 {
+            ar.observe(f64::from(i % 100));
+        }
+        ar.reset();
+        assert_eq!(ar.predict(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "order must be positive")]
+    fn zero_order_rejected() {
+        let _ = ArPredictor::new(0, 10, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "history must exceed")]
+    fn tiny_history_rejected() {
+        let _ = ArPredictor::new(5, 10, 5);
+    }
+}

@@ -1,0 +1,51 @@
+//! Load prediction for MMOGs — Section IV of the paper.
+//!
+//! "Fast and accurate load prediction with respect to the number of
+//! players and interactions per game zone is needed to dynamically
+//! allocate resources for MMOGs." The paper compares seven time-series
+//! prediction algorithms and proposes a neural-network predictor that
+//! "delivers the best accuracy while offering prediction results at an
+//! appropriate speed".
+//!
+//! - [`traits`] — the [`Predictor`] one-step-ahead interface.
+//! - [`simple`] — the six baselines of Figure 5: last value, running
+//!   average, moving average, sliding-window median, and exponential
+//!   smoothing at α ∈ {0.25, 0.5, 0.75}.
+//! - [`ar`] — an autoregressive AR(p) predictor fit by Yule–Walker /
+//!   Levinson–Durbin (the paper names ARMA-family models as accurate but
+//!   "ill suited for MMOGs" on speed grounds; we implement AR(p) to test
+//!   that trade-off ourselves).
+//! - [`mlp`] — a from-scratch multi-layer perceptron with
+//!   backpropagation and momentum; the paper's predictor is a "three
+//!   layered MLP with a (6,3,1) structure".
+//! - [`preprocess`] — "signal preprocessors … based on several
+//!   polynomial functions which have the purpose of removing the
+//!   unwanted noise from the processed signal" (least-squares polynomial
+//!   window smoothing) plus running normalisation.
+//! - [`neural`] — the full neural predictor: window of 6 inputs,
+//!   polynomial preprocessing, offline training phase with training
+//!   eras and a convergence criterion (Sec. IV-C), optional online
+//!   fine-tuning.
+//! - [`subzone`] — per-sub-zone predictor banks ("the predictor uses as
+//!   input the entity count for each sub-zone … the predicted entity
+//!   count for the entire game world is the sum of all the sub-zone
+//!   predictions", Sec. IV-B).
+//! - [`eval`] — the paper's prediction-error metric (Sec. IV-D.2) and
+//!   the bake-off harness behind Figures 5 and 6.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ar;
+pub mod eval;
+pub mod mlp;
+pub mod neural;
+pub mod preprocess;
+pub mod simple;
+pub mod subzone;
+pub mod traits;
+
+pub use eval::{evaluate_accuracy, prediction_error, PredictorKind};
+pub use neural::{NeuralConfig, NeuralPredictor};
+pub use subzone::SubZoneBank;
+pub use traits::Predictor;

@@ -1,0 +1,344 @@
+//! A from-scratch multi-layer perceptron.
+//!
+//! The paper's neural predictor "is a three layered MLP with a (6,3,1)
+//! structure (input, hidden and output neuron layers)" (Sec. IV-C),
+//! trained by backpropagation over "training eras … until a convergence
+//! criterion is fulfilled". This module provides the network itself:
+//! dense layers, tanh hidden activations, a linear output (standard for
+//! regression), stochastic gradient descent with momentum, and a
+//! deterministic Xavier-style initialisation from [`Rng64`].
+
+use mmog_util::rng::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// Activation applied to a layer's outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Hyperbolic tangent (hidden layers).
+    Tanh,
+    /// Identity (regression output layer).
+    Linear,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(self, x: f64) -> f64 {
+        match self {
+            Self::Tanh => x.tanh(),
+            Self::Linear => x,
+        }
+    }
+
+    /// Derivative expressed via the activation output `y = f(x)`.
+    #[inline]
+    fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Self::Tanh => 1.0 - y * y,
+            Self::Linear => 1.0,
+        }
+    }
+}
+
+/// One dense layer: `outputs × (inputs + 1)` weights (bias folded in as
+/// the last column).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Layer {
+    inputs: usize,
+    outputs: usize,
+    activation: Activation,
+    /// Row-major `[out][in+1]`.
+    weights: Vec<f64>,
+    /// Momentum velocity, same layout.
+    velocity: Vec<f64>,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, activation: Activation, rng: &mut Rng64) -> Self {
+        // Xavier/Glorot uniform initialisation.
+        let bound = (6.0 / (inputs + outputs) as f64).sqrt();
+        let n = outputs * (inputs + 1);
+        let weights = (0..n).map(|_| rng.range_f64(-bound, bound)).collect();
+        Self {
+            inputs,
+            outputs,
+            activation,
+            weights,
+            velocity: vec![0.0; n],
+        }
+    }
+
+    #[inline]
+    fn w(&self, out: usize, input: usize) -> f64 {
+        self.weights[out * (self.inputs + 1) + input]
+    }
+
+    /// Forward pass, appending activations to `out`.
+    fn forward(&self, input: &[f64], out: &mut Vec<f64>) {
+        debug_assert_eq!(input.len(), self.inputs);
+        for o in 0..self.outputs {
+            let row = &self.weights[o * (self.inputs + 1)..(o + 1) * (self.inputs + 1)];
+            let mut acc = row[self.inputs]; // bias
+            for (w, x) in row[..self.inputs].iter().zip(input) {
+                acc += w * x;
+            }
+            out.push(self.activation.apply(acc));
+        }
+    }
+}
+
+/// A feed-forward network with tanh hidden layers and a linear output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Builds a network with the given layer sizes, e.g. `&[6, 3, 1]`
+    /// for the paper's structure. Hidden layers use tanh; the final
+    /// layer is linear.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given or any size is zero.
+    #[must_use]
+    pub fn new(shape: &[usize], rng: &mut Rng64) -> Self {
+        assert!(shape.len() >= 2, "need at least input and output sizes");
+        assert!(shape.iter().all(|&s| s > 0), "layer sizes must be positive");
+        let layers = shape
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let activation = if i + 2 == shape.len() {
+                    Activation::Linear
+                } else {
+                    Activation::Tanh
+                };
+                Layer::new(w[0], w[1], activation, rng)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Number of inputs the network expects.
+    #[must_use]
+    pub fn input_size(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.inputs)
+    }
+
+    /// Number of outputs the network produces.
+    #[must_use]
+    pub fn output_size(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.outputs)
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `input.len()` mismatches the network.
+    #[must_use]
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        let mut current = input.to_vec();
+        let mut next = Vec::new();
+        for layer in &self.layers {
+            next.clear();
+            layer.forward(&current, &mut next);
+            std::mem::swap(&mut current, &mut next);
+        }
+        current
+    }
+
+    /// One stochastic-gradient step on a single (input, target) pair
+    /// with momentum. Returns the pre-update squared error.
+    pub fn train_step(
+        &mut self,
+        input: &[f64],
+        target: &[f64],
+        learning_rate: f64,
+        momentum: f64,
+    ) -> f64 {
+        // Forward pass caching every layer's activations.
+        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(input.to_vec());
+        for layer in &self.layers {
+            let mut out = Vec::with_capacity(layer.outputs);
+            layer.forward(activations.last().expect("seeded"), &mut out);
+            activations.push(out);
+        }
+        let output = activations.last().expect("at least input layer");
+        debug_assert_eq!(output.len(), target.len());
+        let loss: f64 = output
+            .iter()
+            .zip(target)
+            .map(|(o, t)| (o - t) * (o - t))
+            .sum();
+
+        // Backward pass: delta for the output layer of MSE loss.
+        let mut delta: Vec<f64> = output
+            .iter()
+            .zip(target)
+            .zip(&activations[activations.len() - 1])
+            .map(|((o, t), &y)| {
+                2.0 * (o - t)
+                    * self
+                        .layers
+                        .last()
+                        .expect("non-empty")
+                        .activation
+                        .derivative_from_output(y)
+            })
+            .collect();
+
+        for li in (0..self.layers.len()).rev() {
+            let input_act = activations[li].clone();
+            // Compute the delta to propagate before mutating weights.
+            let prev_delta: Vec<f64> = if li > 0 {
+                let layer = &self.layers[li];
+                let below = &self.layers[li - 1];
+                (0..layer.inputs)
+                    .map(|i| {
+                        let sum: f64 = (0..layer.outputs).map(|o| delta[o] * layer.w(o, i)).sum();
+                        sum * below.activation.derivative_from_output(activations[li][i])
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let layer = &mut self.layers[li];
+            for o in 0..layer.outputs {
+                let base = o * (layer.inputs + 1);
+                for i in 0..layer.inputs {
+                    let grad = delta[o] * input_act[i];
+                    let v = momentum * layer.velocity[base + i] - learning_rate * grad;
+                    layer.velocity[base + i] = v;
+                    layer.weights[base + i] += v;
+                }
+                // Bias.
+                let grad = delta[o];
+                let v = momentum * layer.velocity[base + layer.inputs] - learning_rate * grad;
+                layer.velocity[base + layer.inputs] = v;
+                layer.weights[base + layer.inputs] += v;
+            }
+            delta = prev_delta;
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_sizes() {
+        let mut rng = Rng64::seed_from(1);
+        let net = Mlp::new(&[6, 3, 1], &mut rng);
+        assert_eq!(net.input_size(), 6);
+        assert_eq!(net.output_size(), 1);
+        assert_eq!(net.forward(&[0.0; 6]).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_single_layer() {
+        let mut rng = Rng64::seed_from(1);
+        let _ = Mlp::new(&[4], &mut rng);
+    }
+
+    #[test]
+    fn deterministic_initialisation() {
+        let mut r1 = Rng64::seed_from(7);
+        let mut r2 = Rng64::seed_from(7);
+        let a = Mlp::new(&[4, 3, 1], &mut r1);
+        let b = Mlp::new(&[4, 3, 1], &mut r2);
+        assert_eq!(
+            a.forward(&[0.1, 0.2, 0.3, 0.4]),
+            b.forward(&[0.1, 0.2, 0.3, 0.4])
+        );
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        // y = 0.5·x1 − 0.3·x2 + 0.1.
+        let mut rng = Rng64::seed_from(3);
+        let mut net = Mlp::new(&[2, 4, 1], &mut rng);
+        let f = |x1: f64, x2: f64| 0.5 * x1 - 0.3 * x2 + 0.1;
+        let mut data_rng = Rng64::seed_from(11);
+        let samples: Vec<([f64; 2], f64)> = (0..200)
+            .map(|_| {
+                let x1 = data_rng.range_f64(-1.0, 1.0);
+                let x2 = data_rng.range_f64(-1.0, 1.0);
+                ([x1, x2], f(x1, x2))
+            })
+            .collect();
+        for _era in 0..200 {
+            for (x, y) in &samples {
+                net.train_step(x, &[*y], 0.05, 0.5);
+            }
+        }
+        let mse: f64 = samples
+            .iter()
+            .map(|(x, y)| {
+                let o = net.forward(x)[0];
+                (o - y) * (o - y)
+            })
+            .sum::<f64>()
+            / samples.len() as f64;
+        assert!(mse < 1e-3, "mse {mse}");
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        // y = x² on [−1, 1] needs the hidden tanh layer.
+        let mut rng = Rng64::seed_from(5);
+        let mut net = Mlp::new(&[1, 6, 1], &mut rng);
+        let xs: Vec<f64> = (0..40).map(|i| -1.0 + 2.0 * i as f64 / 39.0).collect();
+        for _era in 0..800 {
+            for &x in &xs {
+                net.train_step(&[x], &[x * x], 0.05, 0.3);
+            }
+        }
+        let mse: f64 = xs
+            .iter()
+            .map(|&x| {
+                let o = net.forward(&[x])[0];
+                (o - x * x) * (o - x * x)
+            })
+            .sum::<f64>()
+            / xs.len() as f64;
+        assert!(mse < 5e-3, "mse {mse}");
+    }
+
+    #[test]
+    fn train_step_reports_decreasing_loss() {
+        let mut rng = Rng64::seed_from(9);
+        let mut net = Mlp::new(&[3, 3, 1], &mut rng);
+        let input = [0.2, -0.4, 0.6];
+        let target = [0.5];
+        let first = net.train_step(&input, &target, 0.1, 0.0);
+        let mut last = first;
+        for _ in 0..100 {
+            last = net.train_step(&input, &target, 0.1, 0.0);
+        }
+        assert!(last < first * 0.01, "first {first} last {last}");
+    }
+
+    #[test]
+    fn paper_structure_631_trains() {
+        let mut rng = Rng64::seed_from(13);
+        let mut net = Mlp::new(&[6, 3, 1], &mut rng);
+        // Predict the next value of a normalised sine from 6 lags.
+        let series: Vec<f64> = (0..300)
+            .map(|i| 0.5 + 0.4 * (i as f64 * 0.2).sin())
+            .collect();
+        for _era in 0..60 {
+            for w in series.windows(7) {
+                net.train_step(&w[..6], &[w[6]], 0.05, 0.3);
+            }
+        }
+        let mut worst: f64 = 0.0;
+        for w in series.windows(7).take(50) {
+            let pred = net.forward(&w[..6])[0];
+            worst = worst.max((pred - w[6]).abs());
+        }
+        assert!(worst < 0.1, "worst abs error {worst}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Signal preprocessing for the neural predictor.
+//!
+//! Sec. IV-C: "The signal preprocessors are based on several polynomial
+//! functions which have the purpose of removing the unwanted noise from
+//! the processed signal." We implement least-squares polynomial window
+//! smoothing (fit a low-degree polynomial to the input window, feed the
+//! fitted values to the network) plus the running normalisation the
+//! network needs to keep its inputs in a trainable range.
+
+/// Solves the dense linear system `A·x = b` with Gaussian elimination
+/// and partial pivoting. Returns `None` for (near-)singular systems.
+/// Sized for the tiny normal-equation systems of polynomial fitting.
+#[must_use]
+pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite matrix")
+            })
+            .expect("non-empty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back-substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Fits a polynomial of the given degree to `ys` (x = 0, 1, 2, …) by
+/// least squares, returning the coefficients `c0 + c1·x + …`. Degrees
+/// larger than `ys.len() - 1` are clamped. Returns `None` for empty
+/// input or a singular fit.
+#[must_use]
+pub fn polyfit(ys: &[f64], degree: usize) -> Option<Vec<f64>> {
+    if ys.is_empty() {
+        return None;
+    }
+    let degree = degree.min(ys.len() - 1);
+    let m = degree + 1;
+    // Normal equations: (Xᵀ X) c = Xᵀ y with Vandermonde X.
+    let mut xtx = vec![vec![0.0; m]; m];
+    let mut xty = vec![0.0; m];
+    for (i, &y) in ys.iter().enumerate() {
+        let x = i as f64;
+        let mut powers = vec![1.0; m];
+        for p in 1..m {
+            powers[p] = powers[p - 1] * x;
+        }
+        for r in 0..m {
+            xty[r] += powers[r] * y;
+            for c in 0..m {
+                xtx[r][c] += powers[r] * powers[c];
+            }
+        }
+    }
+    solve_linear(xtx, xty)
+}
+
+/// Evaluates a polynomial (coefficients low-to-high) at `x`.
+#[must_use]
+pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+/// Replaces a window with its polynomial least-squares fit — the
+/// paper's noise-removal preprocessor. Degenerate fits fall back to the
+/// raw window.
+#[must_use]
+pub fn poly_smooth(window: &[f64], degree: usize) -> Vec<f64> {
+    match polyfit(window, degree) {
+        Some(coeffs) => (0..window.len())
+            .map(|i| polyval(&coeffs, i as f64))
+            .collect(),
+        None => window.to_vec(),
+    }
+}
+
+/// Extrapolates the polynomial fit one step past the window — a cheap
+/// stand-alone forecast (also used as the neural predictor's fallback
+/// before the input window fills).
+#[must_use]
+pub fn poly_extrapolate(window: &[f64], degree: usize) -> Option<f64> {
+    polyfit(window, degree).map(|coeffs| polyval(&coeffs, window.len() as f64))
+}
+
+/// Running max-based normaliser mapping loads into `[0, 1]`-ish range.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    scale: f64,
+}
+
+impl Normalizer {
+    /// Creates a normaliser with an initial scale (use the training-set
+    /// maximum with some headroom).
+    ///
+    /// # Panics
+    /// Panics if `scale` is not positive.
+    #[must_use]
+    pub fn new(scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        Self { scale }
+    }
+
+    /// Current scale.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Normalises a value; values beyond the scale grow it so the
+    /// network never sees wildly out-of-range inputs.
+    pub fn norm_mut(&mut self, x: f64) -> f64 {
+        if x > self.scale {
+            self.scale = x * 1.2;
+        }
+        x / self.scale
+    }
+
+    /// Normalises without adapting (for read-only paths).
+    #[must_use]
+    pub fn norm(&self, x: f64) -> f64 {
+        x / self.scale
+    }
+
+    /// Maps a normalised value back to load units.
+    #[must_use]
+    pub fn denorm(&self, y: f64) -> f64 {
+        y * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_small_system() {
+        // 2x + y = 5; x - y = 1 → x = 2, y = 1.
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve_linear(a, vec![5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_system_is_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn polyfit_recovers_exact_quadratic() {
+        // y = 3 + 2x + x².
+        let ys: Vec<f64> = (0..6)
+            .map(|i| 3.0 + 2.0 * i as f64 + (i * i) as f64)
+            .collect();
+        let c = polyfit(&ys, 2).unwrap();
+        assert!((c[0] - 3.0).abs() < 1e-8);
+        assert!((c[1] - 2.0).abs() < 1e-8);
+        assert!((c[2] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn polyfit_degree_clamped() {
+        let c = polyfit(&[1.0, 2.0], 5).unwrap();
+        assert_eq!(c.len(), 2); // clamped to linear
+        assert!(polyfit(&[], 2).is_none());
+    }
+
+    #[test]
+    fn polyval_constant_and_linear() {
+        assert_eq!(polyval(&[7.0], 100.0), 7.0);
+        assert_eq!(polyval(&[1.0, 2.0], 3.0), 7.0);
+        assert_eq!(polyval(&[], 3.0), 0.0);
+    }
+
+    #[test]
+    fn smoothing_removes_noise_keeps_trend() {
+        // Linear trend plus alternating noise.
+        let window: Vec<f64> = (0..8)
+            .map(|i| 10.0 * i as f64 + if i % 2 == 0 { 3.0 } else { -3.0 })
+            .collect();
+        let smooth = poly_smooth(&window, 1);
+        // The fit should be closer to the clean trend than the input.
+        let clean: Vec<f64> = (0..8).map(|i| 10.0 * i as f64).collect();
+        let err = |xs: &[f64]| -> f64 { xs.iter().zip(&clean).map(|(a, b)| (a - b).abs()).sum() };
+        assert!(err(&smooth) < err(&window) / 2.0);
+    }
+
+    #[test]
+    fn smoothing_preserves_polynomial_signals() {
+        let window: Vec<f64> = (0..6).map(|i| (i * i) as f64).collect();
+        let smooth = poly_smooth(&window, 2);
+        for (a, b) in smooth.iter().zip(&window) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn extrapolation_continues_trend() {
+        let window = [0.0, 2.0, 4.0, 6.0];
+        let next = poly_extrapolate(&window, 1).unwrap();
+        assert!((next - 8.0).abs() < 1e-9);
+        assert!(poly_extrapolate(&[], 1).is_none());
+    }
+
+    #[test]
+    fn normalizer_round_trip_and_adaptation() {
+        let mut n = Normalizer::new(100.0);
+        assert_eq!(n.norm(50.0), 0.5);
+        assert_eq!(n.denorm(0.5), 50.0);
+        // Out-of-range value grows the scale.
+        let y = n.norm_mut(200.0);
+        assert!(y <= 1.0);
+        assert!(n.scale() >= 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn normalizer_rejects_zero_scale() {
+        let _ = Normalizer::new(0.0);
+    }
+}

@@ -1,0 +1,505 @@
+//! The six simple baselines of Figure 5.
+//!
+//! "The simple prediction algorithms (like exponential smoothing and
+//! variants thereof) are computationally inexpensive and can be applied
+//! in parallel on several data sets, but their predictive power is
+//! limited" (Sec. IV-A). The figure compares: Average, Moving average,
+//! Last value, Exp. Smoothing 25% / 50% / 75%, and Sliding window
+//! median.
+
+use crate::traits::Predictor;
+use std::collections::VecDeque;
+
+/// Predicts the last observed value (naïve / persistence forecast).
+#[derive(Debug, Clone, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl LastValue {
+    /// Creates the predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for LastValue {
+    fn name(&self) -> &str {
+        "Last value"
+    }
+    fn observe(&mut self, value: f64) {
+        self.last = Some(value);
+    }
+    fn predict(&self) -> f64 {
+        self.last.unwrap_or(0.0)
+    }
+    fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+/// Predicts the running mean of the entire history ("Average" in the
+/// paper's figures; performs poorly on non-stationary signals, which is
+/// exactly what Table V shows).
+#[derive(Debug, Clone, Default)]
+pub struct RunningAverage {
+    sum: f64,
+    n: u64,
+}
+
+impl RunningAverage {
+    /// Creates the predictor.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Predictor for RunningAverage {
+    fn name(&self) -> &str {
+        "Average"
+    }
+    fn observe(&mut self, value: f64) {
+        self.sum += value;
+        self.n += 1;
+    }
+    fn predict(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+    fn reset(&mut self) {
+        self.sum = 0.0;
+        self.n = 0;
+    }
+}
+
+/// Mean of the last `window` samples.
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: usize,
+    buf: VecDeque<f64>,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates a moving average over the given window length.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            buf: VecDeque::with_capacity(window),
+            sum: 0.0,
+        }
+    }
+}
+
+impl Predictor for MovingAverage {
+    fn name(&self) -> &str {
+        "Moving average"
+    }
+    fn observe(&mut self, value: f64) {
+        self.buf.push_back(value);
+        self.sum += value;
+        if self.buf.len() > self.window {
+            self.sum -= self.buf.pop_front().expect("non-empty");
+        }
+    }
+    fn predict(&self) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            self.sum / self.buf.len() as f64
+        }
+    }
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+    }
+}
+
+/// Median of the last `window` samples ("Sliding window median").
+#[derive(Debug, Clone)]
+pub struct SlidingWindowMedian {
+    window: usize,
+    buf: VecDeque<f64>,
+}
+
+impl SlidingWindowMedian {
+    /// Creates a sliding median over the given window length.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            buf: VecDeque::with_capacity(window),
+        }
+    }
+}
+
+impl Predictor for SlidingWindowMedian {
+    fn name(&self) -> &str {
+        "Sliding window median"
+    }
+    fn observe(&mut self, value: f64) {
+        self.buf.push_back(value);
+        if self.buf.len() > self.window {
+            self.buf.pop_front();
+        }
+    }
+    fn predict(&self) -> f64 {
+        if self.buf.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.buf.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        mmog_util::stats::quantile_sorted(&sorted, 0.5)
+    }
+    fn reset(&mut self) {
+        self.buf.clear();
+    }
+}
+
+/// Exponential smoothing: `s ← α·x + (1−α)·s`. The paper evaluates
+/// α ∈ {0.25, 0.5, 0.75} ("Exp. Smoothing 25% / 50% / 75%").
+#[derive(Debug, Clone)]
+pub struct ExpSmoothing {
+    alpha: f64,
+    state: Option<f64>,
+    name: String,
+}
+
+impl ExpSmoothing {
+    /// Creates exponential smoothing with factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Self {
+            alpha,
+            state: None,
+            name: format!("Exp. smoothing {:.0}%", alpha * 100.0),
+        }
+    }
+}
+
+impl Predictor for ExpSmoothing {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn observe(&mut self, value: f64) {
+        self.state = Some(match self.state {
+            None => value,
+            Some(s) => self.alpha * value + (1.0 - self.alpha) * s,
+        });
+    }
+    fn predict(&self) -> f64 {
+        self.state.unwrap_or(0.0)
+    }
+    fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+/// Holt's double exponential smoothing (level + trend) — an extension
+/// beyond the paper's baseline set, useful on ramping loads.
+#[derive(Debug, Clone)]
+pub struct Holt {
+    alpha: f64,
+    beta: f64,
+    state: Option<(f64, f64)>,
+}
+
+impl Holt {
+    /// Creates Holt smoothing with level factor `alpha` and trend factor
+    /// `beta`, both in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if either factor is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0,1]");
+        Self {
+            alpha,
+            beta,
+            state: None,
+        }
+    }
+}
+
+impl Predictor for Holt {
+    fn name(&self) -> &str {
+        "Holt"
+    }
+    fn observe(&mut self, value: f64) {
+        self.state = Some(match self.state {
+            None => (value, 0.0),
+            Some((level, trend)) => {
+                let new_level = self.alpha * value + (1.0 - self.alpha) * (level + trend);
+                let new_trend = self.beta * (new_level - level) + (1.0 - self.beta) * trend;
+                (new_level, new_trend)
+            }
+        });
+    }
+    fn predict(&self) -> f64 {
+        match self.state {
+            None => 0.0,
+            Some((level, trend)) => level + trend,
+        }
+    }
+    fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+/// Seasonal-naïve forecasting: predicts the value observed exactly one
+/// season ago, blended with the latest observation while the first
+/// season is still filling. MMOG populations are strongly diurnal
+/// (Figure 3's 24-hour autocorrelation peak), which makes the 720-tick
+/// season a natural extension beyond the paper's baseline set.
+#[derive(Debug, Clone)]
+pub struct SeasonalNaive {
+    period: usize,
+    history: VecDeque<f64>,
+    /// Blend factor towards the seasonal value once available: the
+    /// forecast is `blend·x[t−period] + (1−blend)·x[t−1]`, correcting
+    /// the season's shape by the current level.
+    blend: f64,
+}
+
+impl SeasonalNaive {
+    /// Creates a seasonal-naïve predictor with the given period (in
+    /// samples) and seasonal blend factor in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `period == 0` or `blend` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(period: usize, blend: f64) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!((0.0..=1.0).contains(&blend), "blend must be in [0,1]");
+        Self {
+            period,
+            history: VecDeque::with_capacity(period + 1),
+            blend,
+        }
+    }
+
+    /// One simulated day at the paper's 2-minute sampling, fully
+    /// seasonal.
+    #[must_use]
+    pub fn daily() -> Self {
+        Self::new(720, 0.7)
+    }
+}
+
+impl Predictor for SeasonalNaive {
+    fn name(&self) -> &str {
+        "Seasonal naive"
+    }
+    fn observe(&mut self, value: f64) {
+        self.history.push_back(value);
+        if self.history.len() > self.period {
+            self.history.pop_front();
+        }
+    }
+    fn predict(&self) -> f64 {
+        let Some(&last) = self.history.back() else {
+            return 0.0;
+        };
+        if self.history.len() < self.period {
+            return last;
+        }
+        // Front of the deque is exactly `period` samples back.
+        let seasonal = self.history[0];
+        self.blend * seasonal + (1.0 - self.blend) * last
+    }
+    fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::predictions_for;
+
+    #[test]
+    fn last_value_tracks_input() {
+        let mut p = LastValue::new();
+        assert_eq!(p.predict(), 0.0);
+        p.observe(5.0);
+        assert_eq!(p.predict(), 5.0);
+        p.observe(7.0);
+        assert_eq!(p.predict(), 7.0);
+        p.reset();
+        assert_eq!(p.predict(), 0.0);
+    }
+
+    #[test]
+    fn running_average_is_global_mean() {
+        let mut p = RunningAverage::new();
+        for x in [2.0, 4.0, 6.0] {
+            p.observe(x);
+        }
+        assert_eq!(p.predict(), 4.0);
+    }
+
+    #[test]
+    fn moving_average_windows() {
+        let mut p = MovingAverage::new(2);
+        for x in [1.0, 3.0, 5.0, 7.0] {
+            p.observe(x);
+        }
+        assert_eq!(p.predict(), 6.0); // mean of 5, 7
+        p.reset();
+        assert_eq!(p.predict(), 0.0);
+        p.observe(10.0);
+        assert_eq!(p.predict(), 10.0); // partial window
+    }
+
+    #[test]
+    fn sliding_median_robust_to_spike() {
+        let mut p = SlidingWindowMedian::new(5);
+        for x in [10.0, 10.0, 10.0, 1000.0, 10.0] {
+            p.observe(x);
+        }
+        assert_eq!(p.predict(), 10.0);
+    }
+
+    #[test]
+    fn sliding_median_even_window_interpolates() {
+        let mut p = SlidingWindowMedian::new(4);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            p.observe(x);
+        }
+        assert_eq!(p.predict(), 2.5);
+    }
+
+    #[test]
+    fn exp_smoothing_converges_to_constant() {
+        let mut p = ExpSmoothing::new(0.5);
+        for _ in 0..40 {
+            p.observe(8.0);
+        }
+        assert!((p.predict() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exp_smoothing_alpha_one_is_last_value() {
+        let mut p = ExpSmoothing::new(1.0);
+        p.observe(3.0);
+        p.observe(9.0);
+        assert_eq!(p.predict(), 9.0);
+    }
+
+    #[test]
+    fn exp_smoothing_lags_less_with_higher_alpha() {
+        // Step input: higher alpha adapts faster.
+        let series: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 100.0 }).collect();
+        let mut slow = ExpSmoothing::new(0.25);
+        let mut fast = ExpSmoothing::new(0.75);
+        for &x in &series {
+            slow.observe(x);
+            fast.observe(x);
+        }
+        assert!(fast.predict() > slow.predict());
+    }
+
+    #[test]
+    fn holt_extrapolates_trend() {
+        let mut p = Holt::new(0.8, 0.8);
+        for i in 0..50 {
+            p.observe(f64::from(i) * 2.0);
+        }
+        // Next value would be 100; Holt should be close, LastValue is 98.
+        assert!((p.predict() - 100.0).abs() < 2.0, "holt {}", p.predict());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(LastValue::new().name(), "Last value");
+        assert_eq!(RunningAverage::new().name(), "Average");
+        assert_eq!(ExpSmoothing::new(0.25).name(), "Exp. smoothing 25%");
+        assert_eq!(SlidingWindowMedian::new(3).name(), "Sliding window median");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = MovingAverage::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn bad_alpha_rejected() {
+        let _ = ExpSmoothing::new(0.0);
+    }
+
+
+    #[test]
+    fn seasonal_naive_repeats_the_season() {
+        // A strict 4-sample cycle is predicted perfectly once one full
+        // season has been observed (blend 1.0 = pure seasonal).
+        let cycle = [10.0, 20.0, 30.0, 40.0];
+        let mut p = SeasonalNaive::new(4, 1.0);
+        for &x in cycle.iter().cycle().take(4) {
+            p.observe(x);
+        }
+        for &expected in cycle.iter().cycle().take(12) {
+            assert_eq!(p.predict(), expected);
+            p.observe(expected);
+        }
+    }
+
+    #[test]
+    fn seasonal_naive_falls_back_to_last_value_early() {
+        let mut p = SeasonalNaive::new(10, 0.7);
+        assert_eq!(p.predict(), 0.0);
+        p.observe(5.0);
+        assert_eq!(p.predict(), 5.0);
+    }
+
+    #[test]
+    fn seasonal_blend_mixes_level_and_shape() {
+        let mut p = SeasonalNaive::new(2, 0.5);
+        p.observe(10.0); // seasonal slot
+        p.observe(20.0); // last value
+        // forecast = 0.5*10 + 0.5*20 = 15.
+        assert_eq!(p.predict(), 15.0);
+        p.reset();
+        assert_eq!(p.predict(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn seasonal_zero_period_rejected() {
+        let _ = SeasonalNaive::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "blend must be in")]
+    fn seasonal_bad_blend_rejected() {
+        let _ = SeasonalNaive::new(10, 1.5);
+    }
+
+    #[test]
+    fn prediction_alignment_via_helper() {
+        let mut p = LastValue::new();
+        let preds = predictions_for(&mut p, &[1.0, 2.0, 3.0]);
+        // Prediction for sample i is made before observing it.
+        assert_eq!(preds, vec![0.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,63 @@
+//! The one-step-ahead predictor interface.
+
+/// A one-step-ahead time-series predictor.
+///
+/// The paper's prediction loop runs every two simulated minutes: the
+/// predictor receives the newest sample via [`Predictor::observe`] and
+/// supplies the forecast for the next sample via [`Predictor::predict`].
+///
+/// Implementations must be deterministic given the same observation
+/// sequence (simulation results must be reproducible).
+pub trait Predictor {
+    /// Short display name ("Neural", "Last value", …).
+    fn name(&self) -> &str;
+
+    /// Feeds the newest observed sample.
+    fn observe(&mut self, value: f64);
+
+    /// Forecast of the next sample. With no history yet, implementations
+    /// return 0.0 (the provisioner treats that as "no demand signal").
+    fn predict(&self) -> f64;
+
+    /// Clears all history, returning the predictor to its initial state
+    /// (trained parameters, if any, are retained).
+    fn reset(&mut self);
+}
+
+/// Blanket helper: run a predictor over a series, collecting the
+/// prediction made *for* each sample (i.e. `out[i]` was produced before
+/// `series[i]` was observed).
+pub fn predictions_for<P: Predictor + ?Sized>(predictor: &mut P, series: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(series.len());
+    for &x in series {
+        out.push(predictor.predict());
+        predictor.observe(x);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal predictor for exercising the helper.
+    struct Zero;
+    impl Predictor for Zero {
+        fn name(&self) -> &str {
+            "zero"
+        }
+        fn observe(&mut self, _: f64) {}
+        fn predict(&self) -> f64 {
+            0.0
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn predictions_align_with_samples() {
+        let mut p = Zero;
+        let preds = predictions_for(&mut p, &[1.0, 2.0, 3.0]);
+        assert_eq!(preds, vec![0.0, 0.0, 0.0]);
+        assert_eq!(preds.len(), 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the predictors.
+
+use mmog_predict::ar::{autocovariance, levinson_durbin, ArPredictor};
+use mmog_predict::eval::prediction_error;
+use mmog_predict::preprocess::{poly_smooth, polyfit, polyval, Normalizer};
+use mmog_predict::simple::{
+    ExpSmoothing, Holt, LastValue, MovingAverage, RunningAverage, SeasonalNaive,
+    SlidingWindowMedian,
+};
+use mmog_predict::traits::{predictions_for, Predictor};
+use proptest::prelude::*;
+
+fn loads() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..10_000.0, 1..200)
+}
+
+fn all_simple() -> Vec<Box<dyn Predictor>> {
+    vec![
+        Box::new(LastValue::new()),
+        Box::new(RunningAverage::new()),
+        Box::new(MovingAverage::new(7)),
+        Box::new(SlidingWindowMedian::new(7)),
+        Box::new(ExpSmoothing::new(0.25)),
+        Box::new(ExpSmoothing::new(0.75)),
+        Box::new(Holt::new(0.5, 0.3)),
+        Box::new(ArPredictor::new(3, 16, 128)),
+        Box::new(SeasonalNaive::new(12, 0.7)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn predictions_are_finite_for_finite_inputs(xs in loads()) {
+        for mut p in all_simple() {
+            let preds = predictions_for(p.as_mut(), &xs);
+            prop_assert_eq!(preds.len(), xs.len());
+            for v in &preds {
+                prop_assert!(v.is_finite(), "{}: {v}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn reset_restores_cold_start(xs in loads()) {
+        for mut p in all_simple() {
+            for &x in &xs {
+                p.observe(x);
+            }
+            p.reset();
+            prop_assert_eq!(p.predict(), 0.0, "{} after reset", p.name());
+        }
+    }
+
+    #[test]
+    fn window_predictors_bounded_by_window_extremes(xs in prop::collection::vec(0.0f64..1e4, 8..100)) {
+        // Moving average and sliding median stay within the window's
+        // min..max once the window is full.
+        let mut ma = MovingAverage::new(5);
+        let mut med = SlidingWindowMedian::new(5);
+        for (i, &x) in xs.iter().enumerate() {
+            ma.observe(x);
+            med.observe(x);
+            if i >= 4 {
+                let window = &xs[i - 4..=i];
+                let lo = window.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = window.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(ma.predict() >= lo - 1e-9 && ma.predict() <= hi + 1e-9);
+                prop_assert!(med.predict() >= lo - 1e-9 && med.predict() <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn exp_smoothing_bounded_by_history_extremes(xs in loads(), alpha in 0.01f64..=1.0) {
+        let mut p = ExpSmoothing::new(alpha);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in &xs {
+            p.observe(x);
+            lo = lo.min(x);
+            hi = hi.max(x);
+            prop_assert!(p.predict() >= lo - 1e-9 && p.predict() <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn error_metric_zero_iff_perfect(xs in prop::collection::vec(1.0f64..1e4, 1..100)) {
+        prop_assert_eq!(prediction_error(&xs, &xs, 0), 0.0);
+        // Shifting every prediction strictly up yields positive error.
+        let shifted: Vec<f64> = xs.iter().map(|x| x + 1.0).collect();
+        prop_assert!(prediction_error(&xs, &shifted, 0) > 0.0);
+    }
+
+    #[test]
+    fn error_metric_scale_invariant(xs in prop::collection::vec(1.0f64..1e4, 2..100), k in 0.1f64..100.0) {
+        // Scaling both series by k leaves the relative error unchanged.
+        let preds: Vec<f64> = xs.iter().map(|x| x * 1.1).collect();
+        let e1 = prediction_error(&xs, &preds, 0);
+        let sx: Vec<f64> = xs.iter().map(|x| x * k).collect();
+        let sp: Vec<f64> = preds.iter().map(|x| x * k).collect();
+        let e2 = prediction_error(&sx, &sp, 0);
+        prop_assert!((e1 - e2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn polyfit_interpolates_exact_degree(coeffs in prop::collection::vec(-10.0f64..10.0, 1..4)) {
+        // Sample a polynomial exactly and refit: polyval must agree.
+        let ys: Vec<f64> = (0..10).map(|i| polyval(&coeffs, f64::from(i))).collect();
+        let fitted = polyfit(&ys, coeffs.len() - 1).unwrap();
+        for i in 0..10 {
+            let x = f64::from(i);
+            prop_assert!((polyval(&fitted, x) - ys[i as usize]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn poly_smooth_preserves_length(xs in prop::collection::vec(-1e3f64..1e3, 1..30), d in 0usize..4) {
+        prop_assert_eq!(poly_smooth(&xs, d).len(), xs.len());
+    }
+
+    #[test]
+    fn normalizer_round_trips(scale in 0.1f64..1e6, x in 0.0f64..1e6) {
+        let n = Normalizer::new(scale);
+        let y = n.norm(x);
+        prop_assert!((n.denorm(y) - x).abs() < 1e-6 * x.max(1.0));
+    }
+
+    #[test]
+    fn levinson_coefficients_are_finite(xs in prop::collection::vec(-1e3f64..1e3, 10..200), order in 1usize..6) {
+        let cov = autocovariance(&xs, order);
+        if let Some(phi) = levinson_durbin(&cov, order) {
+            prop_assert_eq!(phi.len(), order);
+            for c in &phi {
+                prop_assert!(c.is_finite());
+            }
+        }
+    }
+}

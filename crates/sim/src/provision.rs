@@ -1,0 +1,386 @@
+//! Per-server-group provisioning logic.
+//!
+//! Each server group of a running game is provisioned independently:
+//! its operator predicts the group's next-step player count, converts
+//! it into resource demand, and adjusts the group's leases — releasing
+//! matured surplus leases and requesting the deficit through the
+//! matching mechanism. Static provisioning (Sec. V-B's baseline) sizes
+//! the group once, at peak capacity, and never adjusts.
+
+use crate::demand::DemandModel;
+use mmog_datacenter::center::{DataCenter, Lease};
+use mmog_datacenter::matching::match_request;
+use mmog_datacenter::request::{OperatorId, ResourceRequest};
+use mmog_datacenter::resource::ResourceVector;
+use mmog_predict::traits::Predictor;
+use mmog_util::geo::{DistanceClass, GeoPoint};
+use mmog_util::time::SimTime;
+
+/// A lease held by a group, with the index of the granting center.
+#[derive(Debug, Clone, Copy)]
+pub struct HeldLease {
+    /// Index into the simulation's center list.
+    pub center: usize,
+    /// The lease (amounts, start, earliest release).
+    pub lease: Lease,
+}
+
+/// Outcome of one adjustment step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AdjustOutcome {
+    /// Leases released this step.
+    pub released: usize,
+    /// Leases granted this step.
+    pub granted: usize,
+    /// Whether part of the request could not be met anywhere.
+    pub unmet: bool,
+}
+
+/// Provisioning state for one server group.
+pub struct GroupProvisioner {
+    /// The operator identity used in leases (one per game × region, so
+    /// allocations can be attributed for Figures 13–14).
+    pub operator: OperatorId,
+    /// Where this group's players are.
+    pub origin: GeoPoint,
+    /// The game's latency tolerance.
+    pub tolerance: DistanceClass,
+    /// Player-count → demand conversion.
+    pub demand_model: DemandModel,
+    /// Multiplier on predicted demand (Sec. V-C suggests "a mechanism
+    /// that allocates more than the predicted volume" when even rare
+    /// under-allocations cannot be tolerated). 1.0 = allocate exactly
+    /// the prediction.
+    pub headroom: f64,
+    predictor: Box<dyn Predictor + Send>,
+    leases: Vec<HeldLease>,
+    allocated: ResourceVector,
+}
+
+impl GroupProvisioner {
+    /// Creates a provisioner with the given predictor.
+    #[must_use]
+    pub fn new(
+        operator: OperatorId,
+        origin: GeoPoint,
+        tolerance: DistanceClass,
+        demand_model: DemandModel,
+        headroom: f64,
+        predictor: Box<dyn Predictor + Send>,
+    ) -> Self {
+        Self {
+            operator,
+            origin,
+            tolerance,
+            demand_model,
+            headroom,
+            predictor,
+            leases: Vec::new(),
+            allocated: ResourceVector::ZERO,
+        }
+    }
+
+    /// Currently held amounts.
+    #[must_use]
+    pub fn allocated(&self) -> ResourceVector {
+        self.allocated
+    }
+
+    /// Number of live leases.
+    #[must_use]
+    pub fn lease_count(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Feeds the observed player count and returns the demand target
+    /// for the next step (predicted players → demand × headroom).
+    pub fn observe_and_target(&mut self, players_now: f64) -> ResourceVector {
+        self.predictor.observe(players_now);
+        let predicted = self.predictor.predict().max(0.0);
+        self.demand_model.demand(predicted) * self.headroom
+    }
+
+    /// The demand target for a fixed player count (static provisioning).
+    #[must_use]
+    pub fn static_target(&self, peak_players: f64) -> ResourceVector {
+        self.demand_model.demand(peak_players) * self.headroom
+    }
+
+    /// Adjusts held leases towards `target`: releases matured leases
+    /// wholly contained in the surplus, then requests any deficit.
+    pub fn adjust(
+        &mut self,
+        target: &ResourceVector,
+        centers: &mut [DataCenter],
+        now: SimTime,
+    ) -> AdjustOutcome {
+        let mut outcome = AdjustOutcome::default();
+
+        // Phase 1: release surplus. A lease is only released when the
+        // time bulk has matured AND dropping it cannot cause a deficit
+        // on any resource type.
+        let mut surplus = (self.allocated - *target).clamp_non_negative();
+        if !surplus.is_negligible(1e-9) {
+            // Oldest first: long-held leases matured first.
+            self.leases.sort_by_key(|h| h.lease.start);
+            let mut i = 0;
+            while i < self.leases.len() {
+                let held = self.leases[i];
+                let releasable = now >= held.lease.earliest_release
+                    && held.lease.amounts.fits_within(&surplus, 1e-9);
+                if releasable && centers[held.center].release(held.lease.id, now) {
+                    surplus = (surplus - held.lease.amounts).clamp_non_negative();
+                    self.allocated = (self.allocated - held.lease.amounts).clamp_non_negative();
+                    self.leases.swap_remove(i);
+                    outcome.released += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // Phase 1b: reshape. When the remaining surplus is locked inside
+        // one oversized lease (granted at a higher demand level), release
+        // it and let phase 2 re-request the smaller amount — but only if
+        // the re-granted bulk-rounded amounts would actually be smaller,
+        // so a stable target never churns. The re-grant is estimated at
+        // the finest bulk available anywhere on the platform: a coarse
+        // 12-hour lease taken during a spill-over must not survive just
+        // because its own center would re-round to the same size. One
+        // reshape per step bounds the lease turnover.
+        if !surplus.is_negligible(1e-6) {
+            // Finest per-resource bulk across the platform (None = some
+            // center grants this resource exactly).
+            let finest: [Option<f64>; 4] = {
+                let mut out = [None; 4];
+                for (slot, r) in out
+                    .iter_mut()
+                    .zip(mmog_datacenter::resource::ResourceType::ALL)
+                {
+                    let mut any_exact = false;
+                    let mut min_bulk = f64::INFINITY;
+                    for c in centers.iter() {
+                        match c.spec.policy.bulk(r) {
+                            None => any_exact = true,
+                            Some(b) => min_bulk = min_bulk.min(b),
+                        }
+                    }
+                    *slot = (!any_exact && min_bulk.is_finite()).then_some(min_bulk);
+                }
+                out
+            };
+            let finest_round = |v: &ResourceVector| {
+                v.map(|r, amount| {
+                    if amount <= 0.0 {
+                        return 0.0;
+                    }
+                    let idx = mmog_datacenter::resource::ResourceType::ALL
+                        .iter()
+                        .position(|t| *t == r)
+                        .expect("ALL is complete");
+                    match finest[idx] {
+                        None => amount,
+                        Some(b) => (amount / b).ceil() * b,
+                    }
+                })
+            };
+            let mut best: Option<(usize, f64)> = None;
+            for (i, held) in self.leases.iter().enumerate() {
+                if now < held.lease.earliest_release {
+                    continue;
+                }
+                let after_release = (self.allocated - held.lease.amounts).clamp_non_negative();
+                let deficit = (*target - after_release).clamp_non_negative();
+                let regrant = finest_round(&deficit);
+                let gain = held.lease.amounts.total() - regrant.total();
+                if gain > 1e-6 && best.is_none_or(|(_, g)| gain > g) {
+                    best = Some((i, gain));
+                }
+            }
+            if let Some((i, _)) = best {
+                let held = self.leases[i];
+                if centers[held.center].release(held.lease.id, now) {
+                    self.allocated = (self.allocated - held.lease.amounts).clamp_non_negative();
+                    self.leases.swap_remove(i);
+                    outcome.released += 1;
+                }
+            }
+        }
+
+        // Phase 2: request the deficit.
+        let deficit = (*target - self.allocated).clamp_non_negative();
+        if !deficit.is_negligible(1e-6) {
+            let request = ResourceRequest::new(self.operator, deficit, self.origin, self.tolerance);
+            let matched = match_request(centers, &request, now);
+            for grant in &matched.grants {
+                let lease = centers[grant.center_index]
+                    .leases()
+                    .iter()
+                    .find(|l| l.id == grant.lease)
+                    .copied()
+                    .expect("grant refers to a live lease");
+                self.allocated += grant.amounts;
+                self.leases.push(HeldLease {
+                    center: grant.center_index,
+                    lease,
+                });
+                outcome.granted += 1;
+            }
+            outcome.unmet = !matched.fully_met();
+        }
+        outcome
+    }
+}
+
+impl std::fmt::Debug for GroupProvisioner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupProvisioner")
+            .field("operator", &self.operator)
+            .field("allocated", &self.allocated)
+            .field("leases", &self.leases.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmog_datacenter::center::{DataCenterId, DataCenterSpec};
+    use mmog_datacenter::policy::HostingPolicy;
+    use mmog_predict::simple::LastValue;
+    use mmog_util::time::SimDuration;
+    use mmog_world::update::UpdateModel;
+
+    fn one_center(policy: HostingPolicy) -> Vec<DataCenter> {
+        vec![DataCenter::new(DataCenterSpec {
+            id: DataCenterId(0),
+            name: "dc".into(),
+            country: "X".into(),
+            continent: "Y".into(),
+            location: GeoPoint::new(50.0, 10.0),
+            machines: 20,
+            machine_capacity: DataCenterSpec::default_machine_capacity(),
+            policy,
+        })]
+    }
+
+    fn provisioner() -> GroupProvisioner {
+        GroupProvisioner::new(
+            OperatorId(1),
+            GeoPoint::new(50.0, 10.0),
+            DistanceClass::VeryFar,
+            DemandModel::paper(UpdateModel::Quadratic),
+            1.0,
+            Box::new(LastValue::new()),
+        )
+    }
+
+    #[test]
+    fn requests_cover_target() {
+        let mut centers = one_center(HostingPolicy::hp(5));
+        let mut p = provisioner();
+        let target = p.demand_model.demand(1500.0);
+        let out = p.adjust(&target, &mut centers, SimTime::ZERO);
+        assert!(out.granted > 0);
+        assert!(!out.unmet);
+        assert!(
+            target.fits_within(&p.allocated(), 1e-9),
+            "allocated covers target"
+        );
+    }
+
+    #[test]
+    fn surplus_released_after_time_bulk() {
+        let mut centers = one_center(HostingPolicy::hp(5)); // 180-min bulk
+        let mut p = provisioner();
+        let high = p.demand_model.demand(2000.0);
+        p.adjust(&high, &mut centers, SimTime::ZERO);
+        let held_at_peak = p.allocated();
+        // Demand collapses; before the bulk matures nothing can go.
+        let low = p.demand_model.demand(200.0);
+        let early = SimTime::from_minutes(60);
+        let out = p.adjust(&low, &mut centers, early);
+        assert_eq!(out.released, 0);
+        assert_eq!(p.allocated(), held_at_peak);
+        // After maturity the surplus leases drop.
+        let late = SimTime::from_minutes(200);
+        let out = p.adjust(&low, &mut centers, late);
+        assert!(out.released > 0);
+        assert!(p.allocated().cpu < held_at_peak.cpu);
+        // Still covering the low target.
+        assert!(low.fits_within(&p.allocated(), 1e-9));
+    }
+
+    #[test]
+    fn unmet_reported_when_platform_full() {
+        let mut centers = one_center(HostingPolicy::hp(5));
+        centers[0].spec.machines = 1; // 1.2 CPU units total
+        let mut p = provisioner();
+        let target = p.demand_model.demand(4000.0); // 4 CPU units
+        let out = p.adjust(&target, &mut centers, SimTime::ZERO);
+        assert!(out.unmet);
+        assert!(p.allocated().cpu < target.cpu);
+    }
+
+    #[test]
+    fn observe_and_target_uses_prediction() {
+        let mut p = provisioner();
+        // LastValue predictor: target equals demand(last observation).
+        let t1 = p.observe_and_target(1000.0);
+        let expected = p.demand_model.demand(1000.0);
+        assert!((t1.cpu - expected.cpu).abs() < 1e-12);
+        assert!((t1.ext_net_out - expected.ext_net_out).abs() < 1e-12);
+    }
+
+    #[test]
+    fn headroom_scales_target() {
+        let mut p = provisioner();
+        p.headroom = 1.25;
+        let t = p.observe_and_target(1000.0);
+        let base = p.demand_model.demand(1000.0);
+        assert!((t.cpu - base.cpu * 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn static_target_at_peak() {
+        let p = provisioner();
+        let t = p.static_target(2000.0);
+        assert!((t.cpu - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_adjust_converges_to_stable_leases() {
+        let mut centers = one_center(HostingPolicy::hp(5));
+        let mut p = provisioner();
+        let target = p.demand_model.demand(1000.0);
+        let mut now = SimTime::ZERO;
+        p.adjust(&target, &mut centers, now);
+        let after_first = p.lease_count();
+        for _ in 0..10 {
+            now += SimDuration::TICK;
+            let out = p.adjust(&target, &mut centers, now);
+            assert_eq!(out.granted, 0, "stable target must not re-request");
+            assert_eq!(out.released, 0);
+        }
+        assert_eq!(p.lease_count(), after_first);
+    }
+
+    #[test]
+    fn bundle_lease_with_huge_inbound_bulk_sticks() {
+        // HP-1's ExtNet[in] bulk of 6 units: the first lease bundles a
+        // 6-unit inbound grant which a small demand drop cannot release
+        // — the mechanism behind Table V's inflated ExtNet[in]
+        // over-allocation.
+        let mut centers = one_center(HostingPolicy::hp(1));
+        let mut p = provisioner();
+        let target = p.demand_model.demand(1500.0);
+        p.adjust(&target, &mut centers, SimTime::ZERO);
+        assert!((p.allocated().ext_net_in - 6.0).abs() < 1e-9);
+        // Demand halves; even after the time bulk, inbound stays at 6
+        // because releasing the bundle would drop CPU below target.
+        let lower = p.demand_model.demand(1200.0);
+        let later = SimTime::from_hours(7);
+        p.adjust(&lower, &mut centers, later);
+        assert!((p.allocated().ext_net_in - 6.0).abs() < 1e-9);
+    }
+}

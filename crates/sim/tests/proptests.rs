@@ -1,0 +1,141 @@
+//! Property-based tests for the provisioning simulator.
+
+use mmog_datacenter::center::{DataCenter, DataCenterId, DataCenterSpec};
+use mmog_datacenter::policy::HostingPolicy;
+use mmog_datacenter::request::OperatorId;
+use mmog_datacenter::resource::{ResourceType, ResourceVector};
+use mmog_predict::simple::LastValue;
+use mmog_sim::demand::DemandModel;
+use mmog_sim::metrics::MetricsCollector;
+use mmog_sim::provision::GroupProvisioner;
+use mmog_util::geo::{DistanceClass, GeoPoint};
+use mmog_util::time::{SimDuration, SimTime};
+use mmog_world::update::UpdateModel;
+use proptest::prelude::*;
+
+fn one_center(machines: u32, hp: usize) -> Vec<DataCenter> {
+    vec![DataCenter::new(DataCenterSpec {
+        id: DataCenterId(0),
+        name: "dc".into(),
+        country: "X".into(),
+        continent: "Y".into(),
+        location: GeoPoint::new(50.0, 10.0),
+        machines,
+        machine_capacity: DataCenterSpec::default_machine_capacity(),
+        policy: HostingPolicy::hp(hp),
+    })]
+}
+
+fn provisioner(model: UpdateModel) -> GroupProvisioner {
+    GroupProvisioner::new(
+        OperatorId(1),
+        GeoPoint::new(50.0, 10.0),
+        DistanceClass::VeryFar,
+        DemandModel::paper(model),
+        1.0,
+        Box::new(LastValue::new()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn demand_components_non_negative_and_monotone(
+        players_a in 0.0f64..3000.0,
+        delta in 0.0f64..1000.0,
+    ) {
+        for model in UpdateModel::ALL {
+            let dm = DemandModel::paper(model);
+            let lo = dm.demand(players_a);
+            let hi = dm.demand(players_a + delta);
+            for r in ResourceType::ALL {
+                prop_assert!(lo.get(r) >= 0.0);
+                prop_assert!(hi.get(r) + 1e-12 >= lo.get(r), "{model} {r} not monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn provisioner_allocation_always_matches_lease_ledger(
+        loads in prop::collection::vec(0.0f64..2200.0, 1..60),
+        hp in 1usize..12,
+    ) {
+        let mut centers = one_center(50, hp);
+        let mut p = provisioner(UpdateModel::Quadratic);
+        let mut now = SimTime::ZERO;
+        for &players in &loads {
+            let target = p.observe_and_target(players);
+            p.adjust(&target, &mut centers, now);
+            // The center's ledger for this operator must equal the
+            // provisioner's own bookkeeping.
+            let held = centers[0].held_by(OperatorId(1));
+            for r in ResourceType::ALL {
+                prop_assert!(
+                    (held.get(r) - p.allocated().get(r)).abs() < 1e-6,
+                    "{r}: ledger {} vs provisioner {}",
+                    held.get(r),
+                    p.allocated().get(r)
+                );
+            }
+            now += SimDuration::TICK;
+        }
+    }
+
+    #[test]
+    fn provisioner_covers_target_when_capacity_allows(
+        loads in prop::collection::vec(0.0f64..2000.0, 1..40),
+    ) {
+        // 100 machines >> 1 group's worst-case demand: every target must
+        // be fully covered right after adjustment.
+        let mut centers = one_center(100, 5);
+        let mut p = provisioner(UpdateModel::Quadratic);
+        let mut now = SimTime::ZERO;
+        for &players in &loads {
+            let target = p.observe_and_target(players);
+            let out = p.adjust(&target, &mut centers, now);
+            prop_assert!(!out.unmet);
+            prop_assert!(
+                target.fits_within(&p.allocated(), 1e-6),
+                "target {target} not covered by {}",
+                p.allocated()
+            );
+            now += SimDuration::TICK;
+        }
+    }
+
+    #[test]
+    fn metrics_under_is_never_positive_and_events_bounded(
+        samples in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..100),
+    ) {
+        let mut m = MetricsCollector::new();
+        for (i, &(alloc, demand)) in samples.iter().enumerate() {
+            let a = ResourceVector::new(alloc, 0.0, 0.0, 0.0);
+            let d = ResourceVector::new(demand, 0.0, 0.0, 0.0);
+            let shortfall = (a - d).min(&ResourceVector::ZERO);
+            m.record(SimTime(i as u64), &a, &d, &shortfall, 10.0);
+        }
+        prop_assert!(m.avg_under(ResourceType::Cpu) <= 1e-12);
+        prop_assert!(m.events() <= samples.len() as u64);
+        prop_assert_eq!(m.samples(), samples.len() as u64);
+        // Cumulative series is monotone and ends at the event count.
+        let series = m.cumulative_events();
+        for w in series.values().windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+        prop_assert_eq!(*series.values().last().unwrap(), m.events() as f64);
+    }
+
+    #[test]
+    fn static_sizing_covers_any_load_below_peak(
+        peak in 100.0f64..2500.0,
+        frac in 0.0f64..=1.0,
+    ) {
+        for model in UpdateModel::ALL {
+            let dm = DemandModel::paper(model);
+            let static_alloc = dm.demand(peak);
+            let actual = dm.demand(peak * frac);
+            prop_assert!(actual.fits_within(&static_alloc, 1e-9), "{model}");
+        }
+    }
+}

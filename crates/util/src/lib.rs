@@ -1,0 +1,32 @@
+//! Shared substrate for the `mmog-dc` workspace.
+//!
+//! This crate holds the domain-agnostic building blocks every other crate
+//! leans on:
+//!
+//! - [`rng`] — a deterministic, dependency-free pseudo-random toolkit
+//!   (SplitMix64 seeding, Xoshiro256++ core, and the distributions the
+//!   simulators need). Simulation results are bit-reproducible for a given
+//!   seed on every platform.
+//! - [`stats`] — descriptive statistics used by the workload analysis of
+//!   Section III of the paper: quantiles, IQR, autocorrelation, empirical
+//!   CDFs, histograms and online (Welford) accumulators.
+//! - [`series`] — fixed-interval time series (the paper samples everything
+//!   every two simulated minutes) with resampling and windowed operators.
+//! - [`geo`] — geographic coordinates and great-circle distances for the
+//!   latency-tolerance experiments of Section V-E.
+//! - [`time`] — simulation clock types ([`SimTime`], [`SimDuration`], ticks).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod geo;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+
+pub use geo::{DistanceClass, GeoPoint};
+pub use rng::Rng64;
+pub use series::TimeSeries;
+pub use stats::{OnlineStats, Summary};
+pub use time::{SimDuration, SimTime, TICK_MINUTES};

@@ -1,0 +1,168 @@
+//! Property-based tests for the statistics, RNG and series substrate.
+
+use mmog_util::rng::Rng64;
+use mmog_util::series::TimeSeries;
+use mmog_util::stats::{self, Ecdf, OnlineStats, Summary};
+use proptest::prelude::*;
+
+/// Strategy: non-empty vector of finite, reasonably sized floats.
+fn finite_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn quantile_stays_within_min_max(xs in finite_vec(), q in 0.0f64..=1.0) {
+        let v = stats::quantile(&xs, q).unwrap();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9, "{v} not in [{min}, {max}]");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(xs in finite_vec(), a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let va = stats::quantile(&xs, lo).unwrap();
+        let vb = stats::quantile(&xs, hi).unwrap();
+        prop_assert!(va <= vb + 1e-9);
+    }
+
+    #[test]
+    fn iqr_non_negative(xs in finite_vec()) {
+        prop_assert!(stats::iqr(&xs).unwrap() >= -1e-9);
+    }
+
+    #[test]
+    fn mean_between_min_and_max(xs in finite_vec()) {
+        let m = stats::mean(&xs).unwrap();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min - 1e-6 && m <= max + 1e-6);
+    }
+
+    #[test]
+    fn acf_lag_zero_is_one_when_defined(xs in prop::collection::vec(-1e3f64..1e3, 3..100)) {
+        let acf = stats::autocorrelation(&xs, 5);
+        if !acf.is_empty() {
+            prop_assert!((acf[0] - 1.0).abs() < 1e-9);
+            // Every normalized ACF value lies in [-1, 1] (plus slack).
+            for v in &acf {
+                prop_assert!(v.abs() <= 1.0 + 1e-6, "acf value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(xs in finite_vec(), probe in -1e6f64..1e6) {
+        let ecdf = Ecdf::new(xs);
+        let p = ecdf.eval(probe);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let p2 = ecdf.eval(probe + 1.0);
+        prop_assert!(p2 >= p);
+    }
+
+    #[test]
+    fn ecdf_inverse_round_trip(xs in finite_vec(), q in 0.01f64..=1.0) {
+        let ecdf = Ecdf::new(xs);
+        let x = ecdf.inverse(q).unwrap();
+        // P(X <= inverse(q)) >= q by definition of the quantile function.
+        prop_assert!(ecdf.eval(x) + 1e-9 >= q);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential(
+        a in prop::collection::vec(-1e4f64..1e4, 0..100),
+        b in prop::collection::vec(-1e4f64..1e4, 0..100),
+    ) {
+        let mut merged = OnlineStats::new();
+        let mut left = OnlineStats::new();
+        let mut right = OnlineStats::new();
+        for &x in &a {
+            merged.record(x);
+            left.record(x);
+        }
+        for &x in &b {
+            merged.record(x);
+            right.record(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), merged.count());
+        prop_assert!((left.mean() - merged.mean()).abs() < 1e-6);
+        prop_assert!((left.variance() - merged.variance()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn summary_orders_quartiles(xs in finite_vec()) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert_eq!(s.count, xs.len());
+    }
+
+    #[test]
+    fn rng_below_is_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = Rng64::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_range_f64_in_bounds(seed in any::<u64>(), lo in -1e5f64..1e5, width in 0.001f64..1e5) {
+        let mut rng = Rng64::seed_from(seed);
+        let hi = lo + width;
+        for _ in 0..50 {
+            let x = rng.range_f64(lo, hi);
+            prop_assert!(x >= lo && x < hi);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut xs in prop::collection::vec(0u32..1000, 0..50)) {
+        let mut rng = Rng64::seed_from(seed);
+        let mut original = xs.clone();
+        rng.shuffle(&mut xs);
+        original.sort_unstable();
+        xs.sort_unstable();
+        prop_assert_eq!(original, xs);
+    }
+
+    #[test]
+    fn series_downsample_preserves_mean(xs in finite_vec(), factor in 1usize..10) {
+        let s = TimeSeries::from_values(xs.clone());
+        let d = s.downsample_mean(factor);
+        // Each downsampled block mean lies within the block's min/max,
+        // so the global min/max bracket is preserved.
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for &v in d.values() {
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+        prop_assert_eq!(d.len(), xs.len().div_ceil(factor));
+    }
+
+    #[test]
+    fn series_smooth_is_bounded_by_input(xs in finite_vec(), hw in 0usize..8) {
+        let s = TimeSeries::from_values(xs.clone());
+        let sm = s.smooth(hw);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for &v in sm.values() {
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+    }
+
+    #[test]
+    fn aggregate_length_is_max_input_length(
+        a in prop::collection::vec(-1e3f64..1e3, 0..50),
+        b in prop::collection::vec(-1e3f64..1e3, 0..50),
+    ) {
+        let (la, lb) = (a.len(), b.len());
+        let sa = TimeSeries::from_values(a);
+        let sb = TimeSeries::from_values(b);
+        let agg = TimeSeries::aggregate([&sa, &sb]);
+        prop_assert_eq!(agg.len(), la.max(lb));
+    }
+}

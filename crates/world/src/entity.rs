@@ -1,0 +1,210 @@
+//! Game entities.
+//!
+//! Section II-A of the paper describes game worlds as "comprising various
+//! game objects (entities): in-game representation of the players
+//! (avatars), mobile entities that have the ability to act independently
+//! (bots or non-player characters (NPCs)), other entities that can be
+//! interacted with (mobiles), and immutable entities (decor)".
+
+use crate::profile::AiProfile;
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of an entity within one emulated game world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EntityId(pub u64);
+
+/// The entity taxonomy of Sec. II-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntityKind {
+    /// In-game representation of a human player.
+    Avatar,
+    /// Bot / non-player character able to act independently.
+    Npc,
+    /// Interactable object (loot, vendor stand, resource node, …).
+    Mobile,
+    /// Immutable scenery. Decor never moves and never interacts, but it
+    /// still occupies simulation state.
+    Decor,
+}
+
+impl EntityKind {
+    /// Whether entities of this kind move around the world.
+    #[must_use]
+    pub fn is_mobile(self) -> bool {
+        matches!(self, Self::Avatar | Self::Npc)
+    }
+
+    /// Whether entities of this kind participate in interactions (and
+    /// thus contribute to the interaction-driven load of Sec. III-D).
+    #[must_use]
+    pub fn interacts(self) -> bool {
+        !matches!(self, Self::Decor)
+    }
+}
+
+/// A 2-D position in world coordinates (the world is a `size × size`
+/// square; see [`crate::zone::ZoneGrid`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Position {
+    /// Horizontal coordinate in `[0, world_size)`.
+    pub x: f64,
+    /// Vertical coordinate in `[0, world_size)`.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another position.
+    #[must_use]
+    pub fn distance(&self, other: &Self) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Steps `frac` of the way towards `target` (0 = stay, 1 = arrive).
+    #[must_use]
+    pub fn lerp_towards(&self, target: &Self, frac: f64) -> Self {
+        let f = frac.clamp(0.0, 1.0);
+        Self {
+            x: self.x + (target.x - self.x) * f,
+            y: self.y + (target.y - self.y) * f,
+        }
+    }
+
+    /// Moves up to `step` world units towards `target`, stopping exactly
+    /// on it when closer than `step`.
+    #[must_use]
+    pub fn step_towards(&self, target: &Self, step: f64) -> Self {
+        let d = self.distance(target);
+        if d <= step || d == 0.0 {
+            *target
+        } else {
+            self.lerp_towards(target, step / d)
+        }
+    }
+
+    /// Clamps both coordinates into `[0, size)`.
+    #[must_use]
+    pub fn clamped(&self, size: f64) -> Self {
+        // Relative nudge: `size - EPSILON` equals `size` for size ≥ 2.
+        let hi = if size > 0.0 {
+            size * (1.0 - 1e-12)
+        } else {
+            0.0
+        };
+        Self {
+            x: self.x.clamp(0.0, hi),
+            y: self.y.clamp(0.0, hi),
+        }
+    }
+}
+
+/// A live entity in the emulated world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Entity {
+    /// Stable identifier.
+    pub id: EntityId,
+    /// Taxonomy kind.
+    pub kind: EntityKind,
+    /// Current position.
+    pub pos: Position,
+    /// The profile the entity prefers to play.
+    pub preferred_profile: AiProfile,
+    /// The profile currently in effect (entities switch dynamically).
+    pub active_profile: AiProfile,
+    /// Current movement target, if any.
+    pub target: Option<Position>,
+    /// Team index for team players (`None` otherwise).
+    pub team: Option<u32>,
+}
+
+impl Entity {
+    /// Creates an avatar with the given preferred profile at a position.
+    #[must_use]
+    pub fn avatar(id: EntityId, pos: Position, profile: AiProfile) -> Self {
+        Self {
+            id,
+            kind: EntityKind::Avatar,
+            pos,
+            preferred_profile: profile,
+            active_profile: profile,
+            target: None,
+            team: None,
+        }
+    }
+
+    /// Returns to the preferred profile (after a temporary switch).
+    pub fn revert_profile(&mut self) {
+        self.active_profile = self.preferred_profile;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(EntityKind::Avatar.is_mobile());
+        assert!(EntityKind::Npc.is_mobile());
+        assert!(!EntityKind::Mobile.is_mobile());
+        assert!(!EntityKind::Decor.is_mobile());
+        assert!(EntityKind::Avatar.interacts());
+        assert!(EntityKind::Mobile.interacts());
+        assert!(!EntityKind::Decor.interacts());
+    }
+
+    #[test]
+    fn distance_and_lerp() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        let mid = a.lerp_towards(&b, 0.5);
+        assert!((mid.x - 1.5).abs() < 1e-12 && (mid.y - 2.0).abs() < 1e-12);
+        // Clamped fractions.
+        assert_eq!(a.lerp_towards(&b, -1.0), a);
+        assert_eq!(a.lerp_towards(&b, 2.0), b);
+    }
+
+    #[test]
+    fn step_towards_arrives_exactly() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        let stepped = a.step_towards(&b, 10.0);
+        assert_eq!(stepped, b);
+        let partial = a.step_towards(&b, 2.5);
+        assert!((a.distance(&partial) - 2.5).abs() < 1e-12);
+        // Zero distance: no NaN.
+        let same = b.step_towards(&b, 1.0);
+        assert_eq!(same, b);
+    }
+
+    #[test]
+    fn clamp_keeps_position_in_world() {
+        let p = Position::new(-5.0, 150.0).clamped(100.0);
+        assert_eq!(p.x, 0.0);
+        assert!(p.y < 100.0);
+    }
+
+    #[test]
+    fn avatar_starts_with_preferred_profile() {
+        let e = Entity::avatar(EntityId(1), Position::new(1.0, 2.0), AiProfile::Scout);
+        assert_eq!(e.active_profile, AiProfile::Scout);
+        assert_eq!(e.kind, EntityKind::Avatar);
+        assert!(e.team.is_none());
+    }
+
+    #[test]
+    fn revert_profile_restores_preference() {
+        let mut e = Entity::avatar(EntityId(1), Position::default(), AiProfile::Camper);
+        e.active_profile = AiProfile::Aggressive;
+        e.revert_profile();
+        assert_eq!(e.active_profile, AiProfile::Camper);
+    }
+}

@@ -1,0 +1,48 @@
+//! Game-world emulator for MMOG workload generation.
+//!
+//! This crate is the reproduction of the paper's "distributed game
+//! emulator" (Sec. IV-D.1): the authors had no access to the RuneScape
+//! server code, so they built an emulator that "supports the concept of
+//! sub-zones and realistically emulates the behavior of the game players",
+//! and used it to generate the eight trace data sets of Table I on which
+//! the predictors of Section IV are compared.
+//!
+//! The pieces:
+//!
+//! - [`entity`] — game entities: avatars, NPCs, mobiles and decor
+//!   (Sec. II-A's entity taxonomy), with position and motion state.
+//! - [`profile`] — the four AI profiles (aggressive / scout / team player
+//!   / camper) matching Bartle's achiever / explorer / socializer /
+//!   killer archetypes, including the dynamic profile switching the paper
+//!   describes ("each entity has its own preferred profile, but can
+//!   change the profiles dynamically during the emulation").
+//! - [`zone`] — the game world partitioned into a grid of sub-zones with
+//!   entity-count maps ("the overall entity distribution in the entire
+//!   game world consists of a map of entity counts for each sub-zone",
+//!   Sec. IV-B) and area-of-interest neighbourhood queries.
+//! - [`interaction`] — interaction counting between entities, exact
+//!   (radius-based, via the zone grid) and per-sub-zone approximations.
+//! - [`update`] — the update-cost models `O(n)` … `O(n³)` and their
+//!   area-of-interest-reduced variants (Sec. II-A).
+//! - [`emulator`] — the time-stepped emulator producing entity-count
+//!   distributions every two simulated minutes.
+//! - [`config`] — emulator parameters, including the eight Table I
+//!   presets.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod emulator;
+pub mod entity;
+pub mod interaction;
+pub mod profile;
+pub mod update;
+pub mod zone;
+
+pub use config::{DynamicsLevel, EmulatorConfig, TraceSet};
+pub use emulator::{EmulatorOutput, GameEmulator, WorldSnapshot};
+pub use entity::{Entity, EntityId, EntityKind};
+pub use profile::{AiProfile, ProfileMix};
+pub use update::UpdateModel;
+pub use zone::{SubZoneId, ZoneGrid};

@@ -1,0 +1,104 @@
+//! Property-based tests for the game-world substrate.
+
+use mmog_world::entity::Position;
+use mmog_world::interaction::{count_pairs_exact, count_pairs_subzone};
+use mmog_world::update::UpdateModel;
+use mmog_world::zone::ZoneGrid;
+use proptest::prelude::*;
+
+fn positions(world: f64) -> impl Strategy<Value = Vec<Position>> {
+    prop::collection::vec(
+        (0.0..world, 0.0..world).prop_map(|(x, y)| Position::new(x, y)),
+        0..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn locate_always_in_grid(x in -500.0f64..1500.0, y in -500.0f64..1500.0, grid in 1u32..32) {
+        let g = ZoneGrid::new(1000.0, grid);
+        let z = g.locate(&Position::new(x, y));
+        prop_assert!((z.0 as usize) < g.sub_zone_count());
+    }
+
+    #[test]
+    fn count_map_conserves_entities(ps in positions(1000.0), grid in 1u32..16) {
+        let g = ZoneGrid::new(1000.0, grid);
+        let counts = g.count_map(&ps);
+        let total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        prop_assert_eq!(total, ps.len() as u64);
+    }
+
+    #[test]
+    fn exact_pairs_match_brute_force(ps in positions(100.0), radius in 0.0f64..60.0) {
+        let g = ZoneGrid::new(100.0, 8);
+        let fast = count_pairs_exact(&g, &ps, radius);
+        let r2 = radius * radius;
+        let mut brute = 0u64;
+        for i in 0..ps.len() {
+            for j in i + 1..ps.len() {
+                let dx = ps[i].x - ps[j].x;
+                let dy = ps[i].y - ps[j].y;
+                if dx * dx + dy * dy <= r2 {
+                    brute += 1;
+                }
+            }
+        }
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn exact_pairs_monotone_in_radius(ps in positions(100.0), r1 in 0.0f64..30.0, dr in 0.0f64..30.0) {
+        let g = ZoneGrid::new(100.0, 6);
+        let small = count_pairs_exact(&g, &ps, r1);
+        let large = count_pairs_exact(&g, &ps, r1 + dr);
+        prop_assert!(large >= small);
+    }
+
+    #[test]
+    fn subzone_pairs_bounded_by_total_pairs(counts in prop::collection::vec(0u32..100, 0..50)) {
+        let n: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        let pairs = count_pairs_subzone(&counts);
+        // Co-located pairs can never exceed all-pairs over the total
+        // population.
+        prop_assert!(pairs <= n.saturating_mul(n.saturating_sub(1)) / 2);
+    }
+
+    #[test]
+    fn update_costs_non_negative_and_ordered(n in 0.0f64..10_000.0) {
+        let mut prev = -1.0;
+        for m in UpdateModel::ALL {
+            let c = m.cost(n);
+            prop_assert!(c >= 0.0);
+            prop_assert!(c.is_finite());
+            // For n >= 2 complexity classes are strictly ordered.
+            if n >= 2.0 {
+                prop_assert!(c > prev, "{m} cost {c} <= previous {prev} at n={n}");
+            }
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn aoi_reduction_never_increases_cost(n in 0.0f64..10_000.0) {
+        for m in UpdateModel::ALL {
+            prop_assert!(m.aoi_reduced().cost(n) <= m.cost(n) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn neighborhood_contains_self_and_is_unique(
+        grid in 1u32..12,
+        cell in 0u32..144,
+        radius in 0u32..5,
+    ) {
+        let g = ZoneGrid::new(120.0, grid);
+        let z = mmog_world::zone::SubZoneId(cell % (grid * grid));
+        let hood = g.neighborhood(z, radius);
+        prop_assert!(hood.contains(&z));
+        let mut sorted = hood.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), hood.len(), "duplicates in neighborhood");
+    }
+}

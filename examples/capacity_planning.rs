@@ -1,0 +1,66 @@
+//! Capacity planning: which hosting policy should a game operator rent
+//! under, and how much headroom should it add on top of the prediction?
+//!
+//! Sweeps the Table IV policies and a headroom factor for an O(n²) MMOG
+//! and prints the over-allocation / disruption-event trade-off — the
+//! decision a real operator faces when choosing among hosters.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use mmog_dc::prelude::*;
+use mmog_dc::sim::scenario;
+
+fn main() {
+    let opts = ScenarioOpts {
+        days: 3,
+        seed: 7,
+        group_cap: Some(8),
+    };
+
+    println!("Sweep 1: hosting policy (headroom fixed at 1.0)\n");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>10} {:>8}",
+        "Policy", "CPU bulk", "Lease [h]", "Over CPU [%]", "Under [%]", "Events"
+    );
+    for n in 3..=11 {
+        let policy = HostingPolicy::hp(n);
+        let bulk = policy.bulk(ResourceType::Cpu).unwrap_or(0.0);
+        let hours = policy.time_bulk.hours();
+        let report = Simulation::new(scenario::policy_impact(policy, &opts)).run();
+        println!(
+            "{:<8} {:>10.2} {:>10.0} {:>12.1} {:>10.3} {:>8}",
+            format!("HP-{n}"),
+            bulk,
+            hours,
+            report.metrics.avg_over(ResourceType::Cpu),
+            report.metrics.avg_under(ResourceType::Cpu),
+            report.metrics.events()
+        );
+    }
+
+    println!("\nSweep 2: headroom on the predicted demand (policy HP-5)\n");
+    println!(
+        "{:<10} {:>12} {:>10} {:>8}",
+        "Headroom", "Over CPU [%]", "Under [%]", "Events"
+    );
+    for headroom in [1.0, 1.05, 1.1, 1.2, 1.35, 1.5] {
+        let mut cfg = scenario::policy_impact(HostingPolicy::hp(5), &opts);
+        for g in &mut cfg.games {
+            g.headroom = headroom;
+        }
+        let report = Simulation::new(cfg).run();
+        println!(
+            "{:<10.2} {:>12.1} {:>10.3} {:>8}",
+            headroom,
+            report.metrics.avg_over(ResourceType::Cpu),
+            report.metrics.avg_under(ResourceType::Cpu),
+            report.metrics.events()
+        );
+    }
+
+    println!(
+        "\nReading the tables: finer CPU bulks and shorter leases cut the\n\
+         over-allocation; headroom buys down disruption events at a linear\n\
+         over-allocation cost (Sec. V-C/V-D of the paper)."
+    );
+}

@@ -1,0 +1,42 @@
+//! Multi-game hosting: three MMOGs of different genres sharing one data
+//! center federation (the Sec. V-F ecosystem).
+//!
+//! MMOG A is a slow-paced RPG (O(n·log n) interactions), MMOG B a
+//! standard MMORPG (O(n²)), MMOG C a battle-heavy world (O(n²·log n)).
+//! The example runs three workload mixes and shows that the platform's
+//! efficiency is set by its biggest consumer.
+//!
+//! Run with: `cargo run --release --example multi_game_hosting`
+
+use mmog_dc::prelude::*;
+use mmog_dc::sim::scenario::{multi_mmog, ScenarioOpts as SimScenarioOpts};
+
+fn main() {
+    let opts = SimScenarioOpts {
+        days: 3,
+        seed: 21,
+        group_cap: Some(6),
+    };
+    println!(
+        "{:<14} {:>12} {:>12} {:>8} {:>8}",
+        "Mix A/B/C [%]", "Over CPU [%]", "Under [%]", "Events", "Unmet"
+    );
+    for mix in [[100.0, 0.0, 0.0], [33.0, 33.0, 33.0], [0.0, 0.0, 100.0]] {
+        let report = Simulation::new(multi_mmog(mix, &opts)).run();
+        println!(
+            "{:<14} {:>12.1} {:>12.3} {:>8} {:>8}",
+            format!("{:.0}/{:.0}/{:.0}", mix[0], mix[1], mix[2]),
+            report.metrics.avg_over(ResourceType::Cpu),
+            report.metrics.avg_under(ResourceType::Cpu),
+            report.metrics.events(),
+            report.unmet_steps
+        );
+    }
+    println!(
+        "\nA pure-A (low-interaction) workload provisions much tighter; once a\n\
+         compute-hungry B/C game enters the mix, the ecosystem's efficiency is\n\
+         set by that biggest consumer (Table VII of the paper). Game operators\n\
+         of type-A games may prefer their own infrastructure — or, as the paper\n\
+         suggests for future work, request prioritisation by interaction type."
+    );
+}

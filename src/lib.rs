@@ -1,0 +1,28 @@
+//! `mmog-dc` — umbrella crate for the SC'08 MMOG resource-provisioning
+//! reproduction.
+//!
+//! This crate re-exports the whole workspace so downstream users can add
+//! one dependency and reach every subsystem:
+//!
+//! - [`core`] / [`prelude`] — the high-level ecosystem API (start here),
+//! - [`world`] — the game-world emulator,
+//! - [`workload`] — trace synthesis and analysis,
+//! - [`predict`] — load predictors including the neural network,
+//! - [`datacenter`] — data centers, hosting policies, matching,
+//! - [`sim`] — the trace-driven provisioning simulator,
+//! - [`util`] — RNG, statistics, time series, geography.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use mmog_core as core;
+pub use mmog_datacenter as datacenter;
+pub use mmog_predict as predict;
+pub use mmog_sim as sim;
+pub use mmog_util as util;
+pub use mmog_workload as workload;
+pub use mmog_world as world;
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use mmog_core::prelude::*;
+}

@@ -1,0 +1,219 @@
+//! Shape-level assertions for the paper's headline claims, at test
+//! scale. The full-scale numbers live in EXPERIMENTS.md; these tests
+//! pin the *directions* so regressions in any crate surface here.
+
+use mmog_dc::predict::eval::{evaluate_accuracy, PredictorKind};
+use mmog_dc::prelude::*;
+use mmog_dc::util::stats;
+use mmog_dc::util::time::TICKS_PER_DAY;
+use mmog_dc::workload::analysis;
+use mmog_dc::workload::growth;
+use mmog_dc::workload::packets;
+use mmog_dc::world::{GameEmulator, TraceSet};
+
+/// Sec. III-B / Figure 2: the population events reshape the global
+/// series the way the paper describes.
+#[test]
+fn figure2_mass_quit_and_surge() {
+    let mut cfg = RuneScapeConfig::with_figure2_events(24, 1, 8);
+    cfg.regions.truncate(1);
+    cfg.regions[0].groups = 8;
+    let trace = generate(&cfg);
+    let daily = trace
+        .global_series()
+        .downsample_mean(TICKS_PER_DAY as usize);
+    let v = daily.values();
+    let baseline = v[..7].iter().sum::<f64>() / 7.0;
+    let crash = v[8..11].iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    let surge = v[16..22].iter().fold(0.0f64, |a, &b| a.max(b));
+    assert!(
+        crash < 0.88 * baseline,
+        "crash {crash} vs baseline {baseline}"
+    );
+    assert!(
+        surge > 1.05 * baseline,
+        "surge {surge} vs baseline {baseline}"
+    );
+}
+
+/// Sec. III-C / Figure 3: the diurnal cycle at lag 720 with the
+/// negative peak at lag 360.
+#[test]
+fn figure3_acf_structure() {
+    let opts = ScenarioOpts {
+        days: 5,
+        seed: 2,
+        group_cap: Some(6),
+    };
+    let trace = standard_trace(&opts);
+    let region = &trace.regions[0];
+    let acfs = analysis::acf_per_group(region, TICKS_PER_DAY as usize + 10);
+    let day_lag = TICKS_PER_DAY as usize;
+    let mut cyclic = 0;
+    for acf in &acfs {
+        if acf.len() > day_lag && acf[day_lag] > 0.4 && acf[day_lag / 2] < 0.0 {
+            cyclic += 1;
+        }
+    }
+    assert!(
+        cyclic as f64 >= 0.5 * acfs.len() as f64,
+        "only {cyclic}/{} groups show the 24h/12h ACF structure",
+        acfs.len()
+    );
+}
+
+/// Sec. III-D / Figure 4: interaction type orders the packet traces.
+#[test]
+fn figure4_packet_orderings() {
+    let traces = packets::generate_all(4000, 3);
+    let med_iat = |n: &str| {
+        traces
+            .iter()
+            .find(|t| t.name == n)
+            .unwrap()
+            .iat_ecdf()
+            .inverse(0.5)
+            .unwrap()
+    };
+    let med_len = |n: &str| {
+        traces
+            .iter()
+            .find(|t| t.name == n)
+            .unwrap()
+            .length_ecdf()
+            .inverse(0.5)
+            .unwrap()
+    };
+    // Fast-paced low IAT regardless of crowding.
+    assert!(med_iat("Trace 1") < med_iat("Trace 2"));
+    assert!(med_iat("Trace 6") < med_iat("Trace 3"));
+    // T2/T7 similar sizes, T7 faster.
+    assert!((med_len("Trace 2") - med_len("Trace 7")).abs() < 0.15 * med_len("Trace 2"));
+    assert!(med_iat("Trace 7") < med_iat("Trace 2"));
+    // Group play: biggest packets, smallest IAT.
+    assert!(med_len("Trace 4") > med_len("Trace 1"));
+    assert!(med_iat("Trace 4") <= med_iat("Trace 1"));
+}
+
+/// Figure 1: six titles above 500k players in 2008 and a growing
+/// market.
+#[test]
+fn figure1_market_shape() {
+    let roster = growth::title_roster();
+    assert_eq!(growth::titles_over(&roster, 2008.0, 0.5).len(), 6);
+    assert!(
+        growth::total_subscribers(&roster, 2008.0) > growth::total_subscribers(&roster, 2003.0)
+    );
+}
+
+/// Figure 5: the neural predictor leads the pack on emulated data, and
+/// the Average predictor trails badly.
+#[test]
+fn figure5_neural_wins_average_loses() {
+    // A peak-hours set exposes the Average predictor's inability to
+    // track the diurnal swing (the Table V "poor performance class").
+    let run = GameEmulator::run(TraceSet::Set5.config(), 4, 2 * TICKS_PER_DAY as usize);
+    let series = run.total_series().into_values();
+    let results = evaluate_accuracy(&series, &PredictorKind::FIGURE5, 0.5);
+    let err = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.error_pct)
+            .unwrap()
+    };
+    assert!(
+        err("Neural") < err("Average") / 2.0,
+        "neural should crush Average"
+    );
+    assert!(
+        err("Neural") < err("Last value") * 1.05,
+        "neural ~beats last value"
+    );
+}
+
+/// Sec. V-C / Table VI: static over-allocation grows with the update
+/// model's complexity.
+#[test]
+fn table6_static_cost_grows_with_interaction_complexity() {
+    use mmog_dc::sim::scenario::interaction_impact;
+    let opts = ScenarioOpts {
+        days: 1,
+        seed: 5,
+        group_cap: Some(3),
+    };
+    let over = |model: UpdateModel| {
+        let mut cfg = interaction_impact(model, AllocationMode::Static, &opts);
+        for g in &mut cfg.games {
+            g.predictor = PredictorKind::LastValue;
+        }
+        cfg.train_ticks = 0;
+        Simulation::new(cfg)
+            .run()
+            .metrics
+            .avg_over(ResourceType::Cpu)
+    };
+    let linear = over(UpdateModel::Linear);
+    let quad = over(UpdateModel::Quadratic);
+    let cubic = over(UpdateModel::Cubic);
+    assert!(linear < quad && quad < cubic, "{linear} {quad} {cubic}");
+}
+
+/// Sec. V-D / Figure 11: coarser CPU bulks raise over-allocation.
+#[test]
+fn figure11_bulk_direction() {
+    use mmog_dc::sim::scenario::policy_impact;
+    let opts = ScenarioOpts {
+        days: 1,
+        seed: 7,
+        group_cap: Some(3),
+    };
+    let over = |hp: usize| {
+        let mut cfg = policy_impact(HostingPolicy::hp(hp), &opts);
+        for g in &mut cfg.games {
+            g.predictor = PredictorKind::LastValue;
+        }
+        cfg.train_ticks = 0;
+        Simulation::new(cfg)
+            .run()
+            .metrics
+            .avg_over(ResourceType::Cpu)
+    };
+    assert!(over(3) < over(7), "HP-3 (fine) must beat HP-7 (coarse)");
+}
+
+/// Sec. V-D / Figure 12: longer time bulks raise over-allocation.
+#[test]
+fn figure12_time_bulk_direction() {
+    use mmog_dc::sim::scenario::policy_impact;
+    let opts = ScenarioOpts {
+        days: 2,
+        seed: 9,
+        group_cap: Some(3),
+    };
+    let over = |hp: usize| {
+        let mut cfg = policy_impact(HostingPolicy::hp(hp), &opts);
+        for g in &mut cfg.games {
+            g.predictor = PredictorKind::LastValue;
+        }
+        cfg.train_ticks = 0;
+        Simulation::new(cfg)
+            .run()
+            .metrics
+            .avg_over(ResourceType::Cpu)
+    };
+    assert!(over(5) < over(11), "3h lease must beat 48h lease");
+}
+
+/// Table I: the emulator's signal types separate as classified.
+#[test]
+fn table1_signal_types_separate() {
+    let inst = |set: TraceSet| {
+        let run = GameEmulator::run(set.config(), 11, TICKS_PER_DAY as usize);
+        let pairs = run.interaction_series();
+        let diffs: Vec<f64> = pairs.diff().values().iter().map(|d| d.abs()).collect();
+        stats::mean(&diffs).unwrap() / pairs.mean().unwrap().max(1.0)
+    };
+    // Type I (Set 3) must be more instantaneous-dynamic than Type II (Set 7).
+    assert!(inst(TraceSet::Set3) > inst(TraceSet::Set7));
+}

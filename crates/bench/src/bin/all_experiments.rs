@@ -5,6 +5,13 @@
 //! experiment then regenerates its figure/table (see DESIGN.md §4 for
 //! the experiment index). Pass `--quick` for a smoke-scale run or
 //! `--days N --cap N` for custom scales.
+//!
+//! The 18 experiments are independent (each builds its workload through
+//! the shared process-wide cache), so they fan out across `--jobs N`
+//! worker threads (default: all logical CPUs; `--jobs 1` reproduces the
+//! serial path). Reports are collected in suite order and printed and
+//! written exactly as the serial runner did — byte-identical output for
+//! any job count. Wall-clock timings land in `results/BENCH_parallel.json`.
 
 use mmog_bench::experiments as exp;
 use mmog_bench::RunOpts;
@@ -22,14 +29,50 @@ V-E      dynamic       Neural      O(n^2)         east/west ALL      one
 V-F      dynamic       Neural      O(n^2) mix     optimal   none     SEVERAL
 ";
 
+/// Renders the timing report as JSON (the workspace's serde is an
+/// offline no-op shim, so the handful of fields are formatted by hand).
+fn timing_json(opts: &RunOpts, cores: usize, timings: &[(&str, f64)], wall_seconds: f64) -> String {
+    let serial_sum: f64 = timings.iter().map(|(_, s)| s).sum();
+    let speedup = if wall_seconds > 0.0 {
+        serial_sum / wall_seconds
+    } else {
+        1.0
+    };
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"jobs\": {},\n", mmog_par::jobs()));
+    out.push_str(&format!("  \"logical_cpus\": {cores},\n"));
+    out.push_str(&format!(
+        "  \"scale\": {{\"days\": {}, \"cap\": {}, \"seed\": {}}},\n",
+        opts.days,
+        opts.cap.map_or("null".to_string(), |c| c.to_string()),
+        opts.seed
+    ));
+    out.push_str("  \"experiments\": [\n");
+    for (i, (name, secs)) in timings.iter().enumerate() {
+        let comma = if i + 1 == timings.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"seconds\": {secs:.3}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"experiment_seconds_sum\": {serial_sum:.3},\n"));
+    out.push_str(&format!("  \"wall_seconds\": {wall_seconds:.3},\n"));
+    out.push_str(&format!("  \"speedup_vs_serial_sum\": {speedup:.2}\n"));
+    out.push_str("}\n");
+    out
+}
+
 fn main() {
     let opts = RunOpts::from_args();
     let out_dir = Path::new("results");
     fs::create_dir_all(out_dir).expect("cannot create results/");
     println!("{TABLE2}");
     println!(
-        "Running the full suite at scale: {} days, group cap {:?}, seed {}\n",
-        opts.days, opts.cap, opts.seed
+        "Running the full suite at scale: {} days, group cap {:?}, seed {} ({} jobs)\n",
+        opts.days,
+        opts.cap,
+        opts.seed,
+        mmog_par::jobs()
     );
 
     let experiments: Vec<(&str, fn(&RunOpts) -> String)> = vec![
@@ -59,13 +102,33 @@ fn main() {
         ("ablation_priority", exp::ablation_priority),
     ];
 
-    for (name, f) in experiments {
+    // Fan the suite out; results come back in suite order regardless of
+    // completion order, so printing and files match the serial runner.
+    let suite_start = Instant::now();
+    let reports: Vec<(String, f64)> = mmog_par::par_map(&experiments, |&(_, f)| {
         let start = Instant::now();
         let report = f(&opts);
-        let elapsed = start.elapsed();
+        (report, start.elapsed().as_secs_f64())
+    });
+    let wall_seconds = suite_start.elapsed().as_secs_f64();
+
+    let mut timings: Vec<(&str, f64)> = Vec::with_capacity(experiments.len());
+    for ((name, _), (report, secs)) in experiments.iter().zip(&reports) {
         let path = out_dir.join(format!("{name}.txt"));
-        fs::write(&path, &report).expect("cannot write report");
-        println!("== {name} ({elapsed:.1?}) -> {}", path.display());
+        fs::write(&path, report).expect("cannot write report");
+        println!("== {name} ({secs:.1}s) -> {}", path.display());
         println!("{report}");
+        timings.push((name, *secs));
     }
+
+    let cores = mmog_par::available_jobs();
+    let json = timing_json(&opts, cores, &timings, wall_seconds);
+    let bench_path = out_dir.join("BENCH_parallel.json");
+    fs::write(&bench_path, &json).expect("cannot write timing report");
+    println!(
+        "== suite wall time {wall_seconds:.1}s over {} experiments ({} jobs, {cores} CPUs) -> {}",
+        timings.len(),
+        mmog_par::jobs(),
+        bench_path.display()
+    );
 }

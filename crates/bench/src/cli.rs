@@ -11,6 +11,9 @@ pub struct RunOpts {
     pub cap: Option<u32>,
     /// Deterministic seed.
     pub seed: u64,
+    /// Worker threads for the parallel execution layer (0 = all
+    /// logical CPUs; 1 = fully serial, bit-identical reference path).
+    pub jobs: usize,
 }
 
 impl Default for RunOpts {
@@ -19,19 +22,32 @@ impl Default for RunOpts {
             days: 14,
             cap: None,
             seed: 2008,
+            jobs: 0,
         }
     }
 }
 
 impl RunOpts {
-    /// Parses `--days N`, `--cap N`, `--seed N`, `--quick` from the
-    /// process arguments. `--quick` is shorthand for a 3-day, 6-group
+    /// Parses `--days N`, `--cap N`, `--seed N`, `--jobs N`, `--quick`
+    /// from the process arguments and applies `--jobs` to the global
+    /// parallelism setting. `--quick` is shorthand for a 3-day, 6-group
     /// smoke run. Unknown flags are ignored so binaries stay composable.
     #[must_use]
     pub fn from_args() -> Self {
+        let opts = Self::parse(std::env::args().skip(1));
+        opts.apply_jobs();
+        opts
+    }
+
+    /// Parses flags from an explicit argument list (testable core of
+    /// [`from_args`]; does not touch global state).
+    ///
+    /// [`from_args`]: Self::from_args
+    #[must_use]
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
         let mut opts = Self::default();
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
+        let args: Vec<String> = args.into_iter().collect();
+        let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--quick" => {
@@ -50,11 +66,21 @@ impl RunOpts {
                     opts.seed = args[i + 1].parse().unwrap_or(opts.seed);
                     i += 1;
                 }
+                "--jobs" if i + 1 < args.len() => {
+                    opts.jobs = args[i + 1].parse().unwrap_or(opts.jobs);
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
         }
         opts
+    }
+
+    /// Installs this run's `--jobs` value as the process-wide worker
+    /// count consulted by every parallel sweep and simulation.
+    pub fn apply_jobs(&self) {
+        mmog_par::set_jobs(self.jobs);
     }
 
     /// The equivalent scenario options.
@@ -65,5 +91,39 @@ impl RunOpts {
             seed: self.seed,
             group_cap: self.cap,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_paper_scale() {
+        let o = RunOpts::parse(args(&[]));
+        assert_eq!((o.days, o.cap, o.seed, o.jobs), (14, None, 2008, 0));
+    }
+
+    #[test]
+    fn quick_and_overrides_parse() {
+        let o = RunOpts::parse(args(&["--quick", "--seed", "7", "--jobs", "3"]));
+        assert_eq!(o.days, 3);
+        assert_eq!(o.cap, Some(6));
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.jobs, 3);
+        // Explicit scale after --quick wins.
+        let o = RunOpts::parse(args(&["--quick", "--days", "5", "--cap", "9"]));
+        assert_eq!((o.days, o.cap), (5, Some(9)));
+    }
+
+    #[test]
+    fn unknown_flags_and_bad_values_are_ignored() {
+        let o = RunOpts::parse(args(&["--verbose", "--days", "abc", "--jobs", "x"]));
+        assert_eq!(o.days, 14);
+        assert_eq!(o.jobs, 0);
     }
 }

@@ -10,15 +10,15 @@ use mmog_world::emulator::GameEmulator;
 use std::fmt::Write as _;
 
 /// Generates the eight Table I data sets as world-total entity series
-/// (two simulated days: the first is the collection phase).
+/// (two simulated days: the first is the collection phase). The eight
+/// emulator runs are independent, so they fan out in parallel, and the
+/// world-emulator cache shares each run with every other experiment
+/// that asks for the same set.
 fn emulated_series(seed: u64) -> Vec<(TraceSet, Vec<f64>)> {
-    TraceSet::ALL
-        .iter()
-        .map(|&set| {
-            let run = GameEmulator::run(set.config(), seed, 2 * TICKS_PER_DAY as usize);
-            (set, run.total_series().into_values())
-        })
-        .collect()
+    mmog_par::par_map(&TraceSet::ALL, |&set| {
+        let run = GameEmulator::run_cached(set.config(), seed, 2 * TICKS_PER_DAY as usize);
+        (set, run.total_series().into_values())
+    })
 }
 
 /// Figure 5 — the accuracy of seven prediction algorithms on the eight
@@ -69,14 +69,19 @@ pub fn fig05_prediction_accuracy(opts: &RunOpts) -> String {
     }
 
     // Extensions beyond the paper's seven: AR(p), Holt, seasonal-naïve.
-    let extensions = [PredictorKind::Ar, PredictorKind::Holt, PredictorKind::Seasonal];
-    let _ = writeln!(out, "\nExtension predictors (mean error over the eight sets):");
+    let extensions = [
+        PredictorKind::Ar,
+        PredictorKind::Holt,
+        PredictorKind::Seasonal,
+    ];
+    let _ = writeln!(
+        out,
+        "\nExtension predictors (mean error over the eight sets):"
+    );
     for kind in extensions {
         let mean: f64 = sets
             .iter()
-            .map(|(_, series)| {
-                evaluate_accuracy(series, &[kind], 0.5)[0].error_pct
-            })
+            .map(|(_, series)| evaluate_accuracy(series, &[kind], 0.5)[0].error_pct)
             .sum::<f64>()
             / sets.len() as f64;
         let _ = writeln!(out, "  {:<24} {mean:.2}%", kind.label());

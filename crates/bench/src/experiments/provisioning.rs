@@ -1,5 +1,12 @@
 //! Provisioning experiments: Tables V–VII and Figures 7–14, plus the
 //! ablations DESIGN.md calls out.
+//!
+//! Every sweep in this module fans its independent simulation runs out
+//! with [`mmog_par::par_map`], which preserves input order; rows and
+//! series are then assembled serially, so the rendered tables are
+//! byte-identical to the historical serial loops for any `--jobs`
+//! value. Workloads come from the process-wide trace cache, so a sweep
+//! of N configurations generates its trace once, not N times.
 
 use crate::cli::RunOpts;
 use mmog_datacenter::policy::HostingPolicy;
@@ -46,12 +53,17 @@ pub fn table5_prediction_impact(opts: &RunOpts) -> String {
     let mut out =
         String::from("Table V: dynamic resource allocation under six prediction algorithms\n\n");
     let sopts = opts.scenario();
+    let reports = mmog_par::par_map(&PredictorKind::TABLE5, |&kind| {
+        run(scenario::prediction_impact(
+            kind,
+            AllocationMode::Dynamic,
+            &sopts,
+        ))
+    });
     let mut rows = Vec::new();
     let mut event_series = Vec::new();
-    for kind in PredictorKind::TABLE5 {
-        let cfg = scenario::prediction_impact(kind, AllocationMode::Dynamic, &sopts);
-        let report = run(cfg);
-        rows.push(metric_row(kind.label(), &report));
+    for (kind, report) in PredictorKind::TABLE5.iter().zip(&reports) {
+        rows.push(metric_row(kind.label(), report));
         event_series.push((kind.label(), report.metrics.cumulative_events().clone()));
     }
     out.push_str(&render_table(&METRIC_HEADERS, &rows));
@@ -84,16 +96,17 @@ pub fn table5_prediction_impact(opts: &RunOpts) -> String {
 #[must_use]
 pub fn fig08_static_vs_dynamic(opts: &RunOpts) -> String {
     let sopts = opts.scenario();
-    let dynamic = run(scenario::prediction_impact(
-        PredictorKind::Neural,
-        AllocationMode::Dynamic,
-        &sopts,
-    ));
-    let static_ = run(scenario::prediction_impact(
-        PredictorKind::Neural,
-        AllocationMode::Static,
-        &sopts,
-    ));
+    let modes = [AllocationMode::Dynamic, AllocationMode::Static];
+    let mut reports = mmog_par::par_map(&modes, |&mode| {
+        run(scenario::prediction_impact(
+            PredictorKind::Neural,
+            mode,
+            &sopts,
+        ))
+    })
+    .into_iter();
+    let dynamic = reports.next().expect("dynamic report");
+    let static_ = reports.next().expect("static report");
     let mut out = String::from("Figure 8: CPU over-allocation, static vs dynamic allocation\n\n");
     let d = dynamic.metrics.over_cpu_series();
     let s = static_.metrics.over_cpu_series();
@@ -126,7 +139,9 @@ pub fn fig09_10_table6_interaction(opts: &RunOpts) -> String {
     let mut table6_rows = Vec::new();
     let mut cumulative = Vec::new();
     let mut fig9: Vec<(UpdateModel, Vec<(usize, f64)>, Vec<(usize, f64)>)> = Vec::new();
-    for model in UpdateModel::ALL {
+    // One dynamic + one static run per update model; the pairs fan out
+    // together.
+    let reports = mmog_par::par_map(&UpdateModel::ALL, |&model| {
         let dynamic = run(scenario::interaction_impact(
             model,
             AllocationMode::Dynamic,
@@ -137,6 +152,9 @@ pub fn fig09_10_table6_interaction(opts: &RunOpts) -> String {
             AllocationMode::Static,
             &sopts,
         ));
+        (dynamic, static_)
+    });
+    for (&model, (dynamic, static_)) in UpdateModel::ALL.iter().zip(&reports) {
         table6_rows.push(vec![
             model.label().to_string(),
             format!("{:.2}", static_.metrics.avg_over(ResourceType::Cpu)),
@@ -220,11 +238,13 @@ pub fn fig11_resource_bulk(opts: &RunOpts) -> String {
     let sopts = opts.scenario();
     let mut out =
         String::from("Figure 11: impact of the CPU resource bulk (policies HP-3..HP-7)\n\n");
+    let policies: Vec<usize> = (3..=7).collect();
+    let reports = mmog_par::par_map(&policies, |&n| {
+        run(scenario::policy_impact(HostingPolicy::hp(n), &sopts))
+    });
     let mut rows = Vec::new();
-    for n in 3..=7 {
-        let policy = HostingPolicy::hp(n);
-        let bulk = policy.granularity();
-        let report = run(scenario::policy_impact(policy, &sopts));
+    for (&n, report) in policies.iter().zip(&reports) {
+        let bulk = HostingPolicy::hp(n).granularity();
         rows.push(vec![
             format!("HP-{n}"),
             format!("{bulk:.2}"),
@@ -256,11 +276,13 @@ pub fn fig12_time_bulk(opts: &RunOpts) -> String {
     let sopts = opts.scenario();
     let mut out =
         String::from("Figure 12: impact of the time bulk (policies HP-5, HP-8..HP-11)\n\n");
+    let policies = [5usize, 8, 9, 10, 11];
+    let reports = mmog_par::par_map(&policies, |&n| {
+        run(scenario::policy_impact(HostingPolicy::hp(n), &sopts))
+    });
     let mut rows = Vec::new();
-    for n in [5usize, 8, 9, 10, 11] {
-        let policy = HostingPolicy::hp(n);
-        let hours = policy.time_bulk.hours();
-        let report = run(scenario::policy_impact(policy, &sopts));
+    for (&n, report) in policies.iter().zip(&reports) {
+        let hours = HostingPolicy::hp(n).time_bulk.hours();
         rows.push(vec![
             format!("HP-{n}"),
             format!("{hours:.0}"),
@@ -296,12 +318,15 @@ pub fn fig13_latency_tolerance(opts: &RunOpts) -> String {
         "Figure 13: allocated resources by player-server distance, per latency tolerance\n\
          (North American data centers and requests only)\n\n",
     );
-    let mut rows = Vec::new();
-    for tolerance in DistanceClass::ALL {
+    let results = mmog_par::par_map(&DistanceClass::ALL, |&tolerance| {
         let cfg = scenario::latency_impact(tolerance, &sopts);
         let centers_copy = cfg.centers.clone();
         let report = run(cfg);
-        let shares = report.allocation_by_distance_class(&centers_copy);
+        (report, centers_copy)
+    });
+    let mut rows = Vec::new();
+    for (&tolerance, (report, centers_copy)) in DistanceClass::ALL.iter().zip(&results) {
+        let shares = report.allocation_by_distance_class(centers_copy);
         let mut row = vec![tolerance.label().to_string()];
         row.extend(shares.iter().map(|(_, s)| format!("{s:.1}")));
         row.push(format!(
@@ -395,9 +420,9 @@ pub fn table7_multi_mmog(opts: &RunOpts) -> String {
     ];
     let mut out =
         String::from("Table VII: concurrent MMOGs (A: O(n.log n), B: O(n^2), C: O(n^2.log n))\n\n");
+    let reports = mmog_par::par_map(&mixes, |&mix| run(scenario::multi_mmog(mix, &sopts)));
     let mut rows = Vec::new();
-    for mix in mixes {
-        let report = run(scenario::multi_mmog(mix, &sopts));
+    for (mix, report) in mixes.iter().zip(&reports) {
         let per_game = |name: &str| {
             report.per_game.iter().find(|g| g.name == name).map_or_else(
                 || "-".into(),
@@ -450,14 +475,16 @@ pub fn ablation_priority(opts: &RunOpts) -> String {
         ("heavy first (C > B > A)", [2, 1, 0]),
         ("light first (A > B > C)", [0, 1, 2]),
     ];
-    let mut rows = Vec::new();
-    for (label, priorities) in regimes {
-        let report = run(scenario::multi_mmog_prioritized(
+    let reports = mmog_par::par_map(&regimes, |&(_, priorities)| {
+        run(scenario::multi_mmog_prioritized(
             [33.0, 33.0, 33.0],
             priorities,
             0.45,
             &sopts,
-        ));
+        ))
+    });
+    let mut rows = Vec::new();
+    for (&(label, _), report) in regimes.iter().zip(&reports) {
         let under = |name: &str| {
             report.per_game.iter().find(|g| g.name == name).map_or_else(
                 || "-".into(),
@@ -501,14 +528,17 @@ pub fn ablation_headroom(opts: &RunOpts) -> String {
     let mut out = String::from(
         "Ablation: demand headroom factor on the Table V setup (Neural predictor)\n\n",
     );
-    let mut rows = Vec::new();
-    for headroom in [1.0, 1.05, 1.1, 1.25, 1.5] {
+    let headrooms = [1.0, 1.05, 1.1, 1.25, 1.5];
+    let reports = mmog_par::par_map(&headrooms, |&headroom| {
         let mut cfg =
             scenario::prediction_impact(PredictorKind::Neural, AllocationMode::Dynamic, &sopts);
         for g in &mut cfg.games {
             g.headroom = headroom;
         }
-        let report = run(cfg);
+        run(cfg)
+    });
+    let mut rows = Vec::new();
+    for (&headroom, report) in headrooms.iter().zip(&reports) {
         rows.push(vec![
             format!("{headroom:.2}"),
             format!("{:.2}", report.metrics.avg_over(ResourceType::Cpu)),
@@ -530,19 +560,28 @@ pub fn ablation_headroom(opts: &RunOpts) -> String {
 pub fn ablation_aoi(opts: &RunOpts) -> String {
     let sopts = opts.scenario();
     let mut out = String::from("Ablation: area-of-interest update reduction (Sec. II-A)\n\n");
+    // Flatten the model x variant grid so all four runs fan out at once.
+    let combos: Vec<(UpdateModel, &str, UpdateModel)> =
+        [UpdateModel::Quadratic, UpdateModel::Cubic]
+            .into_iter()
+            .flat_map(|model| {
+                [("full", model), ("AoI-reduced", model.aoi_reduced())]
+                    .map(|(variant, m)| (model, variant, m))
+            })
+            .collect();
+    let reports = mmog_par::par_map(&combos, |&(_, _, m)| {
+        run(scenario::interaction_impact(
+            m,
+            AllocationMode::Static,
+            &sopts,
+        ))
+    });
     let mut rows = Vec::new();
-    for model in [UpdateModel::Quadratic, UpdateModel::Cubic] {
-        for (variant, m) in [("full", model), ("AoI-reduced", model.aoi_reduced())] {
-            let report = run(scenario::interaction_impact(
-                m,
-                AllocationMode::Static,
-                &sopts,
-            ));
-            rows.push(vec![
-                format!("{model} ({variant} -> {m})"),
-                format!("{:.2}", report.metrics.avg_over(ResourceType::Cpu)),
-            ]);
-        }
+    for (&(model, variant, m), report) in combos.iter().zip(&reports) {
+        rows.push(vec![
+            format!("{model} ({variant} -> {m})"),
+            format!("{:.2}", report.metrics.avg_over(ResourceType::Cpu)),
+        ]);
     }
     out.push_str(&render_table(
         &["Update model", "Static over CPU [%]"],

@@ -284,7 +284,7 @@ pub fn table1_emulator_sets(opts: &RunOpts) -> String {
     let mut rows = Vec::new();
     for set in TraceSet::ALL {
         let cfg = set.config();
-        let run = GameEmulator::run(cfg, opts.seed, 2 * TICKS_PER_DAY as usize);
+        let run = GameEmulator::run_cached(cfg, opts.seed, 2 * TICKS_PER_DAY as usize);
         let totals = run.total_series();
         let pairs = run.interaction_series();
         // Instantaneous dynamics: mean |tick-to-tick change| of the

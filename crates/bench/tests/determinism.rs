@@ -1,0 +1,76 @@
+//! The parallel execution layer's determinism contract: simulation
+//! reports and rendered experiment tables are bit-identical whether the
+//! work runs serially (`--jobs 1`) or fanned out across worker threads.
+//!
+//! One test function covers every comparison: the jobs setting is
+//! process-global, so splitting the checks into separate `#[test]`s
+//! would race when the harness runs them concurrently.
+
+use mmog_bench::experiments as exp;
+use mmog_bench::RunOpts;
+use mmog_predict::eval::PredictorKind;
+use mmog_sim::engine::{AllocationMode, Simulation};
+use mmog_sim::scenario::{self, ScenarioOpts};
+
+/// A scale small enough for a debug-build test, big enough to exceed
+/// the engine's parallel-group threshold (5 regions x 2 groups = 10).
+fn tiny() -> ScenarioOpts {
+    ScenarioOpts {
+        days: 1,
+        seed: 77,
+        group_cap: Some(2),
+    }
+}
+
+/// Runs the prediction-impact scenario (neural predictor, so the
+/// per-group seeded training streams are exercised) and renders the
+/// report for comparison.
+fn engine_fingerprint() -> String {
+    let mut cfg =
+        scenario::prediction_impact(PredictorKind::Neural, AllocationMode::Dynamic, &tiny());
+    // A short offline phase keeps MLP training cheap in debug builds
+    // while still exercising the parallel training fan-out.
+    cfg.train_ticks = 96;
+    let report = Simulation::new(cfg).run();
+    format!("{report:?}")
+}
+
+#[test]
+fn reports_identical_for_any_job_count() {
+    let baseline_jobs = mmog_par::jobs();
+
+    // Engine level: one simulation, serial vs fanned out.
+    mmog_par::set_jobs(1);
+    let serial = engine_fingerprint();
+    mmog_par::set_jobs(4);
+    let parallel = engine_fingerprint();
+    assert_eq!(
+        serial, parallel,
+        "SimReport must be bit-identical between --jobs 1 and --jobs 4"
+    );
+
+    // Same seed, same jobs: repeated runs agree (the caches and
+    // per-group streams hold no run-to-run state).
+    let again = engine_fingerprint();
+    assert_eq!(parallel, again, "same-seed runs must agree");
+
+    // Sweep level: a multi-run experiment's rendered table. Table V
+    // fans six predictor runs out and formats every metric (the neural
+    // row exercises the seeded training streams).
+    let opts = RunOpts {
+        days: 1,
+        cap: Some(2),
+        seed: 77,
+        jobs: 0,
+    };
+    mmog_par::set_jobs(1);
+    let serial_table = exp::table5_prediction_impact(&opts);
+    mmog_par::set_jobs(4);
+    let parallel_table = exp::table5_prediction_impact(&opts);
+    assert_eq!(
+        serial_table, parallel_table,
+        "experiment text must be byte-identical between --jobs 1 and --jobs 4"
+    );
+
+    mmog_par::set_jobs(baseline_jobs);
+}

@@ -89,6 +89,7 @@ pub struct EcosystemBuilder {
     ticks: Option<usize>,
     warmup_ticks: usize,
     train_ticks: usize,
+    master_seed: u64,
 }
 
 impl Default for EcosystemBuilder {
@@ -100,6 +101,7 @@ impl Default for EcosystemBuilder {
             ticks: None,
             warmup_ticks: 30,
             train_ticks: 720,
+            master_seed: 0x5EED,
         }
     }
 }
@@ -159,6 +161,15 @@ impl EcosystemBuilder {
         self
     }
 
+    /// Master seed for the per-server-group random streams (predictor
+    /// weight initialisation and sample shuffling). Runs with the same
+    /// seed are bit-identical regardless of thread count.
+    #[must_use]
+    pub fn master_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
     /// Finalises the configuration without running (for inspection or
     /// custom drivers).
     #[must_use]
@@ -170,6 +181,7 @@ impl EcosystemBuilder {
             ticks: self.ticks,
             warmup_ticks: self.warmup_ticks,
             train_ticks: self.train_ticks,
+            master_seed: self.master_seed,
         }
     }
 

@@ -112,9 +112,26 @@ impl PredictorKind {
     /// algorithms with an offline phase (only the neural one uses it).
     #[must_use]
     pub fn build(self, training: &[f64]) -> Box<dyn Predictor + Send> {
+        self.build_seeded(training, NeuralConfig::default().seed)
+    }
+
+    /// Like [`build`], with an explicit seed for the stochastic offline
+    /// phase (weight initialisation and sample shuffling of the neural
+    /// predictor; the closed-form algorithms ignore it). The simulation
+    /// engine derives one seed per server group from its master seed so
+    /// that groups train uncorrelated models deterministically,
+    /// independent of construction order or thread count.
+    ///
+    /// [`build`]: Self::build
+    #[must_use]
+    pub fn build_seeded(self, training: &[f64], seed: u64) -> Box<dyn Predictor + Send> {
         match self {
             Self::Neural => {
-                let (p, _report) = NeuralPredictor::train(NeuralConfig::default(), training);
+                let cfg = NeuralConfig {
+                    seed,
+                    ..NeuralConfig::default()
+                };
+                let (p, _report) = NeuralPredictor::train(cfg, training);
                 Box::new(p)
             }
             Self::Average => Box::new(RunningAverage::new()),

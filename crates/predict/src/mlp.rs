@@ -203,16 +203,16 @@ impl Mlp {
                 Vec::new()
             };
             let layer = &mut self.layers[li];
-            for o in 0..layer.outputs {
+            for (o, &d) in delta.iter().enumerate().take(layer.outputs) {
                 let base = o * (layer.inputs + 1);
-                for i in 0..layer.inputs {
-                    let grad = delta[o] * input_act[i];
+                for (i, &act) in input_act.iter().enumerate().take(layer.inputs) {
+                    let grad = d * act;
                     let v = momentum * layer.velocity[base + i] - learning_rate * grad;
                     layer.velocity[base + i] = v;
                     layer.weights[base + i] += v;
                 }
                 // Bias.
-                let grad = delta[o];
+                let grad = d;
                 let v = momentum * layer.velocity[base + layer.inputs] - learning_rate * grad;
                 layer.velocity[base + layer.inputs] = v;
                 layer.weights[base + layer.inputs] += v;

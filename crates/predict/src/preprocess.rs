@@ -30,9 +30,13 @@ pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         a.swap(col, pivot);
         b.swap(col, pivot);
         for row in col + 1..n {
-            let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+            // Split so the pivot row (index `col` < `row`) and the row
+            // being eliminated can be borrowed simultaneously.
+            let (head, tail) = a.split_at_mut(row);
+            let (pivot_row, cur) = (&head[col], &mut tail[0]);
+            let factor = cur[col] / pivot_row[col];
+            for (x, &p) in cur[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *x -= factor * p;
             }
             b[row] -= factor * b[col];
         }

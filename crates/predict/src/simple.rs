@@ -448,7 +448,6 @@ mod tests {
         let _ = ExpSmoothing::new(0.0);
     }
 
-
     #[test]
     fn seasonal_naive_repeats_the_season() {
         // A strict 4-sample cycle is predicted perfectly once one full
@@ -477,7 +476,7 @@ mod tests {
         let mut p = SeasonalNaive::new(2, 0.5);
         p.observe(10.0); // seasonal slot
         p.observe(20.0); // last value
-        // forecast = 0.5*10 + 0.5*20 = 15.
+                         // forecast = 0.5*10 + 0.5*20 = 15.
         assert_eq!(p.predict(), 15.0);
         p.reset();
         assert_eq!(p.predict(), 0.0);

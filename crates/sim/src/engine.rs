@@ -75,6 +75,11 @@ pub struct SimulationConfig {
     /// Ticks of each group's history used as the neural predictor's
     /// offline data-collection phase.
     pub train_ticks: usize,
+    /// Master seed for the per-group random streams (each group trains
+    /// its predictor from stream `i` of this seed, so results are
+    /// bit-identical no matter how many threads build or run the
+    /// simulation).
+    pub master_seed: u64,
 }
 
 /// Per-center usage integrated over the simulation (the Figures 13–14
@@ -124,13 +129,40 @@ pub struct SimReport {
     pub ticks: usize,
 }
 
+/// Per-tick per-group results, written by the (possibly parallel)
+/// fan-out and folded serially afterwards in group-index order — the
+/// ordered reduction that keeps aggregates bit-identical for any
+/// thread count.
+#[derive(Debug, Clone, Copy)]
+struct TickScratch {
+    demand: ResourceVector,
+    alloc: ResourceVector,
+    short: ResourceVector,
+    target: ResourceVector,
+}
+
+impl TickScratch {
+    const ZERO: Self = Self {
+        demand: ResourceVector::ZERO,
+        alloc: ResourceVector::ZERO,
+        short: ResourceVector::ZERO,
+        target: ResourceVector::ZERO,
+    };
+}
+
 struct GroupRuntime {
     provisioner: GroupProvisioner,
     series: TimeSeries,
     demand_model: DemandModel,
     /// Index into the configuration's game list.
     game: usize,
+    /// Scratch for the per-tick fan-out.
+    tick: TickScratch,
 }
+
+/// Below this many server groups a per-tick fan-out costs more in
+/// barrier traffic than it saves; the engine stays serial.
+const PARALLEL_GROUP_THRESHOLD: usize = 8;
 
 /// The simulation itself.
 pub struct Simulation {
@@ -153,7 +185,19 @@ impl Simulation {
     /// Panics when a game's trace is empty.
     #[must_use]
     pub fn new(cfg: SimulationConfig) -> Self {
-        let mut groups = Vec::new();
+        // Pass 1 (serial): enumerate groups in configuration order and
+        // collect everything each one needs. The group index assigned
+        // here also names the group's random stream, so it must not
+        // depend on scheduling.
+        struct GroupSpec {
+            game: usize,
+            operator: OperatorId,
+            origin: GeoPoint,
+            series: TimeSeries,
+            train_end: usize,
+            seed: u64,
+        }
+        let mut specs: Vec<GroupSpec> = Vec::new();
         let mut operator_origins = BTreeMap::new();
         let mut static_targets = Vec::new();
         let mut min_len = usize::MAX;
@@ -166,27 +210,44 @@ impl Simulation {
                 for group in &region.groups {
                     assert!(!group.series.is_empty(), "empty trace for {}", region.name);
                     min_len = min_len.min(group.series.len());
-                    let train_end = cfg.train_ticks.min(group.series.len());
-                    let predictor = game.predictor.build(&group.series.values()[..train_end]);
-                    let provisioner = GroupProvisioner::new(
-                        operator,
-                        origin,
-                        game.tolerance,
-                        demand_model,
-                        game.headroom,
-                        predictor,
-                    );
                     static_targets
                         .push(demand_model.demand(game.static_peak_players) * game.headroom);
-                    groups.push(GroupRuntime {
-                        provisioner,
-                        series: group.series.clone(),
-                        demand_model,
+                    specs.push(GroupSpec {
                         game: game_idx,
+                        operator,
+                        origin,
+                        series: group.series.clone(),
+                        train_end: cfg.train_ticks.min(group.series.len()),
+                        seed: mmog_util::rng::stream_seed(cfg.master_seed, specs.len() as u64),
                     });
                 }
             }
         }
+        // Pass 2 (parallel): the offline phase. Training one MLP per
+        // server group dominates construction cost; each group's
+        // training is self-contained (own series slice, own seed), so
+        // the fan-out is embarrassingly parallel and order-preserving.
+        let groups: Vec<GroupRuntime> = mmog_par::par_map(&specs, |spec| {
+            let game = &cfg.games[spec.game];
+            let demand_model = DemandModel::paper(game.update_model);
+            let predictor = game
+                .predictor
+                .build_seeded(&spec.series.values()[..spec.train_end], spec.seed);
+            GroupRuntime {
+                provisioner: GroupProvisioner::new(
+                    spec.operator,
+                    spec.origin,
+                    game.tolerance,
+                    demand_model,
+                    game.headroom,
+                    predictor,
+                ),
+                series: spec.series.clone(),
+                demand_model,
+                game: spec.game,
+                tick: TickScratch::ZERO,
+            }
+        });
         assert!(
             !groups.is_empty(),
             "simulation needs at least one server group"
@@ -242,11 +303,53 @@ impl Simulation {
             }
         }
 
+        // Per-tick fan-out pool: scoring and observe→predict→target are
+        // independent per group, so they fan out across a persistent
+        // pool (spawning scoped threads every two-minute tick would
+        // cost more than the work). Request–offer matching afterwards
+        // mutates the shared data centers and stays serial. Nested
+        // parallel regions (e.g. a sweep already running experiments in
+        // parallel) fall back to serial automatically.
+        let pool = (mmog_par::jobs() > 1
+            && !mmog_par::in_parallel()
+            && self.groups.len() >= PARALLEL_GROUP_THRESHOLD)
+            .then(mmog_par::Pool::with_global_jobs);
+
         for t in 0..self.ticks {
             let now = SimTime(t as u64);
-            // Score the allocation in force against the actual demand.
-            // The Eq. 2 min is evaluated per server group so that one
-            // group's surplus never hides another's deficit.
+            let dynamic = self.mode == AllocationMode::Dynamic;
+            // Fan-out: score the allocation in force against the actual
+            // demand and (in dynamic mode) compute each group's next
+            // demand target. Each group touches only its own state.
+            let step = |_i: usize, group: &mut GroupRuntime| {
+                let players = group.series.values()[t];
+                let demand = group.demand_model.demand(players);
+                let alloc = group.provisioner.allocated();
+                let short = (alloc - demand).min(&ResourceVector::ZERO);
+                let target = if dynamic {
+                    group.provisioner.observe_and_target(players)
+                } else {
+                    ResourceVector::ZERO
+                };
+                group.tick = TickScratch {
+                    demand,
+                    alloc,
+                    short,
+                    target,
+                };
+            };
+            match &pool {
+                Some(pool) => pool.for_each_mut(&mut self.groups, step),
+                None => {
+                    for (i, group) in self.groups.iter_mut().enumerate() {
+                        step(i, group);
+                    }
+                }
+            }
+            // Ordered reduction (Eq. 2's min is per server group so one
+            // group's surplus never hides another's deficit): fold the
+            // scratch in group-index order — float sums come out
+            // bit-identical to the serial engine for any thread count.
             let mut total_demand = ResourceVector::ZERO;
             let mut total_alloc = ResourceVector::ZERO;
             let mut shortfall = ResourceVector::ZERO;
@@ -259,17 +362,13 @@ impl Simulation {
                 game_count
             ];
             for group in &self.groups {
-                let players = group.series.values()[t];
-                let demand = group.demand_model.demand(players);
-                let alloc = group.provisioner.allocated();
-                let short = (alloc - demand).min(&ResourceVector::ZERO);
-                total_demand += demand;
-                total_alloc += alloc;
-                shortfall += short;
+                total_demand += group.tick.demand;
+                total_alloc += group.tick.alloc;
+                shortfall += group.tick.short;
                 let entry = &mut per_game[group.game];
-                entry.0 += alloc;
-                entry.1 += demand;
-                entry.2 += short;
+                entry.0 += group.tick.alloc;
+                entry.1 += group.tick.demand;
+                entry.2 += group.tick.short;
             }
             if t >= self.warmup {
                 metrics.record(now, &total_alloc, &total_demand, &shortfall, machines);
@@ -285,13 +384,14 @@ impl Simulation {
                     acc.1 += center.free().cpu;
                 }
             }
-            // Adjust allocations for the next tick, in priority order:
-            // higher-priority games lease (and keep) capacity first.
-            if self.mode == AllocationMode::Dynamic {
+            // Serial stage: adjust allocations for the next tick, in
+            // priority order — higher-priority games lease (and keep)
+            // capacity first. Matching contends on the shared centers,
+            // so this ordering IS the semantics and cannot fan out.
+            if dynamic {
                 for gi in 0..self.processing_order.len() {
                     let group = &mut self.groups[self.processing_order[gi]];
-                    let players = group.series.values()[t];
-                    let target = group.provisioner.observe_and_target(players);
+                    let target = group.tick.target;
                     let out = group.provisioner.adjust(&target, &mut self.centers, now);
                     if out.unmet {
                         unmet_steps += 1;
@@ -400,6 +500,7 @@ mod tests {
             ticks: None,
             warmup_ticks: 30,
             train_ticks: 0,
+            master_seed: 5,
         }
     }
 

@@ -14,7 +14,7 @@ use mmog_datacenter::policy::HostingPolicy;
 use mmog_predict::eval::PredictorKind;
 use mmog_util::geo::{DistanceClass, GeoPoint};
 use mmog_util::time::SimDuration;
-use mmog_workload::runescape::{generate, RegionSpec, RuneScapeConfig};
+use mmog_workload::runescape::{RegionSpec, RuneScapeConfig};
 use mmog_workload::trace::GameTrace;
 use mmog_world::update::UpdateModel;
 
@@ -70,6 +70,9 @@ pub fn region_origin(name: &str) -> GeoPoint {
 }
 
 /// Generates the standard RuneScape-like workload at the given scale.
+/// Served from the process-wide workload cache: sweeps re-requesting
+/// the same scale share one generated trace (the returned value is a
+/// cheap clone of the cached copy).
 #[must_use]
 pub fn standard_trace(opts: &ScenarioOpts) -> GameTrace {
     let mut cfg = RuneScapeConfig::paper_default(opts.days, opts.seed);
@@ -78,7 +81,7 @@ pub fn standard_trace(opts: &ScenarioOpts) -> GameTrace {
             r.groups = r.groups.min(cap);
         }
     }
-    generate(&cfg)
+    (*mmog_workload::cache::runescape_trace(&cfg)).clone()
 }
 
 fn base_game(
@@ -104,6 +107,7 @@ fn base_sim(
     centers: Vec<DataCenter>,
     games: Vec<GameSpec>,
     mode: AllocationMode,
+    opts: &ScenarioOpts,
 ) -> SimulationConfig {
     SimulationConfig {
         centers,
@@ -112,6 +116,7 @@ fn base_sim(
         ticks: None,
         warmup_ticks: 30,
         train_ticks: 720, // one day of collection for the neural phase
+        master_seed: opts.seed,
     }
 }
 
@@ -130,7 +135,7 @@ pub fn prediction_impact(
         UpdateModel::Quadratic,
         DistanceClass::VeryFar,
     );
-    base_sim(table3_hp12(), vec![game], mode)
+    base_sim(table3_hp12(), vec![game], mode, opts)
 }
 
 /// The uniform fine-grained policy Table II calls "optimal" (finest
@@ -156,7 +161,7 @@ pub fn interaction_impact(
         DistanceClass::VeryFar,
     );
     let centers = table3_centers(|_, _| optimal_policy());
-    base_sim(centers, vec![game], mode)
+    base_sim(centers, vec![game], mode, opts)
 }
 
 /// Sec. V-D — the hosting-policy experiment: every center runs the
@@ -171,7 +176,7 @@ pub fn policy_impact(policy: HostingPolicy, opts: &ScenarioOpts) -> SimulationCo
         DistanceClass::VeryFar,
     );
     let centers = table3_centers(|_, _| policy.clone());
-    base_sim(centers, vec![game], AllocationMode::Dynamic)
+    base_sim(centers, vec![game], AllocationMode::Dynamic, opts)
 }
 
 /// The North American workload for Sec. V-E: one region per NA data
@@ -202,7 +207,7 @@ pub fn north_american_trace(opts: &ScenarioOpts) -> GameTrace {
         flash_prob_per_tick: 0.004,
         regional_flash_prob_per_tick: 0.01,
     };
-    generate(&cfg)
+    (*mmog_workload::cache::runescape_trace(&cfg)).clone()
 }
 
 /// Sec. V-E — the latency-tolerance experiment: NA centers only, with
@@ -245,7 +250,7 @@ pub fn latency_impact(tolerance: DistanceClass, opts: &ScenarioOpts) -> Simulati
         UpdateModel::Quadratic,
         tolerance,
     );
-    base_sim(centers, vec![game], AllocationMode::Dynamic)
+    base_sim(centers, vec![game], AllocationMode::Dynamic, opts)
 }
 
 /// Splits a trace's server groups across games by share (per region,
@@ -318,7 +323,7 @@ pub fn multi_mmog(shares: [f64; 3], opts: &ScenarioOpts) -> SimulationConfig {
         })
         .collect();
     let centers = table3_centers(|_, _| optimal_policy());
-    base_sim(centers, games, AllocationMode::Dynamic)
+    base_sim(centers, games, AllocationMode::Dynamic, opts)
 }
 
 /// The paper's future-work extension (Sec. V-F / VII): the multi-MMOG

@@ -15,11 +15,14 @@
 //! - [`geo`] — geographic coordinates and great-circle distances for the
 //!   latency-tolerance experiments of Section V-E.
 //! - [`time`] — simulation clock types ([`SimTime`], [`SimDuration`], ticks).
+//! - [`memo`] — process-wide memoisation of expensive deterministic
+//!   builds (shared workload caching for experiment sweeps).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod geo;
+pub mod memo;
 pub mod rng;
 pub mod series;
 pub mod stats;

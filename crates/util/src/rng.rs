@@ -27,6 +27,19 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Mixes a master seed with a stream index into an uncorrelated child
+/// seed (two SplitMix64 rounds over the concatenated inputs). Stateless
+/// and order-independent: callers may seed stream `i` from any thread
+/// at any time and always obtain the same value.
+#[inline]
+#[must_use]
+pub fn stream_seed(master: u64, index: u64) -> u64 {
+    let mut sm = master;
+    let a = splitmix64(&mut sm);
+    let mut sm = a ^ index.wrapping_mul(0xA24B_AED4_963E_E407);
+    splitmix64(&mut sm)
+}
+
 /// A deterministic Xoshiro256++ pseudo-random number generator.
 ///
 /// # Examples
@@ -67,6 +80,18 @@ impl Rng64 {
     #[must_use]
     pub fn split(&mut self) -> Self {
         Self::seed_from(self.next_u64())
+    }
+
+    /// Creates the `index`-th stream of a seed family. Unlike [`split`],
+    /// this is stateless: stream `i` of a given master seed is always
+    /// the same generator, no matter in which order (or on which
+    /// thread) the streams are instantiated — the anchor of the
+    /// parallel engine's determinism guarantee.
+    ///
+    /// [`split`]: Self::split
+    #[must_use]
+    pub fn stream(master: u64, index: u64) -> Self {
+        Self::seed_from(stream_seed(master, index))
     }
 
     /// Returns the next raw 64-bit output (Xoshiro256++ scrambler).
@@ -243,8 +268,10 @@ impl Rng64 {
     /// Picks an index according to non-negative `weights`. Returns `None`
     /// when the weights are empty or sum to zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        // NaN weights never pass the > 0.0 filter, so `total` is a
+        // plain non-negative sum.
         let total: f64 = weights.iter().copied().filter(|w| *w > 0.0).sum();
-        if !(total > 0.0) {
+        if total <= 0.0 {
             return None;
         }
         let mut target = self.f64() * total;

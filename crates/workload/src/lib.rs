@@ -26,11 +26,14 @@
 //!   session traces T0–T7/T5a/T5b, with a generator and ECDF extraction.
 //! - [`growth`] — the Figure 1 market model: logistic subscription
 //!   curves for the 1997–2008 MMORPG market.
+//! - [`cache`] — process-wide sharing of generated traces, so sweeps
+//!   that re-request the same workload build it once.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
+pub mod cache;
 pub mod events;
 pub mod growth;
 pub mod packets;

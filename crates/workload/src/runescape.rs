@@ -255,7 +255,8 @@ fn generate_group(
     let mut flash_boost = 0.0f64;
     let mut flash_plan: Vec<f64> = Vec::new(); // per-tick boost deltas, reversed
 
-    for tick in 0..ticks {
+    debug_assert_eq!(region_boost.len(), ticks);
+    for (tick, &regional) in region_boost.iter().enumerate() {
         let t = SimTime(tick as u64);
         // Outages hit all groups, including the always-full ones
         // ("always 95%, except for outages").
@@ -313,7 +314,7 @@ fn generate_group(
                 * event_mult
                 * (1.0 + noise)
                 * (1.0 + flash_boost)
-                * (1.0 + region_boost[tick])
+                * (1.0 + regional)
         };
         series.push(load.clamp(0.0, spec.peak_players * 1.05).round());
     }

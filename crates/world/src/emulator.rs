@@ -14,10 +14,12 @@ use crate::entity::{Entity, EntityId, Position};
 use crate::interaction::count_pairs_subzone;
 use crate::profile::AiProfile;
 use crate::zone::{SubZoneId, ZoneGrid};
+use mmog_util::memo::Memo;
 use mmog_util::rng::Rng64;
 use mmog_util::series::TimeSeries;
 use mmog_util::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// State of the world at one tick, reduced to what the provisioning
 /// pipeline needs.
@@ -230,8 +232,11 @@ impl GameEmulator {
     /// the avatar count through `npc_ratio`.
     fn churn_population(&mut self, target: usize) {
         use crate::entity::EntityKind;
-        let mut avatars =
-            self.entities.iter().filter(|e| e.kind == EntityKind::Avatar).count();
+        let mut avatars = self
+            .entities
+            .iter()
+            .filter(|e| e.kind == EntityKind::Avatar)
+            .count();
         let mut npcs = self.entities.len() - avatars;
         while avatars < target {
             self.spawn();
@@ -416,6 +421,20 @@ impl GameEmulator {
             grid: emu.grid,
             snapshots,
         }
+    }
+
+    /// Like [`run`], but memoised process-wide: the eight Table I data
+    /// sets feed several experiments each, and a run is a pure function
+    /// of `(cfg, seed, ticks)`, so later requests share the first
+    /// result instead of re-simulating the world.
+    ///
+    /// [`run`]: Self::run
+    #[must_use]
+    pub fn run_cached(cfg: EmulatorConfig, seed: u64, ticks: usize) -> Arc<EmulatorOutput> {
+        static RUNS: Memo<EmulatorOutput> = Memo::new();
+        RUNS.get_or_build(&format!("{seed}|{ticks}|{cfg:?}"), || {
+            Self::run(cfg, seed, ticks)
+        })
     }
 }
 
@@ -622,10 +641,7 @@ mod tests {
             }
             emu
         };
-        assert!(out
-            .entities()
-            .iter()
-            .all(|e| e.kind == EntityKind::Avatar));
+        assert!(out.entities().iter().all(|e| e.kind == EntityKind::Avatar));
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the subset the workspace's packet codec uses:
+//! big-endian `put_*`/`get_*` through the [`Buf`]/[`BufMut`] traits,
+//! `BytesMut::with_capacity` + `freeze`, and `Bytes` views with
+//! `slice`, `from_static` and `len`. Backed by plain `Vec<u8>`/offset
+//! pairs instead of the real crate's refcounted buffers — correctness
+//! over zero-copy, since the hermetic build has no crates.io access.
+
+use std::ops::RangeBounds;
+
+/// Read access to a contiguous buffer, big-endian decode helpers.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consumes and returns `n` raw bytes.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Consumes a big-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics when fewer than four bytes remain.
+    fn get_u32(&mut self) -> u32 {
+        let b = self.take_bytes(4);
+        u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Consumes a big-endian `u64`.
+    ///
+    /// # Panics
+    /// Panics when fewer than eight bytes remain.
+    fn get_u64(&mut self) -> u64 {
+        let b = self.take_bytes(8);
+        u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// Consumes a big-endian `f64`.
+    ///
+    /// # Panics
+    /// Panics when fewer than eight bytes remain.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+/// Write access to a growable buffer, big-endian encode helpers.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+/// An immutable byte buffer with a consume cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    #[must_use]
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Self {
+            data: bytes.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unconsumed length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no bytes remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the sub-range of the unconsumed bytes.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the unconsumed length.
+    #[must_use]
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end && end <= self.len(), "slice out of range");
+        Self {
+            data: self.data[self.pos + start..self.pos + end].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underflow: {n} > {}", self.len());
+        let start = self.pos;
+        self.pos += n;
+        &self.data[start..self.pos]
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with at least the given capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Current length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_big_endian() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_f64(1.5);
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 12);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_f64(), 1.5);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_is_a_copy_of_the_window() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.len(), 3);
+        let mut s = s;
+        assert_eq!(s.take_bytes(3), &[2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(&[1, 2]);
+        let _ = b.get_u32();
+    }
+}

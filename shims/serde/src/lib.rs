@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so
+//! that a real serde can be dropped in when network access exists, but
+//! no code path serialises through serde at runtime. This shim provides
+//! the two marker traits and re-exports the no-op derives, which is all
+//! the hermetic build needs.
+
+/// Marker for types that would be serialisable under real serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserialisable under real serde.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

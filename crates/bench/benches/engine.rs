@@ -53,27 +53,24 @@ fn bench_group_fanout(c: &mut Criterion) {
         };
         for (label, jobs) in [("serial", 1usize), ("parallel", all)] {
             group.throughput(Throughput::Elements(720));
-            group.bench_function(
-                BenchmarkId::new(format!("{groups}_groups"), label),
-                |b| {
-                    b.iter_batched(
-                        || {
-                            let mut cfg = prediction_impact(
-                                PredictorKind::LastValue,
-                                AllocationMode::Dynamic,
-                                &opts,
-                            );
-                            cfg.train_ticks = 0;
-                            cfg
-                        },
-                        |cfg| {
-                            mmog_par::set_jobs(jobs);
-                            black_box(Simulation::new(cfg).run().ticks)
-                        },
-                        criterion::BatchSize::LargeInput,
-                    )
-                },
-            );
+            group.bench_function(BenchmarkId::new(format!("{groups}_groups"), label), |b| {
+                b.iter_batched(
+                    || {
+                        let mut cfg = prediction_impact(
+                            PredictorKind::LastValue,
+                            AllocationMode::Dynamic,
+                            &opts,
+                        );
+                        cfg.train_ticks = 0;
+                        cfg
+                    },
+                    |cfg| {
+                        mmog_par::set_jobs(jobs);
+                        black_box(Simulation::new(cfg).run().ticks)
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
         }
     }
     group.finish();

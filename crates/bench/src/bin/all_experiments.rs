@@ -31,6 +31,9 @@ V-F      dynamic       Neural      O(n^2) mix     optimal   none     SEVERAL
 
 /// Renders the timing report as JSON (the workspace's serde is an
 /// offline no-op shim, so the handful of fields are formatted by hand).
+/// Every entry carries the jobs/CPU context it ran under, and the
+/// suite-wide per-stage span breakdown from `mmog-obs` follows the
+/// experiment list.
 fn timing_json(opts: &RunOpts, cores: usize, timings: &[(&str, f64)], wall_seconds: f64) -> String {
     let serial_sum: f64 = timings.iter().map(|(_, s)| s).sum();
     let speedup = if wall_seconds > 0.0 {
@@ -38,8 +41,9 @@ fn timing_json(opts: &RunOpts, cores: usize, timings: &[(&str, f64)], wall_secon
     } else {
         1.0
     };
+    let jobs = mmog_par::jobs();
     let mut out = String::from("{\n");
-    out.push_str(&format!("  \"jobs\": {},\n", mmog_par::jobs()));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"logical_cpus\": {cores},\n"));
     out.push_str(&format!(
         "  \"scale\": {{\"days\": {}, \"cap\": {}, \"seed\": {}}},\n",
@@ -51,7 +55,21 @@ fn timing_json(opts: &RunOpts, cores: usize, timings: &[(&str, f64)], wall_secon
     for (i, (name, secs)) in timings.iter().enumerate() {
         let comma = if i + 1 == timings.len() { "" } else { "," };
         out.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"seconds\": {secs:.3}}}{comma}\n"
+            "    {{\"name\": \"{name}\", \"seconds\": {secs:.3}, \
+             \"jobs\": {jobs}, \"logical_cpus\": {cores}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"stages\": [\n");
+    let spans = mmog_obs::snapshot_spans();
+    for (i, (path, s)) in spans.iter().enumerate() {
+        let comma = if i + 1 == spans.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"path\": \"{path}\", \"calls\": {}, \"total_ms\": {:.3}, \
+             \"mean_us\": {:.2}}}{comma}\n",
+            s.calls,
+            s.total_ns as f64 / 1e6,
+            s.mean_us()
         ));
     }
     out.push_str("  ],\n");
@@ -131,4 +149,18 @@ fn main() {
         mmog_par::jobs(),
         bench_path.display()
     );
+
+    // Observability exports: the JSONL event log (--trace / MMOG_TRACE)
+    // and the metrics summary (--metrics).
+    match mmog_obs::flush_trace() {
+        Ok(Some(path)) => println!("== event trace -> {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("== event trace write failed: {e}"),
+    }
+    if opts.metrics {
+        let summary_path = out_dir.join("OBS_summary.json");
+        fs::write(&summary_path, mmog_obs::summary_json()).expect("cannot write OBS summary");
+        println!("== metrics summary -> {}\n", summary_path.display());
+        println!("{}", mmog_obs::render_summary_table());
+    }
 }

@@ -1,0 +1,58 @@
+//! Validates observability artifacts: an `OBS_summary.json` against the
+//! `mmog-obs/v1` schema, and optionally a JSONL event trace for
+//! well-formedness and contiguous sequence numbers.
+//!
+//! Usage: `obs_check <OBS_summary.json> [trace.jsonl]`
+//!
+//! Exits non-zero with a diagnostic on the first violation — the CI
+//! observability smoke job runs this against a quick-scale
+//! `all_experiments` run.
+
+use std::process::ExitCode;
+
+fn check_summary(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    mmog_obs::validate_summary(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("OK summary {path}");
+    Ok(())
+}
+
+fn check_trace(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut count = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let (seq, _scope, _kind, _value) =
+            mmog_obs::parse_trace_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        if seq != i as u64 {
+            return Err(format!(
+                "{path}:{}: sequence number {seq}, expected {i}",
+                i + 1
+            ));
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return Err(format!("{path}: trace is empty"));
+    }
+    println!("OK trace {path} ({count} events)");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(summary) = args.next() else {
+        eprintln!("usage: obs_check <OBS_summary.json> [trace.jsonl]");
+        return ExitCode::FAILURE;
+    };
+    let result = check_summary(&summary).and_then(|()| match args.next() {
+        Some(trace) => check_trace(&trace),
+        None => Ok(()),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("INVALID: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,9 +1,10 @@
 //! Minimal argument parsing shared by the experiment binaries.
 
 use mmog_sim::scenario::ScenarioOpts;
+use std::path::PathBuf;
 
 /// Scale options for an experiment run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunOpts {
     /// Trace length in days (paper: 14).
     pub days: u64,
@@ -14,6 +15,11 @@ pub struct RunOpts {
     /// Worker threads for the parallel execution layer (0 = all
     /// logical CPUs; 1 = fully serial, bit-identical reference path).
     pub jobs: usize,
+    /// JSONL event-log destination (`--trace <path>`; the `MMOG_TRACE`
+    /// environment variable is the fallback).
+    pub trace: Option<PathBuf>,
+    /// Whether to export the metrics summary (`--metrics`).
+    pub metrics: bool,
 }
 
 impl Default for RunOpts {
@@ -23,19 +29,24 @@ impl Default for RunOpts {
             cap: None,
             seed: 2008,
             jobs: 0,
+            trace: None,
+            metrics: false,
         }
     }
 }
 
 impl RunOpts {
-    /// Parses `--days N`, `--cap N`, `--seed N`, `--jobs N`, `--quick`
-    /// from the process arguments and applies `--jobs` to the global
-    /// parallelism setting. `--quick` is shorthand for a 3-day, 6-group
-    /// smoke run. Unknown flags are ignored so binaries stay composable.
+    /// Parses `--days N`, `--cap N`, `--seed N`, `--jobs N`, `--quick`,
+    /// `--trace PATH`, `--metrics` from the process arguments and
+    /// applies `--jobs` to the global parallelism setting plus the
+    /// trace destination to the observability plane. `--quick` is
+    /// shorthand for a 3-day, 6-group smoke run. Unknown flags are
+    /// ignored so binaries stay composable.
     #[must_use]
     pub fn from_args() -> Self {
         let opts = Self::parse(std::env::args().skip(1));
         opts.apply_jobs();
+        opts.apply_obs();
         opts
     }
 
@@ -70,6 +81,13 @@ impl RunOpts {
                     opts.jobs = args[i + 1].parse().unwrap_or(opts.jobs);
                     i += 1;
                 }
+                "--trace" if i + 1 < args.len() => {
+                    opts.trace = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
+                "--metrics" => {
+                    opts.metrics = true;
+                }
                 _ => {}
             }
             i += 1;
@@ -81,6 +99,15 @@ impl RunOpts {
     /// count consulted by every parallel sweep and simulation.
     pub fn apply_jobs(&self) {
         mmog_par::set_jobs(self.jobs);
+    }
+
+    /// Installs the trace destination: `--trace` wins, otherwise the
+    /// `MMOG_TRACE` environment variable applies.
+    pub fn apply_obs(&self) {
+        match &self.trace {
+            Some(path) => mmog_obs::set_trace_path(Some(path)),
+            None => mmog_obs::apply_trace_env(),
+        }
     }
 
     /// The equivalent scenario options.
@@ -97,6 +124,7 @@ impl RunOpts {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::Path;
 
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| (*s).to_string()).collect()
@@ -125,5 +153,17 @@ mod tests {
         let o = RunOpts::parse(args(&["--verbose", "--days", "abc", "--jobs", "x"]));
         assert_eq!(o.days, 14);
         assert_eq!(o.jobs, 0);
+        assert_eq!(o.trace, None);
+        assert!(!o.metrics);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let o = RunOpts::parse(args(&["--trace", "events.jsonl", "--metrics"]));
+        assert_eq!(o.trace.as_deref(), Some(Path::new("events.jsonl")));
+        assert!(o.metrics);
+        // --trace without a value is ignored like any malformed flag.
+        let o = RunOpts::parse(args(&["--trace"]));
+        assert_eq!(o.trace, None);
     }
 }

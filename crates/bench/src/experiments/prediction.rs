@@ -117,10 +117,13 @@ pub fn fig06_prediction_time(opts: &RunOpts) -> String {
             format!("{:.4}", s.max),
         ]);
     }
-    out.push_str(&render_table(
+    // The measured latencies are wall-clock — Figure 6's subject — so
+    // the table lives inside timing markers: the determinism suite
+    // masks it and compares everything else byte-for-byte.
+    out.push_str(&mmog_obs::timing_block(&render_table(
         &["Predictor", "Min", "Q1", "Median", "Q3", "Max"],
         &rows,
-    ));
+    )));
     out.push_str(
         "\nPaper: the neural predictor is the slowest (~7us on a 2006 desktop) yet still \
          in the fast category; see benches/predictors.rs for the Criterion version.\n",

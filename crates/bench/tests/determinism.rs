@@ -61,7 +61,7 @@ fn reports_identical_for_any_job_count() {
         days: 1,
         cap: Some(2),
         seed: 77,
-        jobs: 0,
+        ..RunOpts::default()
     };
     mmog_par::set_jobs(1);
     let serial_table = exp::table5_prediction_impact(&opts);
@@ -70,6 +70,24 @@ fn reports_identical_for_any_job_count() {
     assert_eq!(
         serial_table, parallel_table,
         "experiment text must be byte-identical between --jobs 1 and --jobs 4"
+    );
+
+    // fig06 measures wall-clock latency — Figure 6's subject — so its
+    // table sits inside `mmog-obs` timing markers. With the markers
+    // masked the rest of the report must be byte-identical too; fig06
+    // is no longer exempt from the determinism contract.
+    mmog_par::set_jobs(1);
+    let serial_fig06 = exp::fig06_prediction_time(&opts);
+    mmog_par::set_jobs(4);
+    let parallel_fig06 = exp::fig06_prediction_time(&opts);
+    assert!(
+        serial_fig06.contains(mmog_obs::TIMING_BEGIN),
+        "fig06 must mark its wall-clock table"
+    );
+    assert_eq!(
+        mmog_obs::mask_timing(&serial_fig06),
+        mmog_obs::mask_timing(&parallel_fig06),
+        "fig06 must be byte-identical outside its timing markers"
     );
 
     mmog_par::set_jobs(baseline_jobs);

@@ -1,0 +1,97 @@
+//! The observability plane's determinism contract at experiment scale:
+//! the JSONL event log and the `semantic` section of the metrics
+//! summary are byte-identical between `--jobs 1` and `--jobs 4`, while
+//! wall-clock data stays quarantined in the `timing` section.
+//!
+//! One test function: the jobs setting, the metric registry and the
+//! trace destination are all process-global, so separate `#[test]`s
+//! would race under the parallel test harness.
+
+use mmog_bench::experiments as exp;
+use mmog_bench::RunOpts;
+use std::fs;
+use std::path::PathBuf;
+
+fn tiny() -> RunOpts {
+    RunOpts {
+        days: 1,
+        cap: Some(2),
+        seed: 77,
+        ..RunOpts::default()
+    }
+}
+
+/// A mini-suite: fig08 drives the full engine pipeline (two Neural
+/// simulations, events from every serial section), fig06 contributes
+/// wall-clock latency instruments that must stay out of the semantic
+/// section.
+fn mini_suite(opts: &RunOpts) -> Vec<String> {
+    vec![
+        exp::fig08_static_vs_dynamic(opts),
+        exp::fig06_prediction_time(opts),
+    ]
+}
+
+/// Runs the mini-suite with tracing into `path` and returns
+/// `(summary json, trace bytes)`.
+fn traced_pass(opts: &RunOpts, path: &PathBuf) -> (String, String) {
+    mmog_obs::reset();
+    mmog_obs::set_trace_path(Some(path));
+    let _reports = mini_suite(opts);
+    let summary = mmog_obs::summary_json();
+    mmog_obs::flush_trace().expect("flush succeeds");
+    mmog_obs::set_trace_path(None);
+    let trace = fs::read_to_string(path).expect("trace file exists");
+    (summary, trace)
+}
+
+#[test]
+fn semantic_outputs_identical_across_jobs() {
+    let baseline_jobs = mmog_par::jobs();
+    let opts = tiny();
+
+    // Warm the process-wide workload/emulator caches so cache-build
+    // counters (e.g. `world.emulator.runs`) don't differ between the
+    // compared passes.
+    mmog_par::set_jobs(1);
+    let _ = mini_suite(&opts);
+
+    let dir = std::env::temp_dir();
+    let p1 = dir.join(format!("mmog_obs_det_j1_{}.jsonl", std::process::id()));
+    let p4 = dir.join(format!("mmog_obs_det_j4_{}.jsonl", std::process::id()));
+
+    let (summary_serial, trace_serial) = traced_pass(&opts, &p1);
+    mmog_par::set_jobs(4);
+    let (summary_parallel, trace_parallel) = traced_pass(&opts, &p4);
+    mmog_par::set_jobs(baseline_jobs);
+    let _ = fs::remove_file(&p1);
+    let _ = fs::remove_file(&p4);
+
+    // Both summaries satisfy the exported schema.
+    mmog_obs::validate_summary(&summary_serial).expect("serial summary validates");
+    mmog_obs::validate_summary(&summary_parallel).expect("parallel summary validates");
+
+    // The semantic sections — counters, gauges, histograms — are
+    // byte-identical; only `timing` may differ.
+    let sem_serial = mmog_obs::semantic_section(&summary_serial).expect("semantic section");
+    let sem_parallel = mmog_obs::semantic_section(&summary_parallel).expect("semantic section");
+    assert_eq!(
+        sem_serial, sem_parallel,
+        "semantic metrics must be byte-identical between --jobs 1 and --jobs 4"
+    );
+    assert!(
+        sem_serial.contains("sim.runs"),
+        "the engine actually recorded: {sem_serial}"
+    );
+
+    // The event logs are byte-identical, non-empty, and well-formed.
+    assert!(!trace_serial.is_empty(), "trace must contain events");
+    assert_eq!(
+        trace_serial, trace_parallel,
+        "JSONL event log must be byte-identical between --jobs 1 and --jobs 4"
+    );
+    for (i, line) in trace_serial.lines().enumerate() {
+        let (seq, _scope, _kind, _v) = mmog_obs::parse_trace_line(line).expect("line parses");
+        assert_eq!(seq, i as u64, "sequence numbers are contiguous");
+    }
+}

@@ -35,7 +35,7 @@ pub mod resource;
 
 pub use center::{DataCenter, DataCenterId, DataCenterSpec, Lease, LeaseId};
 pub use locations::table3_centers;
-pub use matching::{match_request, MatchOutcome};
+pub use matching::{match_request, MatchOutcome, RejectReason, Rejection};
 pub use policy::HostingPolicy;
 pub use request::{OperatorId, ResourceRequest};
 pub use resource::{ResourceType, ResourceVector};

@@ -38,6 +38,41 @@ pub struct Grant {
     pub distance_km: f64,
 }
 
+/// Why a particular center contributed nothing to a match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The center lies outside the request's latency tolerance class.
+    Distance,
+    /// The center was admissible but its free pool could not supply a
+    /// single whole bulk of any still-needed resource.
+    Exhausted,
+    /// The bulk-rounded amounts were computed but the center's ledger
+    /// refused the lease.
+    GrantFailed,
+}
+
+impl RejectReason {
+    /// Stable lower-case label used in trace events and metric names.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Distance => "distance",
+            Self::Exhausted => "exhausted",
+            Self::GrantFailed => "grant_failed",
+        }
+    }
+}
+
+/// One center that was considered but granted nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rejection {
+    /// Index of the data center in the slice passed to
+    /// [`match_request`].
+    pub center_index: usize,
+    /// Why it contributed nothing.
+    pub reason: RejectReason,
+}
+
 /// Outcome of matching one request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MatchOutcome {
@@ -45,6 +80,9 @@ pub struct MatchOutcome {
     pub grants: Vec<Grant>,
     /// Amounts that no admissible center could supply.
     pub unmet: ResourceVector,
+    /// Centers considered but granting nothing, in consideration order
+    /// (distance rejections first, then ranked-list rejections).
+    pub rejections: Vec<Rejection>,
 }
 
 impl MatchOutcome {
@@ -63,6 +101,54 @@ impl MatchOutcome {
     }
 }
 
+mod obs {
+    //! Semantic matcher instruments. All operations are commutative
+    //! integer updates, so recording is deterministic regardless of the
+    //! caller's threading.
+    use mmog_obs::{counter, histogram, Counter, Domain, Histogram};
+    use std::sync::{Arc, OnceLock};
+
+    fn stat(cell: &'static OnceLock<Arc<Counter>>, name: &'static str) -> &'static Arc<Counter> {
+        cell.get_or_init(|| counter(name, Domain::Semantic))
+    }
+
+    pub(super) fn record(grants: usize, unmet: bool, rejections: &[super::Rejection]) {
+        static REQUESTS: OnceLock<Arc<Counter>> = OnceLock::new();
+        static GRANTS: OnceLock<Arc<Counter>> = OnceLock::new();
+        static UNMET: OnceLock<Arc<Counter>> = OnceLock::new();
+        static REJ_DISTANCE: OnceLock<Arc<Counter>> = OnceLock::new();
+        static REJ_EXHAUSTED: OnceLock<Arc<Counter>> = OnceLock::new();
+        static REJ_GRANT_FAILED: OnceLock<Arc<Counter>> = OnceLock::new();
+        static PER_REQUEST: OnceLock<Arc<Histogram>> = OnceLock::new();
+        stat(&REQUESTS, "match.requests").incr();
+        stat(&GRANTS, "match.grants").add(grants as u64);
+        if unmet {
+            stat(&UNMET, "match.unmet_requests").incr();
+        }
+        for r in rejections {
+            let cell = match r.reason {
+                super::RejectReason::Distance => stat(&REJ_DISTANCE, "match.rejections.distance"),
+                super::RejectReason::Exhausted => {
+                    stat(&REJ_EXHAUSTED, "match.rejections.exhausted")
+                }
+                super::RejectReason::GrantFailed => {
+                    stat(&REJ_GRANT_FAILED, "match.rejections.grant_failed")
+                }
+            };
+            cell.incr();
+        }
+        PER_REQUEST
+            .get_or_init(|| {
+                histogram(
+                    "match.grants_per_request",
+                    Domain::Semantic,
+                    &[0.5, 1.5, 2.5, 4.5, 8.5],
+                )
+            })
+            .record(grants as f64);
+    }
+}
+
 /// Matches one request against a set of data centers, mutating their
 /// lease ledgers. See the module docs for the criteria ordering.
 pub fn match_request(
@@ -72,12 +158,21 @@ pub fn match_request(
 ) -> MatchOutcome {
     // Rank admissible centers: finer granularity, shorter time bulk,
     // then closest (the Sec. II-C criteria, operator-favouring order).
+    let mut rejections = Vec::new();
     let mut ranked: Vec<(usize, f64)> = centers
         .iter()
         .enumerate()
         .filter_map(|(i, c)| {
             let d = c.distance_km(&request.origin);
-            request.tolerance.admits(d).then_some((i, d))
+            if request.tolerance.admits(d) {
+                Some((i, d))
+            } else {
+                rejections.push(Rejection {
+                    center_index: i,
+                    reason: RejectReason::Distance,
+                });
+                None
+            }
         })
         .collect();
     ranked.sort_by(|&(i, di), &(j, dj)| {
@@ -112,6 +207,10 @@ pub fn match_request(
             }
         });
         if grant_amounts.is_negligible(1e-9) {
+            rejections.push(Rejection {
+                center_index: idx,
+                reason: RejectReason::Exhausted,
+            });
             continue;
         }
         if let Some(lease) = center.grant(request.operator, grant_amounts, now) {
@@ -122,11 +221,19 @@ pub fn match_request(
                 amounts: grant_amounts,
                 distance_km,
             });
+        } else {
+            rejections.push(Rejection {
+                center_index: idx,
+                reason: RejectReason::GrantFailed,
+            });
         }
     }
+    let unmet = !remaining.is_negligible(1e-9);
+    obs::record(grants.len(), unmet, &rejections);
     MatchOutcome {
         grants,
         unmet: remaining,
+        rejections,
     }
 }
 

@@ -1,0 +1,323 @@
+//! The structured JSONL event log.
+//!
+//! Simulations emit semantic events — provisioning decisions, matching
+//! accept/reject outcomes, per-group prediction error, per-center bulk
+//! waste — as one JSON object per line. The log is gated: when no trace
+//! path is configured ([`set_trace_path`] / the `MMOG_TRACE`
+//! environment variable, wired through `--trace` in the bench CLI),
+//! [`EventSink::if_enabled`] returns `None` and emission costs one
+//! branch.
+//!
+//! # Determinism
+//!
+//! Events carry **no wall-clock fields**, and the log is byte-identical
+//! for any `--jobs` value by construction:
+//!
+//! 1. Each simulation buffers its events in a private [`EventSink`] and
+//!    only ever emits from its own serial sections, so within-run order
+//!    is the deterministic program order.
+//! 2. A finished sink submits its lines as one *chunk* under a
+//!    deterministic label derived from the run's configuration.
+//! 3. [`flush_trace`] sorts chunks by `(label, content)` — not by
+//!    completion time — assigns global sequence numbers, and writes the
+//!    file. Concurrent experiments can finish in any order without
+//!    perturbing a single output byte.
+
+use crate::json::{self, Value};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+/// One typed field value of an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered shortest round-trip; non-finite becomes `null`).
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Self {
+        Field::U64(v)
+    }
+}
+impl From<usize> for Field {
+    fn from(v: usize) -> Self {
+        Field::U64(v as u64)
+    }
+}
+impl From<u32> for Field {
+    fn from(v: u32) -> Self {
+        Field::U64(u64::from(v))
+    }
+}
+impl From<i64> for Field {
+    fn from(v: i64) -> Self {
+        Field::I64(v)
+    }
+}
+impl From<f64> for Field {
+    fn from(v: f64) -> Self {
+        Field::F64(v)
+    }
+}
+impl From<&str> for Field {
+    fn from(v: &str) -> Self {
+        Field::Str(v.to_string())
+    }
+}
+impl From<String> for Field {
+    fn from(v: String) -> Self {
+        Field::Str(v)
+    }
+}
+impl From<bool> for Field {
+    fn from(v: bool) -> Self {
+        Field::Bool(v)
+    }
+}
+
+impl Field {
+    fn to_value(&self) -> Value {
+        match self {
+            Field::U64(v) => Value::UInt(*v),
+            Field::I64(v) => Value::Int(*v),
+            Field::F64(v) => Value::Num(*v),
+            Field::Str(v) => Value::Str(v.clone()),
+            Field::Bool(v) => Value::Bool(*v),
+        }
+    }
+}
+
+/// A per-run event buffer. Create one per simulation (or other traced
+/// unit of work), emit from serial sections only, and [`submit`] the
+/// finished buffer under a deterministic label.
+///
+/// [`submit`]: EventSink::submit
+#[derive(Debug, Default)]
+pub struct EventSink {
+    lines: Vec<String>,
+}
+
+impl EventSink {
+    /// An unconditional sink (tests and tools).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sink only when a trace path is configured — the gate that
+    /// makes tracing zero-cost when off.
+    #[must_use]
+    pub fn if_enabled() -> Option<Self> {
+        trace_enabled().then(Self::new)
+    }
+
+    /// Appends one event. `kind` names the event type; fields follow in
+    /// the given order.
+    pub fn emit(&mut self, kind: &str, fields: &[(&str, Field)]) {
+        let mut members = Vec::with_capacity(fields.len() + 1);
+        members.push(("kind".to_string(), Value::Str(kind.to_string())));
+        for (name, field) in fields {
+            members.push(((*name).to_string(), field.to_value()));
+        }
+        self.lines.push(Value::Obj(members).render());
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether no events have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The buffered JSON lines (without `seq`/`scope`, which are
+    /// assigned at flush time).
+    #[must_use]
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Hands the buffered events to the global trace collector as one
+    /// chunk. `label` must be deterministic for the work performed
+    /// (derive it from the run's configuration, never from wall-clock,
+    /// thread ids or completion order).
+    pub fn submit(self, label: &str) {
+        if self.lines.is_empty() {
+            return;
+        }
+        let mut state = trace_lock();
+        if let Some(state) = state.as_mut() {
+            state.chunks.push((label.to_string(), self.lines));
+        }
+    }
+}
+
+struct TraceState {
+    path: PathBuf,
+    chunks: Vec<(String, Vec<String>)>,
+}
+
+fn trace_cell() -> &'static Mutex<Option<TraceState>> {
+    static TRACE: OnceLock<Mutex<Option<TraceState>>> = OnceLock::new();
+    TRACE.get_or_init(|| Mutex::new(None))
+}
+
+fn trace_lock() -> std::sync::MutexGuard<'static, Option<TraceState>> {
+    trace_cell()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Configures (or disables, with `None`) the JSONL trace destination.
+/// Discards any chunks buffered for a previous destination.
+pub fn set_trace_path(path: Option<&Path>) {
+    *trace_lock() = path.map(|p| TraceState {
+        path: p.to_path_buf(),
+        chunks: Vec::new(),
+    });
+}
+
+/// Applies the `MMOG_TRACE` environment variable if set (and non-empty)
+/// and no destination is configured yet.
+pub fn apply_trace_env() {
+    if trace_enabled() {
+        return;
+    }
+    if let Ok(path) = std::env::var("MMOG_TRACE") {
+        if !path.is_empty() {
+            set_trace_path(Some(Path::new(&path)));
+        }
+    }
+}
+
+/// Whether a trace destination is configured.
+#[must_use]
+pub fn trace_enabled() -> bool {
+    trace_lock().is_some()
+}
+
+/// Renders the trace body that [`flush_trace`] would write: chunks
+/// sorted by `(label, content)`, each line prefixed with its global
+/// sequence number and scope label.
+#[must_use]
+pub fn render_trace() -> String {
+    let mut state = trace_lock();
+    let Some(state) = state.as_mut() else {
+        return String::new();
+    };
+    state.chunks.sort();
+    let mut out = String::new();
+    let mut seq = 0u64;
+    for (label, lines) in &state.chunks {
+        let scope = Value::Str(label.clone()).render();
+        for line in lines {
+            // Buffered lines are complete objects `{"kind":...}`; splice
+            // the flush-time fields in front of the first member.
+            let body = line.strip_prefix('{').expect("buffered line is an object");
+            out.push_str(&format!("{{\"seq\":{seq},\"scope\":{scope},{body}\n"));
+            seq += 1;
+        }
+    }
+    out
+}
+
+/// Sorts the buffered chunks deterministically, writes the JSONL file,
+/// and clears the buffer (the destination stays configured). Returns
+/// the path written, or `None` when tracing is off.
+///
+/// # Errors
+/// Propagates the file-write error, leaving the buffer intact.
+pub fn flush_trace() -> std::io::Result<Option<PathBuf>> {
+    let body = render_trace();
+    let mut state = trace_lock();
+    let Some(state) = state.as_mut() else {
+        return Ok(None);
+    };
+    std::fs::write(&state.path, body)?;
+    state.chunks.clear();
+    Ok(Some(state.path.clone()))
+}
+
+/// Parses one trace line back into `(seq, scope, kind, fields)` — the
+/// read half of the event-log round-trip.
+///
+/// # Errors
+/// Returns a message when the line is not a JSON object or misses one
+/// of the three envelope fields.
+pub fn parse_trace_line(line: &str) -> Result<(u64, String, String, Value), String> {
+    let value = json::parse(line)?;
+    let seq = value
+        .get("seq")
+        .and_then(Value::as_u64)
+        .ok_or("missing seq")?;
+    let scope = value
+        .get("scope")
+        .and_then(Value::as_str)
+        .ok_or("missing scope")?
+        .to_string();
+    let kind = value
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("missing kind")?
+        .to_string();
+    Ok((seq, scope, kind, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_builds_json_lines_in_field_order() {
+        let mut sink = EventSink::new();
+        sink.emit(
+            "provision",
+            &[
+                ("tick", 7u64.into()),
+                ("target_cpu", 1.5.into()),
+                ("unmet", false.into()),
+                ("name", "g\"0".into()),
+            ],
+        );
+        assert_eq!(
+            sink.lines()[0],
+            r#"{"kind":"provision","tick":7,"target_cpu":1.5,"unmet":false,"name":"g\"0"}"#
+        );
+    }
+
+    #[test]
+    fn lines_round_trip_through_the_parser() {
+        let mut sink = EventSink::new();
+        sink.emit(
+            "tick",
+            &[("tick", 3u64.into()), ("demand_cpu", 0.25.into())],
+        );
+        let parsed = json::parse(&sink.lines()[0]).unwrap();
+        assert_eq!(parsed.get("kind").unwrap().as_str(), Some("tick"));
+        assert_eq!(parsed.get("tick").unwrap().as_u64(), Some(3));
+        assert_eq!(parsed.get("demand_cpu").unwrap().as_f64(), Some(0.25));
+        // Re-rendering reproduces the exact bytes.
+        assert_eq!(parsed.render(), sink.lines()[0]);
+    }
+
+    #[test]
+    fn sink_disabled_without_trace_path() {
+        // The trace cell is process-global; this test only asserts the
+        // "off" behaviour which is the default state.
+        if !trace_enabled() {
+            assert!(EventSink::if_enabled().is_none());
+        }
+    }
+}

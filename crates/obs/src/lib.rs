@@ -1,0 +1,148 @@
+//! `mmog-obs` — the deterministic observability plane of the `mmog-dc`
+//! workspace.
+//!
+//! The paper's evaluation hinges on interior quantities the simulator
+//! computes but never used to expose: per-tick predicted vs. actual
+//! load, request–offer matching outcomes, over/under-allocation per
+//! data center. This crate makes them first-class, in the spirit of the
+//! autonomic monitoring/accounting plane of Buyya et al.'s
+//! energy-efficient data-center architecture, without pulling in any
+//! external dependency:
+//!
+//! - [`registry`] — counters, gauges and fixed-bucket histograms with
+//!   cheap atomic recording, safe to hit from inside the `mmog-par`
+//!   worker pool.
+//! - [`span`] — a hierarchical wall-clock timing tree for the
+//!   predict → demand → request → match → settle pipeline stages.
+//! - [`event`] — a structured JSONL event log (provisioning decisions,
+//!   match accept/reject with reason, prediction error per group, bulk
+//!   waste per center), gated behind `--trace` / `MMOG_TRACE`.
+//! - [`export`] — the `OBS_summary.json` document plus a human-readable
+//!   table, and the schema validator CI runs against it.
+//! - [`json`] — the dependency-free JSON layer underneath (the
+//!   workspace's serde is an offline no-op shim).
+//!
+//! # The determinism rule
+//!
+//! Every *semantic* quantity (counts, loads, decisions) must be
+//! byte-identical across `--jobs` values and repeated runs; wall-clock
+//! timing is isolated in a clearly separated `timing` section that
+//! determinism tests mask out. Concretely:
+//!
+//! - instruments declare a [`Domain`]; exports split on it;
+//! - semantic instruments only use commutative integer operations (see
+//!   [`registry`]), so parallel recording cannot reorder results;
+//! - events are buffered per run and flushed in a configuration-derived
+//!   order (see [`event`]), never in completion order;
+//! - report text derived from wall clocks is wrapped in
+//!   [`timing_block`] so [`mask_timing`] can cut it out for comparison.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod registry;
+pub mod span;
+
+pub use event::{
+    apply_trace_env, flush_trace, parse_trace_line, render_trace, set_trace_path, trace_enabled,
+    EventSink, Field,
+};
+pub use export::{
+    render_summary_table, semantic_section, summary_json, summary_value, validate_summary,
+    SUMMARY_SCHEMA,
+};
+pub use registry::{
+    counter, gauge, histogram, reset_metrics, snapshot_metrics, Counter, Domain, Gauge, Histogram,
+    HistogramSnapshot, MetricsSnapshot,
+};
+pub use span::{
+    reset_spans, snapshot_spans, span, time_stat, timer, SpanGuard, SpanSnapshot, SpanStat,
+};
+
+/// Marks the start of a non-deterministic (wall-clock) region inside
+/// report text.
+pub const TIMING_BEGIN: &str = "<<obs:timing>>";
+
+/// Marks the end of a region opened by [`TIMING_BEGIN`].
+pub const TIMING_END: &str = "<<obs:timing:end>>";
+
+/// Replacement text [`mask_timing`] substitutes for a masked region.
+pub const TIMING_MASKED: &str = "<<obs:timing masked>>";
+
+/// Wraps report text in the timing markers. Reports embedding any
+/// wall-clock-derived content must route it through this wrapper so the
+/// determinism suite can compare everything else byte-for-byte.
+#[must_use]
+pub fn timing_block(body: &str) -> String {
+    let sep = if body.ends_with('\n') || body.is_empty() {
+        ""
+    } else {
+        "\n"
+    };
+    format!("{TIMING_BEGIN}\n{body}{sep}{TIMING_END}\n")
+}
+
+/// Replaces every `TIMING_BEGIN … TIMING_END` region (markers included)
+/// with [`TIMING_MASKED`]. An unterminated region masks to the end of
+/// the text.
+#[must_use]
+pub fn mask_timing(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(start) = rest.find(TIMING_BEGIN) {
+        out.push_str(&rest[..start]);
+        out.push_str(TIMING_MASKED);
+        let after_begin = &rest[start + TIMING_BEGIN.len()..];
+        match after_begin.find(TIMING_END) {
+            Some(end) => rest = &after_begin[end + TIMING_END.len()..],
+            None => return out,
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Resets every process-global accumulator (metrics and spans) while
+/// keeping registrations and cached handles valid. The trace
+/// destination and its buffered chunks are untouched.
+pub fn reset() {
+    reset_metrics();
+    reset_spans();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_block_round_trips_through_mask() {
+        let report = format!(
+            "semantic head\n{}semantic tail\n",
+            timing_block("wall clock: 12.3ms")
+        );
+        let masked = mask_timing(&report);
+        assert_eq!(
+            masked,
+            format!("semantic head\n{TIMING_MASKED}\nsemantic tail\n")
+        );
+    }
+
+    #[test]
+    fn mask_handles_multiple_and_unterminated_regions() {
+        let text = format!("a {b}1{e} b {b}2{e} c", b = TIMING_BEGIN, e = TIMING_END);
+        assert_eq!(
+            mask_timing(&text),
+            format!("a {TIMING_MASKED} b {TIMING_MASKED} c")
+        );
+        let unterminated = format!("head {TIMING_BEGIN} tail without end");
+        assert_eq!(mask_timing(&unterminated), format!("head {TIMING_MASKED}"));
+    }
+
+    #[test]
+    fn mask_of_clean_text_is_identity() {
+        assert_eq!(mask_timing("no markers here\n"), "no markers here\n");
+    }
+}

@@ -1,0 +1,462 @@
+//! The metrics registry: counters, gauges and fixed-bucket histograms.
+//!
+//! Recording is lock-free after the first lookup (plain atomic
+//! read-modify-writes), so instruments can be hit from inside the
+//! `mmog-par` worker pool without serialising the fan-out. Call sites
+//! cache the `Arc` handle in a `OnceLock` so the name lookup happens
+//! once per process, not once per record.
+//!
+//! # Determinism contract
+//!
+//! Exported *semantic* values must be byte-identical for any `--jobs`
+//! setting. Every instrument therefore only offers operations that are
+//! commutative and associative over integers, so the result is
+//! independent of thread interleaving:
+//!
+//! - counters add unsigned integers (saturating at `u64::MAX`);
+//! - gauges are only deterministic through [`Gauge::set_max`] /
+//!   [`Gauge::set_min`]; plain [`Gauge::set`] is last-write-wins and
+//!   belongs in the [`Domain::Timing`] section only;
+//! - histograms count observations into fixed buckets and accumulate
+//!   the sum/min/max in integer **micro-units** (`round(v × 1e6)`), so
+//!   no float addition order can leak into the export.
+//!
+//! Wall-clock measurements are inherently non-deterministic; register
+//! them under [`Domain::Timing`] so exports and determinism tests can
+//! mask them out as one block.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which export section an instrument belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Deterministic values: byte-identical across runs and `--jobs`.
+    Semantic,
+    /// Wall-clock / scheduling-dependent values, masked by determinism
+    /// tests.
+    Timing,
+}
+
+/// A monotonically increasing counter (saturating at `u64::MAX`).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`, saturating at `u64::MAX` instead of wrapping.
+    pub fn add(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let mut current = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(n);
+            match self.value.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current total.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An integer gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self {
+            value: AtomicI64::new(0),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the value (last write wins — only deterministic from serial
+    /// code; use [`Self::set_max`] from parallel regions).
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if larger (commutative, so deterministic
+    /// from any thread).
+    pub fn set_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Lowers the gauge to `v` if smaller (commutative).
+    pub fn set_min(&self, v: i64) {
+        self.value.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Adds a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Converts a float observation to integer micro-units, the histogram's
+/// internal accumulation domain.
+#[must_use]
+pub fn to_micros(v: f64) -> i64 {
+    let scaled = (v * 1e6).round();
+    if scaled >= i64::MAX as f64 {
+        i64::MAX
+    } else if scaled <= i64::MIN as f64 {
+        i64::MIN
+    } else {
+        scaled as i64
+    }
+}
+
+/// A fixed-bucket histogram.
+///
+/// `bounds` are inclusive upper bounds in ascending order; an implicit
+/// final bucket catches everything above the last bound, so a histogram
+/// with `n` bounds has `n + 1` buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    sum_micros: AtomicI64,
+    min_micros: AtomicI64,
+    max_micros: AtomicI64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_micros: AtomicI64::new(0),
+            min_micros: AtomicI64::new(i64::MAX),
+            max_micros: AtomicI64::new(i64::MIN),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        let m = to_micros(v);
+        self.sum_micros.fetch_add(m, Ordering::Relaxed);
+        self.min_micros.fetch_min(m, Ordering::Relaxed);
+        self.max_micros.fetch_max(m, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The bucket upper bounds this histogram was registered with.
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// A consistent copy of the histogram state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            count,
+            counts,
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            min_micros: (count > 0).then(|| self.min_micros.load(Ordering::Relaxed)),
+            max_micros: (count > 0).then(|| self.max_micros.load(Ordering::Relaxed)),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum_micros.store(0, Ordering::Relaxed);
+        self.min_micros.store(i64::MAX, Ordering::Relaxed);
+        self.max_micros.store(i64::MIN, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (ascending; the last bucket is unbounded).
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations in micro-units.
+    pub sum_micros: i64,
+    /// Smallest observation in micro-units (`None` when empty).
+    pub min_micros: Option<i64>,
+    /// Largest observation in micro-units (`None` when empty).
+    pub max_micros: Option<i64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation value (in the original unit), `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_micros as f64 / 1e6 / self.count as f64)
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, (Domain, Arc<Counter>)>,
+    gauges: BTreeMap<String, (Domain, Arc<Gauge>)>,
+    histograms: BTreeMap<String, (Domain, Arc<Histogram>)>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Registry> {
+    registry()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Interns a counter by name. The first registration fixes the domain.
+#[must_use]
+pub fn counter(name: &str, domain: Domain) -> Arc<Counter> {
+    let mut reg = lock();
+    let (_, handle) = reg
+        .counters
+        .entry(name.to_string())
+        .or_insert_with(|| (domain, Arc::new(Counter::default())));
+    Arc::clone(handle)
+}
+
+/// Interns a gauge by name. The first registration fixes the domain.
+#[must_use]
+pub fn gauge(name: &str, domain: Domain) -> Arc<Gauge> {
+    let mut reg = lock();
+    let (_, handle) = reg
+        .gauges
+        .entry(name.to_string())
+        .or_insert_with(|| (domain, Arc::new(Gauge::default())));
+    Arc::clone(handle)
+}
+
+/// Interns a histogram by name. The first registration fixes the domain
+/// and the bucket bounds; later registrations return the existing
+/// instrument unchanged.
+#[must_use]
+pub fn histogram(name: &str, domain: Domain, bounds: &[f64]) -> Arc<Histogram> {
+    let mut reg = lock();
+    let (_, handle) = reg
+        .histograms
+        .entry(name.to_string())
+        .or_insert_with(|| (domain, Arc::new(Histogram::new(bounds))));
+    Arc::clone(handle)
+}
+
+/// Zeroes every registered instrument. Registrations (names, domains,
+/// bucket bounds) survive, so `Arc` handles cached in `OnceLock`s at
+/// call sites stay valid — tests can reset between scenarios.
+pub fn reset_metrics() {
+    let reg = lock();
+    for (_, c) in reg.counters.values() {
+        c.reset();
+    }
+    for (_, g) in reg.gauges.values() {
+        g.reset();
+    }
+    for (_, h) in reg.histograms.values() {
+        h.reset();
+    }
+}
+
+/// Point-in-time copy of the whole registry, sorted by name within each
+/// instrument kind.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals.
+    pub counters: Vec<(String, Domain, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, Domain, i64)>,
+    /// Histogram states.
+    pub histograms: Vec<(String, Domain, HistogramSnapshot)>,
+}
+
+/// Snapshots every registered instrument (sorted by name, so rendering
+/// the snapshot is deterministic).
+#[must_use]
+pub fn snapshot_metrics() -> MetricsSnapshot {
+    let reg = lock();
+    MetricsSnapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(n, (d, c))| (n.clone(), *d, c.get()))
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(n, (d, g))| (n.clone(), *d, g.get()))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(n, (d, h))| (n.clone(), *d, h.snapshot()))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_saturates() {
+        let c = Counter::default();
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 6);
+        c.add(u64::MAX - 3);
+        assert_eq!(c.get(), u64::MAX, "must saturate, not wrap");
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_max_min_and_add() {
+        let g = Gauge::default();
+        g.set_max(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set(-2);
+        g.set_min(-5);
+        g.set_min(0);
+        assert_eq!(g.get(), -5);
+        g.add(15);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let h = Histogram::new(&[1.0, 2.0, 5.0]);
+        // Exactly on a bound lands in that bound's bucket.
+        for v in [0.5, 1.0, 1.5, 2.0, 4.9, 5.0, 5.1, 100.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 2, 2, 2]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.min_micros, Some(500_000));
+        assert_eq!(s.max_micros, Some(100_000_000));
+    }
+
+    #[test]
+    fn histogram_sum_is_integer_micros() {
+        let h = Histogram::new(&[10.0]);
+        h.record(0.1);
+        h.record(0.2);
+        h.record(0.3);
+        // 0.1 + 0.2 + 0.3 is not 0.6 in f64, but it is in micro-units.
+        assert_eq!(h.snapshot().sum_micros, 600_000);
+        assert!((h.snapshot().mean().unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extremes() {
+        let h = Histogram::new(&[1.0]);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min_micros, None);
+        assert_eq!(s.max_micros, None);
+        assert_eq!(s.mean(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn micros_conversion_clamps() {
+        assert_eq!(to_micros(1.5), 1_500_000);
+        assert_eq!(to_micros(-2.25), -2_250_000);
+        assert_eq!(to_micros(f64::MAX), i64::MAX);
+        assert_eq!(to_micros(f64::MIN), i64::MIN);
+    }
+
+    #[test]
+    fn registry_interns_and_resets() {
+        let a = counter("test.registry.interns", Domain::Semantic);
+        let b = counter("test.registry.interns", Domain::Semantic);
+        a.add(4);
+        assert_eq!(b.get(), 4, "same name must be the same instrument");
+        let h = histogram("test.registry.hist", Domain::Semantic, &[1.0, 2.0]);
+        h.record(1.5);
+        reset_metrics();
+        assert_eq!(a.get(), 0);
+        assert_eq!(h.count(), 0);
+        // Handles stay usable after reset.
+        a.incr();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let _ = counter("test.snap.b", Domain::Semantic);
+        let _ = counter("test.snap.a", Domain::Timing);
+        let snap = snapshot_metrics();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+    }
+}

@@ -1,0 +1,202 @@
+//! The span layer: a hierarchical wall-clock timing tree.
+//!
+//! Spans are named by `/`-separated paths (`"engine/tick/match"`); each
+//! path accumulates a call count and total/max elapsed nanoseconds, so
+//! a hot loop (the simulator records three spans per two-minute tick)
+//! costs two `Instant::now()` reads and three relaxed atomic adds per
+//! span — no allocation after the first lookup. The per-path
+//! accumulation *is* the per-tick timing tree folded over the run:
+//! siblings compare wall-clock within a tick, parents contain children
+//! by path prefix.
+//!
+//! Everything here is wall-clock and therefore **non-deterministic** —
+//! exports place span data in the `timing` section, and report text
+//! derived from spans must be wrapped in [`crate::timing_block`] so
+//! determinism tests can mask it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Accumulated timing for one span path.
+#[derive(Debug, Default)]
+pub struct SpanStat {
+    calls: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl SpanStat {
+    /// Folds one measured duration into the accumulator.
+    pub fn record_ns(&self, ns: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy.
+    #[must_use]
+    pub fn snapshot(&self) -> SpanSnapshot {
+        SpanSnapshot {
+            calls: self.calls.load(Ordering::Relaxed),
+            total_ns: self.total_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one span's accumulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanSnapshot {
+    /// Number of completed spans on this path.
+    pub calls: u64,
+    /// Total elapsed nanoseconds across all calls.
+    pub total_ns: u64,
+    /// Longest single call, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanSnapshot {
+    /// Mean call duration in microseconds (`0` when never called).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / 1e3 / self.calls as f64
+        }
+    }
+}
+
+fn tree() -> &'static Mutex<BTreeMap<String, Arc<SpanStat>>> {
+    static TREE: OnceLock<Mutex<BTreeMap<String, Arc<SpanStat>>>> = OnceLock::new();
+    TREE.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, BTreeMap<String, Arc<SpanStat>>> {
+    tree()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Interns a span path and returns its accumulator. Hot call sites
+/// should cache the handle in a `OnceLock` and time through
+/// [`SpanStat::record_ns`] or [`time_stat`].
+#[must_use]
+pub fn timer(path: &str) -> Arc<SpanStat> {
+    Arc::clone(
+        lock()
+            .entry(path.to_string())
+            .or_insert_with(|| Arc::new(SpanStat::default())),
+    )
+}
+
+/// Starts a span on `path`; the elapsed time records when the returned
+/// guard drops.
+#[must_use]
+pub fn span(path: &str) -> SpanGuard {
+    SpanGuard {
+        stat: timer(path),
+        start: Instant::now(),
+    }
+}
+
+/// Times a closure against an already-interned span accumulator (the
+/// zero-lookup hot path).
+pub fn time_stat<R>(stat: &SpanStat, f: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let out = f();
+    stat.record_ns(elapsed_ns(start));
+    out
+}
+
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// An in-flight span; records its elapsed time into the tree on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    stat: Arc<SpanStat>,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.stat.record_ns(elapsed_ns(self.start));
+    }
+}
+
+/// Snapshots the whole timing tree, sorted by path (parents precede
+/// children because a path is a prefix of its descendants).
+#[must_use]
+pub fn snapshot_spans() -> Vec<(String, SpanSnapshot)> {
+    lock()
+        .iter()
+        .map(|(path, stat)| (path.clone(), stat.snapshot()))
+        .collect()
+}
+
+/// Zeroes every span accumulator; interned paths and cached handles
+/// stay valid.
+pub fn reset_spans() {
+    for stat in lock().values() {
+        stat.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_records_on_drop() {
+        let stat = timer("test.span.guard");
+        let before = stat.snapshot().calls;
+        {
+            let _g = span("test.span.guard");
+            std::hint::black_box(42);
+        }
+        let after = stat.snapshot();
+        assert_eq!(after.calls, before + 1);
+    }
+
+    #[test]
+    fn record_accumulates_totals_and_max() {
+        let stat = SpanStat::default();
+        stat.record_ns(10);
+        stat.record_ns(30);
+        stat.record_ns(20);
+        let s = stat.snapshot();
+        assert_eq!(s.calls, 3);
+        assert_eq!(s.total_ns, 60);
+        assert_eq!(s.max_ns, 30);
+        assert!((s.mean_us() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_sorted_parents_before_children() {
+        let _ = timer("test.tree/a/b");
+        let _ = timer("test.tree/a");
+        let _ = timer("test.tree");
+        let snap = snapshot_spans();
+        let paths: Vec<&str> = snap
+            .iter()
+            .map(|(p, _)| p.as_str())
+            .filter(|p| p.starts_with("test.tree"))
+            .collect();
+        assert_eq!(paths, vec!["test.tree", "test.tree/a", "test.tree/a/b"]);
+    }
+
+    #[test]
+    fn mean_of_empty_span_is_zero() {
+        assert_eq!(SpanSnapshot::default().mean_us(), 0.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Cross-thread contracts of the observability plane: recording from
+//! inside the `mmog-par` pool must produce the same totals as serial
+//! recording, and the JSONL event log must round-trip through the
+//! parser byte-for-byte.
+//!
+//! One test function: the jobs setting and the trace destination are
+//! process-global, so separate `#[test]`s would race under the parallel
+//! test harness.
+
+use mmog_obs::{counter, gauge, histogram, parse_trace_line, Domain, EventSink};
+
+const ITEMS: usize = 4096;
+
+/// Records one batch of counter/gauge/histogram traffic from a
+/// (possibly parallel) `par_map` sweep and returns the semantic
+/// snapshot bytes.
+fn record_batch(tag: &str) -> (u64, i64, u64, i64) {
+    let c = counter(&format!("test.cc.count.{tag}"), Domain::Semantic);
+    let g = gauge(&format!("test.cc.gauge.{tag}"), Domain::Semantic);
+    let h = histogram(
+        &format!("test.cc.hist.{tag}"),
+        Domain::Semantic,
+        &[10.0, 100.0, 1000.0],
+    );
+    let items: Vec<usize> = (0..ITEMS).collect();
+    let _: Vec<()> = mmog_par::par_map(&items, |&i| {
+        c.add(i as u64);
+        g.set_max(i as i64);
+        h.record(i as f64);
+    });
+    let snap = h.snapshot();
+    (c.get(), g.get(), snap.count, snap.sum_micros)
+}
+
+#[test]
+fn pool_recording_and_event_round_trip() {
+    let baseline_jobs = mmog_par::jobs();
+
+    // --- Concurrent recording: serial and 4-way totals must agree. ---
+    mmog_par::set_jobs(1);
+    let serial = record_batch("serial");
+    mmog_par::set_jobs(4);
+    let parallel = record_batch("parallel");
+    assert_eq!(
+        serial, parallel,
+        "commutative instruments must not depend on thread count"
+    );
+    let expected_sum: u64 = (0..ITEMS as u64).sum();
+    assert_eq!(serial.0, expected_sum);
+    assert_eq!(serial.1, ITEMS as i64 - 1);
+    assert_eq!(serial.2, ITEMS as u64);
+    // Integer micro-units: the histogram sum is exact, not a float fold.
+    assert_eq!(serial.3, (expected_sum as i64) * 1_000_000);
+    mmog_par::set_jobs(baseline_jobs);
+
+    // --- JSONL round-trip through the global trace collector. ---
+    let path = std::env::temp_dir().join(format!("mmog_obs_rt_{}.jsonl", std::process::id()));
+    mmog_obs::set_trace_path(Some(&path));
+    // Chunks submitted in "wrong" (completion) order: flush must order
+    // them by label, then assign contiguous sequence numbers.
+    let mut late = EventSink::new();
+    late.emit("tick", &[("tick", 9u64.into()), ("demand_cpu", 2.5.into())]);
+    late.submit("run B");
+    let mut early = EventSink::new();
+    early.emit("run_start", &[("groups", 10u64.into())]);
+    early.emit(
+        "provision",
+        &[("unmet", true.into()), ("reason", "distance".into())],
+    );
+    early.submit("run A");
+    let written = mmog_obs::flush_trace()
+        .expect("flush must succeed")
+        .expect("tracing is enabled");
+    assert_eq!(written, path);
+
+    let text = std::fs::read_to_string(&path).expect("trace file exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    for (i, line) in lines.iter().enumerate() {
+        let (seq, scope, kind, value) = parse_trace_line(line).expect("line parses");
+        assert_eq!(seq, i as u64, "sequence numbers are contiguous");
+        // "run A" sorts before "run B" regardless of submission order.
+        let expected_scope = if i < 2 { "run A" } else { "run B" };
+        assert_eq!(scope, expected_scope);
+        match i {
+            0 => {
+                assert_eq!(kind, "run_start");
+                assert_eq!(value.get("groups").and_then(|v| v.as_u64()), Some(10));
+            }
+            1 => {
+                assert_eq!(kind, "provision");
+                assert_eq!(
+                    value.get("reason").and_then(|v| v.as_str()),
+                    Some("distance")
+                );
+            }
+            _ => {
+                assert_eq!(kind, "tick");
+                assert_eq!(value.get("demand_cpu").and_then(|v| v.as_f64()), Some(2.5));
+            }
+        }
+    }
+    // Flush cleared the buffer but kept the destination: a second flush
+    // writes an empty file.
+    mmog_obs::flush_trace().expect("second flush succeeds");
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+    mmog_obs::set_trace_path(None);
+    let _ = std::fs::remove_file(&path);
+}

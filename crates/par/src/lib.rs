@@ -38,6 +38,52 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+/// Pool/fan-out instrumentation. Worker counts and dispatch volumes
+/// depend on `--jobs` and scheduling, so everything here lives in the
+/// observability plane's `Timing` domain — exported for inspection,
+/// masked by determinism comparisons.
+mod obs_hooks {
+    use mmog_obs::{counter, gauge, Counter, Domain, Gauge};
+    use std::sync::{Arc, OnceLock};
+
+    fn stat<T>(cell: &'static OnceLock<Arc<T>>, init: impl FnOnce() -> Arc<T>) -> &'static Arc<T> {
+        cell.get_or_init(init)
+    }
+
+    /// Records one parallel-map region and the threads it applied.
+    pub(crate) fn record_par_map(workers: usize, items: usize) {
+        static REGIONS: OnceLock<Arc<Counter>> = OnceLock::new();
+        static WORKERS: OnceLock<Arc<Gauge>> = OnceLock::new();
+        stat(&REGIONS, || counter("par.map.regions", Domain::Timing)).incr();
+        stat(&WORKERS, || gauge("par.map.workers_max", Domain::Timing))
+            .set_max(workers.min(items) as i64);
+    }
+
+    /// Records one pool dispatch: fan-out width and worker utilization.
+    pub(crate) fn record_dispatch(threads: usize, items: usize) {
+        static DISPATCHES: OnceLock<Arc<Counter>> = OnceLock::new();
+        static QUEUE: OnceLock<Arc<Gauge>> = OnceLock::new();
+        static ACTIVE: OnceLock<Arc<Gauge>> = OnceLock::new();
+        stat(&DISPATCHES, || {
+            counter("par.pool.dispatches", Domain::Timing)
+        })
+        .incr();
+        stat(&QUEUE, || gauge("par.pool.queue_depth_max", Domain::Timing)).set_max(items as i64);
+        stat(&ACTIVE, || {
+            gauge("par.pool.active_workers_max", Domain::Timing)
+        })
+        .set_max(threads.min(items) as i64);
+    }
+
+    /// Records a pool being built with the given thread count.
+    pub(crate) fn record_pool(threads: usize) {
+        static POOLS: OnceLock<Arc<Counter>> = OnceLock::new();
+        static THREADS: OnceLock<Arc<Gauge>> = OnceLock::new();
+        stat(&POOLS, || counter("par.pool.created", Domain::Timing)).incr();
+        stat(&THREADS, || gauge("par.pool.threads_max", Domain::Timing)).set_max(threads as i64);
+    }
+}
+
 /// Global worker-count override; 0 means "not set, use the default".
 static JOBS: AtomicUsize = AtomicUsize::new(0);
 
@@ -110,6 +156,7 @@ where
     if workers <= 1 || in_parallel() {
         return items.iter().map(f).collect();
     }
+    obs_hooks::record_par_map(workers, n);
     let next = AtomicUsize::new(0);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
@@ -249,12 +296,13 @@ impl Pool {
             work: Condvar::new(),
             done: Condvar::new(),
         });
-        let workers = (1..jobs.max(1))
+        let workers: Vec<JoinHandle<()>> = (1..jobs.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
+        obs_hooks::record_pool(workers.len() + 1);
         Self { shared, workers }
     }
 
@@ -288,6 +336,7 @@ impl Pool {
             }
             return;
         }
+        obs_hooks::record_dispatch(self.threads(), n);
 
         struct Ctx<T, F> {
             base: SendPtr<T>,

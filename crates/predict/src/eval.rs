@@ -210,11 +210,19 @@ pub fn measure_latency(
     batches: usize,
     batch_size: usize,
 ) -> LatencyResult {
+    let _span = mmog_obs::span("predict/measure_latency");
     let split = series.len() / 2;
     let mut p = kind.build(&series[..split]);
     for &x in series {
         p.observe(x);
     }
+    // Wall-clock samples are inherently run-dependent: Timing domain,
+    // masked out by the determinism suite.
+    let hist = mmog_obs::histogram(
+        "predict.latency_us",
+        mmog_obs::Domain::Timing,
+        &[0.01, 0.1, 1.0, 10.0, 100.0],
+    );
     let mut samples = Vec::with_capacity(batches);
     let mut sink = 0.0;
     for _ in 0..batches {
@@ -223,7 +231,9 @@ pub fn measure_latency(
             sink += p.predict();
         }
         let elapsed = start.elapsed().as_nanos() as f64;
-        samples.push(elapsed / batch_size as f64);
+        let per_call = elapsed / batch_size as f64;
+        hist.record(per_call / 1_000.0);
+        samples.push(per_call);
     }
     // Keep the sink alive so the calls are not optimised away.
     assert!(sink.is_finite());

@@ -114,6 +114,7 @@ impl NeuralPredictor {
     /// predictor plus a report.
     #[must_use]
     pub fn train(cfg: NeuralConfig, series: &[f64]) -> (Self, TrainingReport) {
+        let _span = mmog_obs::span("predict/neural/train");
         let scale = series.iter().copied().fold(1.0_f64, f64::max) * 1.2;
         let mut predictor = Self::untrained(cfg, scale);
         if series.len() <= cfg.window {
@@ -191,6 +192,10 @@ impl NeuralPredictor {
                 / test.len() as f64)
                 .sqrt()
         };
+        // Era totals are data/seed-determined and the add is commutative,
+        // so this stays deterministic under parallel per-group training.
+        mmog_obs::counter("predict.train.eras", mmog_obs::Domain::Semantic).add(eras as u64);
+        mmog_obs::counter("predict.train.models", mmog_obs::Domain::Semantic).incr();
         let report = TrainingReport {
             eras,
             test_rmse,

@@ -13,6 +13,7 @@ use crate::provision::GroupProvisioner;
 use mmog_datacenter::center::DataCenter;
 use mmog_datacenter::request::OperatorId;
 use mmog_datacenter::resource::ResourceVector;
+use mmog_obs::{Domain, EventSink};
 use mmog_predict::eval::PredictorKind;
 use mmog_util::geo::{DistanceClass, GeoPoint};
 use mmog_util::series::TimeSeries;
@@ -158,11 +159,59 @@ struct GroupRuntime {
     game: usize,
     /// Scratch for the per-tick fan-out.
     tick: TickScratch,
+    /// Σ|predicted − actual| players over scored ticks (the paper's
+    /// un-normalized sample prediction error, accumulated online).
+    abs_err_sum: f64,
+    /// Σ actual players over the same ticks (the metric's denominator).
+    actual_sum: f64,
 }
 
 /// Below this many server groups a per-tick fan-out costs more in
 /// barrier traffic than it saves; the engine stays serial.
 const PARALLEL_GROUP_THRESHOLD: usize = 8;
+
+/// Emits the `provision` event for one adjustment step that changed
+/// anything, plus one `match_reject` event per center the matcher
+/// considered and rejected when part of the request went unmet.
+fn emit_adjust_events(
+    sink: Option<&mut EventSink>,
+    tick: usize,
+    provisioner: &GroupProvisioner,
+    target: &ResourceVector,
+    out: &crate::provision::AdjustOutcome,
+) {
+    let Some(sink) = sink else { return };
+    if out.granted == 0 && out.released == 0 && !out.unmet {
+        return;
+    }
+    sink.emit(
+        "provision",
+        &[
+            ("tick", tick.into()),
+            ("operator", provisioner.operator.0.into()),
+            ("granted", out.granted.into()),
+            ("released", out.released.into()),
+            ("unmet", out.unmet.into()),
+            ("target_cpu", target.cpu.into()),
+            ("alloc_cpu", provisioner.allocated().cpu.into()),
+        ],
+    );
+    if out.unmet {
+        if let Some(matched) = provisioner.last_match() {
+            for r in &matched.rejections {
+                sink.emit(
+                    "match_reject",
+                    &[
+                        ("tick", tick.into()),
+                        ("operator", provisioner.operator.0.into()),
+                        ("center", r.center_index.into()),
+                        ("reason", r.reason.label().into()),
+                    ],
+                );
+            }
+        }
+    }
+}
 
 /// The simulation itself.
 pub struct Simulation {
@@ -176,6 +225,9 @@ pub struct Simulation {
     game_names: Vec<String>,
     /// Group indices in request-processing order (by game priority).
     processing_order: Vec<usize>,
+    /// Deterministic configuration-derived label the run's trace chunk
+    /// is submitted under.
+    trace_label: String,
 }
 
 impl Simulation {
@@ -185,6 +237,7 @@ impl Simulation {
     /// Panics when a game's trace is empty.
     #[must_use]
     pub fn new(cfg: SimulationConfig) -> Self {
+        let _span = mmog_obs::span("sim/build");
         // Pass 1 (serial): enumerate groups in configuration order and
         // collect everything each one needs. The group index assigned
         // here also names the group's random stream, so it must not
@@ -227,27 +280,36 @@ impl Simulation {
         // server group dominates construction cost; each group's
         // training is self-contained (own series slice, own seed), so
         // the fan-out is embarrassingly parallel and order-preserving.
+        let train_span = mmog_obs::span("sim/build/train");
+        let record_matches = mmog_obs::trace_enabled();
         let groups: Vec<GroupRuntime> = mmog_par::par_map(&specs, |spec| {
             let game = &cfg.games[spec.game];
             let demand_model = DemandModel::paper(game.update_model);
             let predictor = game
                 .predictor
                 .build_seeded(&spec.series.values()[..spec.train_end], spec.seed);
+            let mut provisioner = GroupProvisioner::new(
+                spec.operator,
+                spec.origin,
+                game.tolerance,
+                demand_model,
+                game.headroom,
+                predictor,
+            );
+            provisioner.record_matches = record_matches;
             GroupRuntime {
-                provisioner: GroupProvisioner::new(
-                    spec.operator,
-                    spec.origin,
-                    game.tolerance,
-                    demand_model,
-                    game.headroom,
-                    predictor,
-                ),
+                provisioner,
                 series: spec.series.clone(),
                 demand_model,
                 game: spec.game,
                 tick: TickScratch::ZERO,
+                abs_err_sum: 0.0,
+                actual_sum: 0.0,
             }
         });
+        drop(train_span);
+        mmog_obs::counter("sim.groups", Domain::Semantic).add(groups.len() as u64);
+        mmog_obs::gauge("sim.groups_max", Domain::Semantic).set_max(groups.len() as i64);
         assert!(
             !groups.is_empty(),
             "simulation needs at least one server group"
@@ -256,6 +318,23 @@ impl Simulation {
         // Stable sort keeps insertion order among equal priorities.
         let mut processing_order: Vec<usize> = (0..groups.len()).collect();
         processing_order.sort_by_key(|&gi| cfg.games[groups[gi].game].priority);
+        // The label identifies the run by configuration alone, so
+        // identical configs produce identical chunks and the trace file
+        // sorts deterministically regardless of completion order.
+        let game_tags: Vec<String> = cfg
+            .games
+            .iter()
+            .map(|g| format!("{}:{}:p{}", g.name, g.predictor.label(), g.priority))
+            .collect();
+        let trace_label = format!(
+            "sim mode={:?} seed={} ticks={} warmup={} centers={} games=[{}]",
+            cfg.mode,
+            cfg.master_seed,
+            ticks,
+            cfg.warmup_ticks,
+            cfg.centers.len(),
+            game_tags.join(",")
+        );
         Self {
             centers: cfg.centers,
             groups,
@@ -266,12 +345,40 @@ impl Simulation {
             static_targets,
             game_names: cfg.games.iter().map(|g| g.name.clone()).collect(),
             processing_order,
+            trace_label,
         }
     }
 
     /// Runs the simulation to completion.
     #[must_use]
     pub fn run(mut self) -> SimReport {
+        let _run_span = mmog_obs::span("sim/run");
+        mmog_obs::counter("sim.runs", Domain::Semantic).incr();
+        mmog_obs::counter("sim.ticks", Domain::Semantic).add(self.ticks as u64);
+        // Event emission happens exclusively from this method's serial
+        // sections, so within-run order is program order (the event-log
+        // determinism contract).
+        let mut sink = EventSink::if_enabled();
+        if let Some(sink) = sink.as_mut() {
+            sink.emit(
+                "run_start",
+                &[
+                    (
+                        "mode",
+                        if self.mode == AllocationMode::Dynamic {
+                            "dynamic"
+                        } else {
+                            "static"
+                        }
+                        .into(),
+                    ),
+                    ("groups", self.groups.len().into()),
+                    ("centers", self.centers.len().into()),
+                    ("ticks", self.ticks.into()),
+                    ("warmup", self.warmup.into()),
+                ],
+            );
+        }
         let mut metrics = MetricsCollector::new();
         // M of Eq. 2: one machine-equivalent per server group (a group
         // at full load is exactly one game server, Sec. V-A).
@@ -286,6 +393,8 @@ impl Simulation {
         let mut demand_cpu_series = TimeSeries::with_capacity(self.ticks);
         let mut alloc_cpu_series = TimeSeries::with_capacity(self.ticks);
         let mut unmet_steps = 0u64;
+        let mut leases_granted = 0u64;
+        let mut leases_released = 0u64;
         // Center usage accumulators.
         let mut usage: Vec<(BTreeMap<u32, f64>, f64)> =
             vec![(BTreeMap::new(), 0.0); self.centers.len()];
@@ -297,9 +406,12 @@ impl Simulation {
                 let out = group
                     .provisioner
                     .adjust(&target, &mut self.centers, SimTime::ZERO);
+                leases_granted += out.granted as u64;
+                leases_released += out.released as u64;
                 if out.unmet {
                     unmet_steps += 1;
                 }
+                emit_adjust_events(sink.as_mut(), 0, &group.provisioner, &target, &out);
             }
         }
 
@@ -315,6 +427,11 @@ impl Simulation {
             && self.groups.len() >= PARALLEL_GROUP_THRESHOLD)
             .then(mmog_par::Pool::with_global_jobs);
 
+        // Per-stage timers, interned once: the pipeline's timing tree.
+        let t_predict = mmog_obs::timer("sim/run/predict_score");
+        let t_reduce = mmog_obs::timer("sim/run/reduce");
+        let t_settle = mmog_obs::timer("sim/run/match_settle");
+
         for t in 0..self.ticks {
             let now = SimTime(t as u64);
             let dynamic = self.mode == AllocationMode::Dynamic;
@@ -323,6 +440,14 @@ impl Simulation {
             // demand target. Each group touches only its own state.
             let step = |_i: usize, group: &mut GroupRuntime| {
                 let players = group.series.values()[t];
+                // Score the prediction made last tick against this
+                // tick's observation. Per-group accumulators keep the
+                // sums deterministic under the fan-out.
+                let prev = group.provisioner.last_prediction();
+                if dynamic && prev.is_finite() {
+                    group.abs_err_sum += (prev - players).abs();
+                    group.actual_sum += players;
+                }
                 let demand = group.demand_model.demand(players);
                 let alloc = group.provisioner.allocated();
                 let short = (alloc - demand).min(&ResourceVector::ZERO);
@@ -338,14 +463,15 @@ impl Simulation {
                     target,
                 };
             };
-            match &pool {
+            mmog_obs::time_stat(&t_predict, || match &pool {
                 Some(pool) => pool.for_each_mut(&mut self.groups, step),
                 None => {
                     for (i, group) in self.groups.iter_mut().enumerate() {
                         step(i, group);
                     }
                 }
-            }
+            });
+            let reduce_start = std::time::Instant::now();
             // Ordered reduction (Eq. 2's min is per server group so one
             // group's surplus never hides another's deficit): fold the
             // scratch in group-index order — float sums come out
@@ -384,23 +510,41 @@ impl Simulation {
                     acc.1 += center.free().cpu;
                 }
             }
+            if let Some(sink) = sink.as_mut() {
+                sink.emit(
+                    "tick",
+                    &[
+                        ("tick", t.into()),
+                        ("demand_cpu", total_demand.cpu.into()),
+                        ("alloc_cpu", total_alloc.cpu.into()),
+                        ("shortfall_cpu", shortfall.cpu.into()),
+                    ],
+                );
+            }
+            t_reduce
+                .record_ns(u64::try_from(reduce_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
             // Serial stage: adjust allocations for the next tick, in
             // priority order — higher-priority games lease (and keep)
             // capacity first. Matching contends on the shared centers,
             // so this ordering IS the semantics and cannot fan out.
             if dynamic {
-                for gi in 0..self.processing_order.len() {
-                    let group = &mut self.groups[self.processing_order[gi]];
-                    let target = group.tick.target;
-                    let out = group.provisioner.adjust(&target, &mut self.centers, now);
-                    if out.unmet {
-                        unmet_steps += 1;
+                mmog_obs::time_stat(&t_settle, || {
+                    for gi in 0..self.processing_order.len() {
+                        let group = &mut self.groups[self.processing_order[gi]];
+                        let target = group.tick.target;
+                        let out = group.provisioner.adjust(&target, &mut self.centers, now);
+                        leases_granted += out.granted as u64;
+                        leases_released += out.released as u64;
+                        if out.unmet {
+                            unmet_steps += 1;
+                        }
+                        emit_adjust_events(sink.as_mut(), t, &group.provisioner, &target, &out);
                     }
-                }
+                });
             }
         }
 
-        let center_usage = self
+        let center_usage: Vec<CenterUsage> = self
             .centers
             .iter()
             .zip(usage)
@@ -412,6 +556,61 @@ impl Simulation {
                 cpu_free: free,
             })
             .collect();
+
+        mmog_obs::counter("sim.unmet_steps", Domain::Semantic).add(unmet_steps);
+        mmog_obs::counter("sim.leases_granted", Domain::Semantic).add(leases_granted);
+        mmog_obs::counter("sim.leases_released", Domain::Semantic).add(leases_released);
+        // Per-group online prediction error (the paper's metric, scored
+        // over the whole run); both the histogram records and the event
+        // values are per-group deterministic quantities.
+        let err_hist = mmog_obs::histogram(
+            "sim.prediction_error_pct",
+            Domain::Semantic,
+            &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0],
+        );
+        for (gi, group) in self.groups.iter().enumerate() {
+            if group.actual_sum <= 0.0 {
+                continue;
+            }
+            let error_pct = 100.0 * group.abs_err_sum / group.actual_sum;
+            err_hist.record(error_pct);
+            if let Some(sink) = sink.as_mut() {
+                sink.emit(
+                    "prediction_group",
+                    &[
+                        ("group", gi.into()),
+                        ("operator", group.provisioner.operator.0.into()),
+                        ("game", self.game_names[group.game].as_str().into()),
+                        ("error_pct", error_pct.into()),
+                    ],
+                );
+            }
+        }
+        if let Some(mut sink) = sink {
+            // Integrated per-center usage: the bulk-waste attribution of
+            // Figures 13–14, one event per center in platform order.
+            for u in &center_usage {
+                sink.emit(
+                    "center_usage",
+                    &[
+                        ("name", u.name.as_str().into()),
+                        ("capacity_cpu", u.capacity_cpu.into()),
+                        ("cpu_unit_ticks", u.cpu_total.into()),
+                        ("cpu_free_unit_ticks", u.cpu_free.into()),
+                    ],
+                );
+            }
+            sink.emit(
+                "run_end",
+                &[
+                    ("ticks", self.ticks.into()),
+                    ("unmet_steps", unmet_steps.into()),
+                    ("leases_granted", leases_granted.into()),
+                    ("leases_released", leases_released.into()),
+                ],
+            );
+            sink.submit(&self.trace_label);
+        }
 
         SimReport {
             metrics,

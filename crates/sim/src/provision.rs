@@ -9,7 +9,7 @@
 
 use crate::demand::DemandModel;
 use mmog_datacenter::center::{DataCenter, Lease};
-use mmog_datacenter::matching::match_request;
+use mmog_datacenter::matching::{match_request, MatchOutcome};
 use mmog_datacenter::request::{OperatorId, ResourceRequest};
 use mmog_datacenter::resource::ResourceVector;
 use mmog_predict::traits::Predictor;
@@ -52,9 +52,17 @@ pub struct GroupProvisioner {
     /// under-allocations cannot be tolerated). 1.0 = allocate exactly
     /// the prediction.
     pub headroom: f64,
+    /// When set, [`adjust`] keeps each step's matcher outcome so the
+    /// engine can emit match accept/reject trace events. Off by default:
+    /// the clone is pure overhead when tracing is disabled.
+    ///
+    /// [`adjust`]: Self::adjust
+    pub record_matches: bool,
     predictor: Box<dyn Predictor + Send>,
     leases: Vec<HeldLease>,
     allocated: ResourceVector,
+    last_match: Option<MatchOutcome>,
+    last_prediction: f64,
 }
 
 impl GroupProvisioner {
@@ -74,9 +82,12 @@ impl GroupProvisioner {
             tolerance,
             demand_model,
             headroom,
+            record_matches: false,
             predictor,
             leases: Vec::new(),
             allocated: ResourceVector::ZERO,
+            last_match: None,
+            last_prediction: f64::NAN,
         }
     }
 
@@ -97,7 +108,28 @@ impl GroupProvisioner {
     pub fn observe_and_target(&mut self, players_now: f64) -> ResourceVector {
         self.predictor.observe(players_now);
         let predicted = self.predictor.predict().max(0.0);
+        self.last_prediction = predicted;
         self.demand_model.demand(predicted) * self.headroom
+    }
+
+    /// The player count predicted by the most recent
+    /// [`observe_and_target`] call (NaN before the first one) — the
+    /// engine scores it against the next tick's observation.
+    ///
+    /// [`observe_and_target`]: Self::observe_and_target
+    #[must_use]
+    pub fn last_prediction(&self) -> f64 {
+        self.last_prediction
+    }
+
+    /// The matcher outcome of the most recent [`adjust`] step that
+    /// issued a request — only retained while [`record_matches`] is set.
+    ///
+    /// [`adjust`]: Self::adjust
+    /// [`record_matches`]: Self::record_matches
+    #[must_use]
+    pub fn last_match(&self) -> Option<&MatchOutcome> {
+        self.last_match.as_ref()
     }
 
     /// The demand target for a fixed player count (static provisioning).
@@ -208,6 +240,7 @@ impl GroupProvisioner {
         }
 
         // Phase 2: request the deficit.
+        self.last_match = None;
         let deficit = (*target - self.allocated).clamp_non_negative();
         if !deficit.is_negligible(1e-6) {
             let request = ResourceRequest::new(self.operator, deficit, self.origin, self.tolerance);
@@ -227,6 +260,9 @@ impl GroupProvisioner {
                 outcome.granted += 1;
             }
             outcome.unmet = !matched.fully_met();
+            if self.record_matches {
+                self.last_match = Some(matched);
+            }
         }
         outcome
     }

@@ -412,6 +412,9 @@ impl GameEmulator {
     /// Runs `ticks` steps from a fresh world, collecting every snapshot.
     #[must_use]
     pub fn run(cfg: EmulatorConfig, seed: u64, ticks: usize) -> EmulatorOutput {
+        let _span = mmog_obs::span("world/emulator/run");
+        mmog_obs::counter("world.emulator.runs", mmog_obs::Domain::Semantic).incr();
+        mmog_obs::counter("world.emulator.ticks", mmog_obs::Domain::Semantic).add(ticks as u64);
         let mut emu = Self::new(cfg, seed);
         let mut snapshots = Vec::with_capacity(ticks);
         for _ in 0..ticks {

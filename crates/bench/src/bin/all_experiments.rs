@@ -6,7 +6,7 @@
 //! the experiment index). Pass `--quick` for a smoke-scale run or
 //! `--days N --cap N` for custom scales.
 //!
-//! The 18 experiments are independent (each builds its workload through
+//! The 19 experiments are independent (each builds its workload through
 //! the shared process-wide cache), so they fan out across `--jobs N`
 //! worker threads (default: all logical CPUs; `--jobs 1` reproduces the
 //! serial path). Reports are collected in suite order and printed and
@@ -118,6 +118,7 @@ fn main() {
         ("ablation_headroom", exp::ablation_headroom),
         ("ablation_aoi", exp::ablation_aoi),
         ("ablation_priority", exp::ablation_priority),
+        ("fig_faults", exp::fig_faults),
     ];
 
     // Fan the suite out; results come back in suite order regardless of

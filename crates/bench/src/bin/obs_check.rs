@@ -1,6 +1,8 @@
 //! Validates observability artifacts: an `OBS_summary.json` against the
 //! `mmog-obs/v1` schema, and optionally a JSONL event trace for
-//! well-formedness and contiguous sequence numbers.
+//! well-formedness, contiguous sequence numbers, and known event kinds
+//! (including the fault plane's `center_down`/`center_up`/
+//! `lease_revoked`/`reprovision` family).
 //!
 //! Usage: `obs_check <OBS_summary.json> [trace.jsonl]`
 //!
@@ -21,13 +23,16 @@ fn check_trace(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut count = 0u64;
     for (i, line) in text.lines().enumerate() {
-        let (seq, _scope, _kind, _value) =
+        let (seq, _scope, kind, _value) =
             mmog_obs::parse_trace_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
         if seq != i as u64 {
             return Err(format!(
                 "{path}:{}: sequence number {seq}, expected {i}",
                 i + 1
             ));
+        }
+        if !mmog_obs::KNOWN_EVENT_KINDS.contains(&kind.as_str()) {
+            return Err(format!("{path}:{}: unknown event kind `{kind}`", i + 1));
         }
         count += 1;
     }

@@ -1,5 +1,6 @@
 //! Minimal argument parsing shared by the experiment binaries.
 
+use mmog_faults::FaultSpec;
 use mmog_sim::scenario::ScenarioOpts;
 use std::path::PathBuf;
 
@@ -20,6 +21,12 @@ pub struct RunOpts {
     pub trace: Option<PathBuf>,
     /// Whether to export the metrics summary (`--metrics`).
     pub metrics: bool,
+    /// Fault-injection spec (`--faults SPEC`; the `MMOG_FAULTS`
+    /// environment variable is the fallback). `--faults paper` selects
+    /// the default rates; `--faults "outages=0.5,repair=120"` tunes
+    /// them. Malformed specs abort rather than silently running
+    /// unfaulted.
+    pub faults: Option<FaultSpec>,
 }
 
 impl Default for RunOpts {
@@ -31,6 +38,7 @@ impl Default for RunOpts {
             jobs: 0,
             trace: None,
             metrics: false,
+            faults: None,
         }
     }
 }
@@ -44,7 +52,14 @@ impl RunOpts {
     /// ignored so binaries stay composable.
     #[must_use]
     pub fn from_args() -> Self {
-        let opts = Self::parse(std::env::args().skip(1));
+        let mut opts = Self::parse(std::env::args().skip(1));
+        if opts.faults.is_none() {
+            if let Ok(spec) = std::env::var("MMOG_FAULTS") {
+                if !spec.is_empty() {
+                    opts.faults = Some(parse_fault_spec(&spec));
+                }
+            }
+        }
         opts.apply_jobs();
         opts.apply_obs();
         opts
@@ -88,6 +103,10 @@ impl RunOpts {
                 "--metrics" => {
                     opts.metrics = true;
                 }
+                "--faults" if i + 1 < args.len() => {
+                    opts.faults = Some(parse_fault_spec(&args[i + 1]));
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
@@ -118,6 +137,24 @@ impl RunOpts {
             seed: self.seed,
             group_cap: self.cap,
         }
+    }
+}
+
+/// Resolves a `--faults` / `MMOG_FAULTS` value: the keyword `paper`
+/// selects [`FaultSpec::paper_default`]; anything else must parse as a
+/// `key=value` list.
+///
+/// # Panics
+/// Panics on a malformed spec — a typo must abort the run, not
+/// silently disable fault injection.
+#[must_use]
+pub fn parse_fault_spec(spec: &str) -> FaultSpec {
+    if spec == "paper" {
+        return FaultSpec::paper_default();
+    }
+    match FaultSpec::parse(spec) {
+        Ok(parsed) => parsed,
+        Err(err) => panic!("invalid fault spec {spec:?}: {err}"),
     }
 }
 
@@ -155,6 +192,27 @@ mod tests {
         assert_eq!(o.jobs, 0);
         assert_eq!(o.trace, None);
         assert!(!o.metrics);
+    }
+
+    #[test]
+    fn faults_flag_parses() {
+        let o = RunOpts::parse(args(&["--faults", "paper"]));
+        assert_eq!(o.faults, Some(FaultSpec::paper_default()));
+        let o = RunOpts::parse(args(&["--faults", "outages=0.5,repair=120,seed=9"]));
+        let spec = o.faults.expect("spec parsed");
+        assert_eq!(spec.outages_per_center_day, 0.5);
+        assert_eq!(spec.repair_minutes, 120);
+        assert_eq!(spec.seed, 9);
+        // Absent by default, and --faults without a value is ignored
+        // like any malformed flag.
+        assert_eq!(RunOpts::parse(args(&[])).faults, None);
+        assert_eq!(RunOpts::parse(args(&["--faults"])).faults, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault spec")]
+    fn malformed_fault_spec_aborts() {
+        let _ = RunOpts::parse(args(&["--faults", "bogus_key=1"]));
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! The fault-injection experiment: provisioning under deterministic
+//! data-center failures.
+//!
+//! Sweeps the fault intensity (a multiplier on the base spec's event
+//! rates) against the allocation mode, measuring what the paper's
+//! evaluation never stresses: how the request–offer matching mechanism
+//! *re-provisions* after outages, degradations and lease revocations.
+//! Dynamic allocation self-heals — lost capacity is re-requested from
+//! surviving centers within the latency tolerance, so unserved
+//! player-ticks return to zero after every outage; static allocation
+//! only re-buys its fixed peak block and pays for it all day.
+
+use crate::cli::RunOpts;
+use mmog_datacenter::resource::ResourceType;
+use mmog_faults::FaultSpec;
+use mmog_sim::engine::{AllocationMode, SimReport, Simulation};
+use mmog_sim::report::render_table;
+use mmog_sim::scenario;
+use std::fmt::Write as _;
+
+/// The sweep's fault-intensity multipliers: the unfaulted baseline,
+/// the base spec, and a 4× storm.
+pub const FAULT_MULTIPLIERS: [f64; 3] = [0.0, 1.0, 4.0];
+
+fn mode_label(mode: AllocationMode) -> &'static str {
+    match mode {
+        AllocationMode::Dynamic => "dynamic",
+        AllocationMode::Static => "static",
+    }
+}
+
+fn fault_row(label: &str, report: &SimReport) -> Vec<String> {
+    let recovered = report.recovery_ticks.len();
+    let mean_recovery = if recovered == 0 {
+        "-".to_string()
+    } else {
+        let sum: u64 = report.recovery_ticks.iter().sum();
+        format!("{:.1}", sum as f64 / recovered as f64)
+    };
+    vec![
+        label.to_string(),
+        report.fault_events.to_string(),
+        report.leases_revoked.to_string(),
+        report.reprovisions.to_string(),
+        format!("{:.0}", report.unserved_player_ticks),
+        recovered.to_string(),
+        mean_recovery,
+        report.unrecovered_outages.to_string(),
+        report.rejections.total().to_string(),
+        format!("{:.2}", report.metrics.avg_over(ResourceType::Cpu)),
+        format!("{:.2}", report.metrics.avg_under(ResourceType::Cpu)),
+    ]
+}
+
+const FAULT_HEADERS: [&str; 11] = [
+    "Setup",
+    "Faults",
+    "Revoked",
+    "Reprov",
+    "Unserved p-t",
+    "Healed",
+    "Mean heal [ticks]",
+    "Unhealed",
+    "Rejections",
+    "Over CPU [%]",
+    "Under CPU [%]",
+];
+
+/// The fault-injection figure: outage intensity × allocation mode.
+/// The base spec comes from `--faults` (default: the paper-default
+/// rates), scaled by [`FAULT_MULTIPLIERS`].
+#[must_use]
+pub fn fig_faults(opts: &RunOpts) -> String {
+    let sopts = opts.scenario();
+    let base = opts.faults.clone().unwrap_or_else(FaultSpec::paper_default);
+    let cells: Vec<(AllocationMode, f64)> = [AllocationMode::Dynamic, AllocationMode::Static]
+        .iter()
+        .flat_map(|&mode| FAULT_MULTIPLIERS.iter().map(move |&m| (mode, m)))
+        .collect();
+    let reports = mmog_par::par_map(&cells, |&(mode, mult)| {
+        Simulation::new(scenario::fault_injection(&base.scaled(mult), mode, &sopts)).run()
+    });
+    let mut out =
+        String::from("Fault injection: deterministic outages, degradations, lease revocations\n\n");
+    let _ = writeln!(out, "base spec: {}\n", base.label());
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .zip(&reports)
+        .map(|(&(mode, mult), report)| {
+            fault_row(&format!("{} x{mult:.1}", mode_label(mode)), report)
+        })
+        .collect();
+    out.push_str(&render_table(&FAULT_HEADERS, &rows));
+    out.push_str(
+        "\nExpected shape: dynamic allocation re-provisions lost capacity from \
+         surviving centers (every outage heals, unserved player-ticks stay \
+         bounded); static allocation only re-buys its peak block, so its \
+         unserved volume grows with the fault rate while its over-allocation \
+         stays an order of magnitude above dynamic's.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> RunOpts {
+        RunOpts {
+            days: 1,
+            cap: Some(2),
+            seed: 11,
+            ..RunOpts::default()
+        }
+    }
+
+    #[test]
+    fn fig_faults_renders_all_cells() {
+        let out = fig_faults(&quick_opts());
+        assert!(out.contains("dynamic x0.0"));
+        assert!(out.contains("dynamic x4.0"));
+        assert!(out.contains("static x1.0"));
+        assert!(out.contains("base spec:"));
+        // Deterministic: the same opts render the same bytes.
+        assert_eq!(out, fig_faults(&quick_opts()));
+    }
+
+    #[test]
+    fn custom_spec_overrides_base() {
+        let mut opts = quick_opts();
+        opts.faults = Some(FaultSpec::parse("outages=0.1,seed=3").expect("valid spec"));
+        let out = fig_faults(&opts);
+        assert!(out.contains("seed=3"), "label reflects the custom spec");
+    }
+}

@@ -4,10 +4,12 @@
 //! the series or table cells of the paper's figure. The binaries print
 //! it; `bin/all_experiments` also writes it under `results/`.
 
+pub mod faults;
 pub mod prediction;
 pub mod provisioning;
 pub mod workload;
 
+pub use faults::fig_faults;
 pub use prediction::{fig05_prediction_accuracy, fig06_prediction_time};
 pub use provisioning::{
     ablation_aoi, ablation_headroom, ablation_priority, fig08_static_vs_dynamic,

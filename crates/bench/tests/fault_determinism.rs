@@ -1,0 +1,91 @@
+//! The fault plane's determinism contract: a faulted run's event trace
+//! and simulation report are byte-identical between `--jobs 1` and
+//! `--jobs 4`, and across repeated same-seed runs — fault events are
+//! applied and emitted only from the engine's serial sections, so the
+//! fan-out width can never reorder or drop them.
+//!
+//! One test function: the jobs setting and the trace destination are
+//! process-global, so separate `#[test]`s would race under the
+//! parallel test harness.
+
+use mmog_faults::FaultSpec;
+use mmog_sim::engine::{AllocationMode, Simulation};
+use mmog_sim::scenario::{self, ScenarioOpts};
+use std::fs;
+use std::path::PathBuf;
+
+fn tiny() -> ScenarioOpts {
+    ScenarioOpts {
+        days: 1,
+        seed: 77,
+        group_cap: Some(2),
+    }
+}
+
+/// Runs one faulted simulation (paper-default spec, dynamic
+/// allocation) with tracing into `path` and returns `(report debug
+/// fingerprint, trace bytes)`.
+fn faulted_pass(path: &PathBuf) -> (String, String) {
+    mmog_obs::reset();
+    mmog_obs::set_trace_path(Some(path));
+    let cfg = scenario::fault_injection(
+        &FaultSpec::paper_default(),
+        AllocationMode::Dynamic,
+        &tiny(),
+    );
+    let report = Simulation::new(cfg).run();
+    mmog_obs::flush_trace().expect("flush succeeds");
+    mmog_obs::set_trace_path(None);
+    let trace = fs::read_to_string(path).expect("trace file exists");
+    (format!("{report:?}"), trace)
+}
+
+#[test]
+fn faulted_runs_identical_across_jobs_and_repeats() {
+    let baseline_jobs = mmog_par::jobs();
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let p1 = dir.join(format!("mmog_fault_det_j1_{pid}.jsonl"));
+    let p4 = dir.join(format!("mmog_fault_det_j4_{pid}.jsonl"));
+    let p4b = dir.join(format!("mmog_fault_det_j4b_{pid}.jsonl"));
+
+    mmog_par::set_jobs(1);
+    let (report_serial, trace_serial) = faulted_pass(&p1);
+    mmog_par::set_jobs(4);
+    let (report_parallel, trace_parallel) = faulted_pass(&p4);
+    let (report_again, trace_again) = faulted_pass(&p4b);
+    mmog_par::set_jobs(baseline_jobs);
+    let _ = fs::remove_file(&p1);
+    let _ = fs::remove_file(&p4);
+    let _ = fs::remove_file(&p4b);
+
+    assert_eq!(
+        report_serial, report_parallel,
+        "faulted SimReport must be bit-identical between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(
+        trace_serial, trace_parallel,
+        "faulted event trace must be byte-identical between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(report_parallel, report_again, "same-seed runs must agree");
+    assert_eq!(trace_parallel, trace_again, "same-seed traces must agree");
+
+    // The trace actually exercises the fault plane: every lifecycle
+    // event kind the acceptance criteria name is present, lines parse,
+    // and sequence numbers are contiguous.
+    assert!(!trace_serial.is_empty(), "trace must contain events");
+    let mut kinds: Vec<String> = Vec::new();
+    for (i, line) in trace_serial.lines().enumerate() {
+        let (seq, _scope, kind, _v) = mmog_obs::parse_trace_line(line).expect("line parses");
+        assert_eq!(seq, i as u64, "sequence numbers are contiguous");
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    for required in ["center_down", "center_up", "lease_revoked", "reprovision"] {
+        assert!(
+            kinds.iter().any(|k| k == required),
+            "trace must contain a `{required}` event; saw kinds {kinds:?}"
+        );
+    }
+}

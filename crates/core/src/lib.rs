@@ -27,6 +27,7 @@
 
 use mmog_datacenter::center::DataCenter;
 use mmog_datacenter::locations::table3_hp12;
+use mmog_faults::FaultSchedule;
 use mmog_predict::eval::PredictorKind;
 use mmog_sim::engine::{AllocationMode, GameSpec, SimReport, Simulation, SimulationConfig};
 use mmog_util::geo::DistanceClass;
@@ -40,6 +41,7 @@ pub mod prelude {
     pub use mmog_datacenter::locations::{table3_centers, table3_hp12};
     pub use mmog_datacenter::policy::HostingPolicy;
     pub use mmog_datacenter::resource::{ResourceType, ResourceVector};
+    pub use mmog_faults::{FaultEvent, FaultKind, FaultSchedule, FaultSpec};
     pub use mmog_predict::eval::PredictorKind;
     pub use mmog_predict::neural::{NeuralConfig, NeuralPredictor};
     pub use mmog_predict::traits::Predictor;
@@ -90,6 +92,7 @@ pub struct EcosystemBuilder {
     warmup_ticks: usize,
     train_ticks: usize,
     master_seed: u64,
+    faults: Option<FaultSchedule>,
 }
 
 impl Default for EcosystemBuilder {
@@ -102,6 +105,7 @@ impl Default for EcosystemBuilder {
             warmup_ticks: 30,
             train_ticks: 720,
             master_seed: 0x5EED,
+            faults: None,
         }
     }
 }
@@ -170,6 +174,16 @@ impl EcosystemBuilder {
         self
     }
 
+    /// Injects a deterministic fault schedule: timed center outages,
+    /// degradations, lease revocations and predictor dropouts the run
+    /// must survive. Without this call the run is byte-identical to a
+    /// fault-free build.
+    #[must_use]
+    pub fn faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = Some(schedule);
+        self
+    }
+
     /// Finalises the configuration without running (for inspection or
     /// custom drivers).
     #[must_use]
@@ -182,6 +196,7 @@ impl EcosystemBuilder {
             warmup_ticks: self.warmup_ticks,
             train_ticks: self.train_ticks,
             master_seed: self.master_seed,
+            faults: self.faults,
         }
     }
 
@@ -260,6 +275,30 @@ mod tests {
         assert_eq!(cfg.ticks, Some(123));
         assert_eq!(cfg.warmup_ticks, 7);
         assert_eq!(cfg.train_ticks, 99);
+    }
+
+    #[test]
+    fn faults_knob_propagates() {
+        use mmog_faults::{FaultEvent, FaultKind};
+        let schedule = FaultSchedule::from_events(
+            "one-outage",
+            vec![FaultEvent {
+                tick: 5,
+                center: 0,
+                kind: FaultKind::CenterDown,
+            }],
+        );
+        let cfg = Ecosystem::builder()
+            .table3_platform()
+            .game(Ecosystem::default_game(tiny_trace()))
+            .faults(schedule)
+            .build();
+        assert_eq!(cfg.faults.as_ref().map(FaultSchedule::len), Some(1));
+        let unfaulted = Ecosystem::builder()
+            .table3_platform()
+            .game(Ecosystem::default_game(tiny_trace()))
+            .build();
+        assert!(unfaulted.faults.is_none());
     }
 
     #[test]

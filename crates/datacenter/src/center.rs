@@ -77,6 +77,29 @@ pub struct Lease {
     pub earliest_release: SimTime,
 }
 
+/// Availability state of a data center (the fault plane's state
+/// machine). With fault injection disabled every center stays [`Up`]
+/// forever and the accounting below is exactly the pre-fault-plane
+/// arithmetic.
+///
+/// [`Up`]: Availability::Up
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Availability {
+    /// Fully operational at nominal capacity.
+    #[default]
+    Up,
+    /// Operational at a fraction of nominal capacity. Existing leases
+    /// keep running (even if they now exceed the usable pool — the free
+    /// pool just clamps to zero); new grants see the reduced capacity.
+    Degraded {
+        /// Usable fraction of nominal capacity in `[0, 1]`.
+        fraction: f64,
+    },
+    /// Full outage: zero usable capacity, no grants, all leases revoked
+    /// when the outage struck.
+    Down,
+}
+
 /// A data center with live allocation state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DataCenter {
@@ -85,6 +108,7 @@ pub struct DataCenter {
     allocated: ResourceVector,
     leases: Vec<Lease>,
     next_lease: u64,
+    availability: Availability,
 }
 
 impl DataCenter {
@@ -96,6 +120,7 @@ impl DataCenter {
             allocated: ResourceVector::ZERO,
             leases: Vec::new(),
             next_lease: 0,
+            availability: Availability::Up,
         }
     }
 
@@ -105,10 +130,79 @@ impl DataCenter {
         self.allocated
     }
 
-    /// Remaining free capacity.
+    /// Current availability state.
+    #[must_use]
+    pub fn availability(&self) -> Availability {
+        self.availability
+    }
+
+    /// Capacity usable in the current availability state.
+    #[must_use]
+    pub fn effective_capacity(&self) -> ResourceVector {
+        match self.availability {
+            // `Up` returns nominal capacity directly (not `× 1.0`) so
+            // unfaulted runs reproduce the historical float math
+            // bit-for-bit.
+            Availability::Up => self.spec.capacity(),
+            Availability::Degraded { fraction } => self.spec.capacity() * fraction,
+            Availability::Down => ResourceVector::ZERO,
+        }
+    }
+
+    /// Remaining free capacity (under the effective, not nominal,
+    /// capacity — a degraded center offers less, a down center nothing).
     #[must_use]
     pub fn free(&self) -> ResourceVector {
-        (self.spec.capacity() - self.allocated).clamp_non_negative()
+        (self.effective_capacity() - self.allocated).clamp_non_negative()
+    }
+
+    /// Full outage: the center goes [`Availability::Down`] and every
+    /// lease is revoked (leases are center-local and cannot migrate out
+    /// of a failed cluster). Returns the revoked leases so callers can
+    /// notify their holders; the ids are retired and will never be
+    /// reissued or release-able again.
+    pub fn fail(&mut self) -> Vec<Lease> {
+        self.availability = Availability::Down;
+        self.allocated = ResourceVector::ZERO;
+        std::mem::take(&mut self.leases)
+    }
+
+    /// Repair: the center returns to [`Availability::Up`] at nominal
+    /// capacity. Leases revoked by a prior [`fail`] stay revoked.
+    ///
+    /// [`fail`]: Self::fail
+    pub fn repair(&mut self) {
+        self.availability = Availability::Up;
+    }
+
+    /// Partial degradation to `fraction` of nominal capacity (clamped
+    /// to `[0, 1]`). Existing leases keep running.
+    pub fn degrade(&mut self, fraction: f64) {
+        self.availability = Availability::Degraded {
+            fraction: fraction.clamp(0.0, 1.0),
+        };
+    }
+
+    /// Force-revokes one lease regardless of its earliest-release time
+    /// (the fault plane's mid-term reclamation). Returns the revoked
+    /// lease, or `None` when the id is not live — so a revoked or
+    /// released lease can never be double-released.
+    pub fn revoke(&mut self, lease: LeaseId) -> Option<Lease> {
+        let idx = self.leases.iter().position(|l| l.id == lease)?;
+        let l = self.leases.swap_remove(idx);
+        self.allocated = (self.allocated - l.amounts).clamp_non_negative();
+        Some(l)
+    }
+
+    /// Revokes the oldest active lease (ties broken by id). Returns
+    /// `None` when the center holds no leases.
+    pub fn revoke_oldest(&mut self) -> Option<Lease> {
+        let oldest = self
+            .leases
+            .iter()
+            .min_by_key(|l| (l.start, l.id))
+            .map(|l| l.id)?;
+        self.revoke(oldest)
     }
 
     /// Active leases.
@@ -126,6 +220,9 @@ impl DataCenter {
         amounts: ResourceVector,
         now: SimTime,
     ) -> Option<LeaseId> {
+        if self.availability == Availability::Down {
+            return None;
+        }
         if amounts.is_negligible(1e-9) {
             return None;
         }
@@ -285,6 +382,69 @@ mod tests {
         assert_eq!(rel.len(), 2);
         assert_eq!(rel[0].id, l1, "oldest first");
         assert_eq!(rel[1].id, l3);
+    }
+
+    #[test]
+    fn outage_revokes_leases_and_blocks_grants() {
+        let mut c = dc();
+        let a = ResourceVector::new(0.37, 2.0, 0.0, 0.0);
+        let l1 = c.grant(OperatorId(1), a, SimTime::ZERO).unwrap();
+        let _l2 = c.grant(OperatorId(2), a, SimTime::ZERO).unwrap();
+        let lost = c.fail();
+        assert_eq!(lost.len(), 2);
+        assert_eq!(c.availability(), Availability::Down);
+        assert_eq!(c.allocated(), ResourceVector::ZERO);
+        assert_eq!(c.free(), ResourceVector::ZERO, "down center offers nothing");
+        // Down centers never grant.
+        assert!(c.grant(OperatorId(1), a, SimTime::ZERO).is_none());
+        // Revoked leases can never be double-released or re-revoked.
+        assert!(!c.release(l1, SimTime::from_days(10)));
+        assert!(c.revoke(l1).is_none());
+        // Repair restores capacity but not the revoked leases.
+        c.repair();
+        assert_eq!(c.availability(), Availability::Up);
+        assert_eq!(c.free(), c.spec.capacity());
+        assert!(c.leases().is_empty());
+        // Fresh grants get fresh ids: no id reuse after an outage.
+        let l3 = c.grant(OperatorId(1), a, SimTime::ZERO).unwrap();
+        assert!(l3 != l1);
+    }
+
+    #[test]
+    fn degradation_shrinks_free_pool_but_keeps_leases() {
+        let mut c = dc(); // capacity 12 CPU
+        let a = ResourceVector::new(7.4, 2.0, 0.0, 0.0);
+        let lease = c.grant(OperatorId(1), a, SimTime::ZERO).unwrap();
+        c.degrade(0.5); // effective 6 CPU < 7.4 allocated
+        assert_eq!(c.availability(), Availability::Degraded { fraction: 0.5 });
+        assert_eq!(c.leases().len(), 1, "existing leases keep running");
+        assert_eq!(c.free().cpu, 0.0, "free clamps at zero, never negative");
+        // A new grant cannot fit the degraded pool.
+        assert!(c.grant(OperatorId(2), a, SimTime::ZERO).is_none());
+        // Matured release still works while degraded.
+        assert!(c.release(lease, SimTime::from_days(1)));
+        assert!((c.free().cpu - 6.0).abs() < 1e-9);
+        c.repair();
+        assert_eq!(c.free(), c.spec.capacity());
+        // The clamp keeps pathological fractions inside [0, 1].
+        c.degrade(7.0);
+        assert_eq!(c.availability(), Availability::Degraded { fraction: 1.0 });
+    }
+
+    #[test]
+    fn revoke_oldest_ignores_time_bulk() {
+        let mut c = dc(); // HP-5: 180-minute time bulk
+        let a = ResourceVector::new(0.37, 2.0, 0.0, 0.0);
+        let l1 = c.grant(OperatorId(1), a, SimTime::ZERO).unwrap();
+        let _l2 = c.grant(OperatorId(2), a, SimTime::from_minutes(2)).unwrap();
+        // Well before earliest_release, revocation still removes it.
+        let revoked = c.revoke_oldest().unwrap();
+        assert_eq!(revoked.id, l1, "oldest lease goes first");
+        assert_eq!(c.leases().len(), 1);
+        assert_eq!(c.held_by(OperatorId(1)), ResourceVector::ZERO);
+        // Empty center: nothing to revoke.
+        let mut empty = dc();
+        assert!(empty.revoke_oldest().is_none());
     }
 
     #[test]

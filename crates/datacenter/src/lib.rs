@@ -15,7 +15,9 @@
 //!   time bulk ("the minimum duration for which a resource allocation
 //!   can be made"), including the HP-1…HP-11 presets of Table IV.
 //! - [`center`] — data centers: geo-located machine pools with lease
-//!   ledgers enforcing the time bulk (no early release).
+//!   ledgers enforcing the time bulk (no early release), plus the
+//!   fault plane's availability state machine (`Up`/`Degraded`/`Down`)
+//!   and revocation-safe lease bookkeeping.
 //! - [`locations`] — the Table III experimental platform: ten data
 //!   centers over four continents and seven countries.
 //! - [`request`] — operator resource requests with latency tolerance.
@@ -33,9 +35,9 @@ pub mod policy;
 pub mod request;
 pub mod resource;
 
-pub use center::{DataCenter, DataCenterId, DataCenterSpec, Lease, LeaseId};
+pub use center::{Availability, DataCenter, DataCenterId, DataCenterSpec, Lease, LeaseId};
 pub use locations::table3_centers;
-pub use matching::{match_request, MatchOutcome, RejectReason, Rejection};
+pub use matching::{match_request, MatchOutcome, RejectReason, Rejection, RejectionTotals};
 pub use policy::HostingPolicy;
 pub use request::{OperatorId, ResourceRequest};
 pub use resource::{ResourceType, ResourceVector};

@@ -18,7 +18,7 @@
 //! unsuitable hosting policies [are] unused when suitable alternatives
 //! exist" — emerges from this ranking.
 
-use crate::center::{DataCenter, LeaseId};
+use crate::center::{Availability, DataCenter, LeaseId};
 use crate::request::ResourceRequest;
 use crate::resource::ResourceVector;
 use mmog_util::time::SimTime;
@@ -49,6 +49,8 @@ pub enum RejectReason {
     /// The bulk-rounded amounts were computed but the center's ledger
     /// refused the lease.
     GrantFailed,
+    /// The center is `Down` (full outage) and was not considered.
+    Unavailable,
 }
 
 impl RejectReason {
@@ -59,7 +61,49 @@ impl RejectReason {
             Self::Distance => "distance",
             Self::Exhausted => "exhausted",
             Self::GrantFailed => "grant_failed",
+            Self::Unavailable => "unavailable",
         }
+    }
+}
+
+/// Rejection counts accumulated across many [`match_request`] calls —
+/// the per-run aggregate the simulation report carries so rejection
+/// causes are visible without replaying the trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RejectionTotals {
+    /// Centers outside the request's latency tolerance class.
+    pub distance: u64,
+    /// Admissible centers whose free pool could not supply one bulk.
+    pub exhausted: u64,
+    /// Centers whose ledger refused the computed lease.
+    pub grant_failed: u64,
+    /// Centers down due to a fault-plane outage.
+    pub unavailable: u64,
+}
+
+impl RejectionTotals {
+    /// Counts one rejection.
+    pub fn add(&mut self, reason: RejectReason) {
+        match reason {
+            RejectReason::Distance => self.distance += 1,
+            RejectReason::Exhausted => self.exhausted += 1,
+            RejectReason::GrantFailed => self.grant_failed += 1,
+            RejectReason::Unavailable => self.unavailable += 1,
+        }
+    }
+
+    /// Adds another total into this one.
+    pub fn merge(&mut self, other: &RejectionTotals) {
+        self.distance += other.distance;
+        self.exhausted += other.exhausted;
+        self.grant_failed += other.grant_failed;
+        self.unavailable += other.unavailable;
+    }
+
+    /// Grand total across all reasons.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.distance + self.exhausted + self.grant_failed + self.unavailable
     }
 }
 
@@ -119,6 +163,7 @@ mod obs {
         static REJ_DISTANCE: OnceLock<Arc<Counter>> = OnceLock::new();
         static REJ_EXHAUSTED: OnceLock<Arc<Counter>> = OnceLock::new();
         static REJ_GRANT_FAILED: OnceLock<Arc<Counter>> = OnceLock::new();
+        static REJ_UNAVAILABLE: OnceLock<Arc<Counter>> = OnceLock::new();
         static PER_REQUEST: OnceLock<Arc<Histogram>> = OnceLock::new();
         stat(&REQUESTS, "match.requests").incr();
         stat(&GRANTS, "match.grants").add(grants as u64);
@@ -133,6 +178,9 @@ mod obs {
                 }
                 super::RejectReason::GrantFailed => {
                     stat(&REJ_GRANT_FAILED, "match.rejections.grant_failed")
+                }
+                super::RejectReason::Unavailable => {
+                    stat(&REJ_UNAVAILABLE, "match.rejections.unavailable")
                 }
             };
             cell.incr();
@@ -163,6 +211,13 @@ pub fn match_request(
         .iter()
         .enumerate()
         .filter_map(|(i, c)| {
+            if c.availability() == Availability::Down {
+                rejections.push(Rejection {
+                    center_index: i,
+                    reason: RejectReason::Unavailable,
+                });
+                return None;
+            }
             let d = c.distance_km(&request.origin);
             if request.tolerance.admits(d) {
                 Some((i, d))
@@ -416,6 +471,32 @@ mod tests {
         assert!((g.memory - 1.0).abs() < 1e-9); // n/a bulk → exact
         assert!((g.ext_net_in - 6.0).abs() < 1e-9); // one huge inbound bulk
         assert!((g.ext_net_out - 0.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn down_center_skipped_with_unavailable_rejection() {
+        let mut centers = vec![
+            center(0, 50.0, 10.0, 10, HostingPolicy::hp(3)), // finest, but down
+            center(1, 50.0, 11.0, 10, HostingPolicy::hp(5)),
+        ];
+        let _ = centers[0].fail();
+        let out = match_request(
+            &mut centers,
+            &cpu_req(1.0, DistanceClass::VeryFar),
+            SimTime::ZERO,
+        );
+        assert!(out.fully_met(), "the surviving center covers the request");
+        assert!(out.grants.iter().all(|g| g.center_index == 1));
+        assert!(out
+            .rejections
+            .iter()
+            .any(|r| r.center_index == 0 && r.reason == RejectReason::Unavailable));
+        let mut totals = RejectionTotals::default();
+        for r in &out.rejections {
+            totals.add(r.reason);
+        }
+        assert_eq!(totals.unavailable, 1);
+        assert_eq!(totals.total(), out.rejections.len() as u64);
     }
 
     #[test]

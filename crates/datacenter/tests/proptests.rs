@@ -154,6 +154,78 @@ proptest! {
         }
     }
 
+    /// Lease-ledger invariants under arbitrary fault/repair sequences.
+    ///
+    /// Ops are integer-coded: 0 grant, 1 fail (outage), 2 repair,
+    /// 3 degrade, 4 revoke oldest, 5 release everything releasable.
+    /// After every op: the free pool is non-negative, the allocated
+    /// total equals the sum of live leases and fits nominal capacity,
+    /// a down center never grants, and retired lease ids (revoked,
+    /// failed away, or released) can never be released or revoked again.
+    #[test]
+    fn lease_ledger_survives_fault_sequences(
+        policy in any_policy(),
+        machines in 1u32..20,
+        ops in prop::collection::vec((0u8..6, any_amounts(), 0.05f64..1.2), 1..40),
+    ) {
+        let mut c = center(machines, policy);
+        let nominal = c.spec.capacity();
+        let mut retired: Vec<mmog_datacenter::center::LeaseId> = Vec::new();
+        let mut seen: Vec<mmog_datacenter::center::LeaseId> = Vec::new();
+        let far_future = SimTime::from_days(100);
+        for (i, &(code, amounts, fraction)) in ops.iter().enumerate() {
+            match code {
+                0 => {
+                    let down =
+                        c.availability() == mmog_datacenter::center::Availability::Down;
+                    let granted = c.grant(OperatorId(i as u32), amounts, SimTime::ZERO);
+                    if down {
+                        prop_assert!(granted.is_none(), "down center granted a lease");
+                    }
+                    if let Some(id) = granted {
+                        prop_assert!(!seen.contains(&id), "lease id {id:?} reissued");
+                        seen.push(id);
+                    }
+                }
+                1 => retired.extend(c.fail().iter().map(|l| l.id)),
+                2 => c.repair(),
+                3 => c.degrade(fraction),
+                4 => {
+                    if let Some(l) = c.revoke_oldest() {
+                        retired.push(l.id);
+                    }
+                }
+                _ => {
+                    for l in c.leases().to_vec() {
+                        if c.release(l.id, far_future) {
+                            retired.push(l.id);
+                        }
+                    }
+                }
+            }
+            // Free pool never negative, allocation = Σ live leases ≤ nominal.
+            let lease_sum = c
+                .leases()
+                .iter()
+                .fold(ResourceVector::ZERO, |acc, l| acc + l.amounts);
+            for r in ResourceType::ALL {
+                prop_assert!(c.free().get(r) >= 0.0, "negative free {r}");
+                prop_assert!(
+                    (lease_sum.get(r) - c.allocated().get(r)).abs() < 1e-6,
+                    "{r}: ledger {} != allocated {}",
+                    lease_sum.get(r),
+                    c.allocated().get(r)
+                );
+            }
+            prop_assert!(c.allocated().fits_within(&nominal, 1e-6));
+            // Retired ids are dead forever.
+            for &id in &retired {
+                prop_assert!(!c.release(id, far_future), "retired {id:?} released");
+                prop_assert!(c.revoke(id).is_none(), "retired {id:?} re-revoked");
+            }
+        }
+    }
+
     #[test]
     fn matching_prefers_finer_granularity(
         fine_bulk in 0.05f64..0.3,

@@ -27,6 +27,28 @@ use crate::json::{self, Value};
 use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
 
+/// Every event kind the simulation engine emits, including the fault
+/// plane's. Trace validators (`obs_check`) reject kinds outside this
+/// list, so adding an emitter means extending it.
+pub const KNOWN_EVENT_KINDS: &[&str] = &[
+    "run_start",
+    "tick",
+    "provision",
+    "match_reject",
+    "prediction_group",
+    "center_usage",
+    "run_end",
+    // Fault plane (only present when a fault schedule is installed).
+    "center_down",
+    "center_up",
+    "center_degraded",
+    "lease_revoked",
+    "predictor_dropout",
+    "reprovision",
+    "fault_recovery",
+    "fault_summary",
+];
+
 /// One typed field value of an event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Field {

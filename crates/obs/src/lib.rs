@@ -48,7 +48,7 @@ pub mod span;
 
 pub use event::{
     apply_trace_env, flush_trace, parse_trace_line, render_trace, set_trace_path, trace_enabled,
-    EventSink, Field,
+    EventSink, Field, KNOWN_EVENT_KINDS,
 };
 pub use export::{
     render_summary_table, semantic_section, summary_json, summary_value, validate_summary,

@@ -9,10 +9,12 @@
 
 use crate::demand::DemandModel;
 use crate::metrics::MetricsCollector;
-use crate::provision::GroupProvisioner;
+use crate::provision::{GroupProvisioner, RetryPolicy};
 use mmog_datacenter::center::DataCenter;
+use mmog_datacenter::matching::RejectionTotals;
 use mmog_datacenter::request::OperatorId;
 use mmog_datacenter::resource::ResourceVector;
+use mmog_faults::{FaultKind, FaultSchedule};
 use mmog_obs::{Domain, EventSink};
 use mmog_predict::eval::PredictorKind;
 use mmog_util::geo::{DistanceClass, GeoPoint};
@@ -81,6 +83,14 @@ pub struct SimulationConfig {
     /// bit-identical no matter how many threads build or run the
     /// simulation).
     pub master_seed: u64,
+    /// Fault-injection schedule. `None` (the default everywhere)
+    /// reproduces the unfaulted simulation byte-for-byte: no retry
+    /// policy is installed, no fault counters are registered, and the
+    /// trace label is unchanged. `Some` plays the schedule's timed
+    /// events — outages, degradations, lease revocations, predictor
+    /// dropouts — from the engine's serial section at the start of each
+    /// tick, so fault runs stay deterministic for any `--jobs`.
+    pub faults: Option<FaultSchedule>,
 }
 
 /// Per-center usage integrated over the simulation (the Figures 13–14
@@ -128,6 +138,24 @@ pub struct SimReport {
     pub unmet_steps: u64,
     /// Ticks simulated (after warm-up exclusion they are all scored).
     pub ticks: usize,
+    /// Matcher rejections aggregated over every adjustment step of the
+    /// run, by reason.
+    pub rejections: RejectionTotals,
+    /// Σ over all ticks of players × (CPU shortfall fraction): the
+    /// player-ticks the platform failed to serve. Zero in a healthy run.
+    pub unserved_player_ticks: f64,
+    /// Time-to-recover, in ticks, for each outage episode that healed:
+    /// from the tick the center went down to the first tick with no
+    /// unserved players anywhere.
+    pub recovery_ticks: Vec<u64>,
+    /// Outage episodes still unhealed when the run ended.
+    pub unrecovered_outages: usize,
+    /// Fault events applied during the run.
+    pub fault_events: u64,
+    /// Leases lost to outages and spontaneous revocations.
+    pub leases_revoked: u64,
+    /// Leases granted while re-acquiring fault-lost capacity.
+    pub reprovisions: u64,
 }
 
 /// Per-tick per-group results, written by the (possibly parallel)
@@ -228,6 +256,8 @@ pub struct Simulation {
     /// Deterministic configuration-derived label the run's trace chunk
     /// is submitted under.
     trace_label: String,
+    /// Fault schedule, consumed by [`run`](Self::run).
+    faults: Option<FaultSchedule>,
 }
 
 impl Simulation {
@@ -282,6 +312,10 @@ impl Simulation {
         // the fan-out is embarrassingly parallel and order-preserving.
         let train_span = mmog_obs::span("sim/build/train");
         let record_matches = mmog_obs::trace_enabled();
+        // Self-healing re-provisioning only backs off under fault
+        // injection; the unfaulted baseline keeps its
+        // request-every-tick behaviour bit-for-bit.
+        let retry = cfg.faults.is_some().then(RetryPolicy::default);
         let groups: Vec<GroupRuntime> = mmog_par::par_map(&specs, |spec| {
             let game = &cfg.games[spec.game];
             let demand_model = DemandModel::paper(game.update_model);
@@ -297,6 +331,7 @@ impl Simulation {
                 predictor,
             );
             provisioner.record_matches = record_matches;
+            provisioner.retry = retry;
             GroupRuntime {
                 provisioner,
                 series: spec.series.clone(),
@@ -326,7 +361,7 @@ impl Simulation {
             .iter()
             .map(|g| format!("{}:{}:p{}", g.name, g.predictor.label(), g.priority))
             .collect();
-        let trace_label = format!(
+        let mut trace_label = format!(
             "sim mode={:?} seed={} ticks={} warmup={} centers={} games=[{}]",
             cfg.mode,
             cfg.master_seed,
@@ -335,6 +370,13 @@ impl Simulation {
             cfg.centers.len(),
             game_tags.join(",")
         );
+        // Faulted runs label their chunks distinctly so they never
+        // collide with (or perturb) an unfaulted run's chunk.
+        if let Some(faults) = &cfg.faults {
+            trace_label.push_str(" faults=[");
+            trace_label.push_str(faults.label());
+            trace_label.push(']');
+        }
         Self {
             centers: cfg.centers,
             groups,
@@ -346,6 +388,7 @@ impl Simulation {
             game_names: cfg.games.iter().map(|g| g.name.clone()).collect(),
             processing_order,
             trace_label,
+            faults: cfg.faults,
         }
     }
 
@@ -395,6 +438,24 @@ impl Simulation {
         let mut unmet_steps = 0u64;
         let mut leases_granted = 0u64;
         let mut leases_released = 0u64;
+        let mut rejections = RejectionTotals::default();
+        // Fault plane: the schedule's events apply from this method's
+        // serial sections only, so fault runs inherit the engine's
+        // any-thread-count determinism. With no schedule every branch
+        // below is dead and the run is byte-identical to the baseline.
+        let schedule = self.faults.take();
+        let faults_active = schedule.is_some();
+        let fault_queue = schedule.as_ref().map_or(&[][..], |s| s.events());
+        let mut fault_cursor = 0usize;
+        let mut fault_event_count = 0u64;
+        let mut leases_revoked = 0u64;
+        let mut reprovisions = 0u64;
+        let mut unserved_player_ticks = 0.0f64;
+        // Open outage episodes as (center, start tick); an episode
+        // closes at the first tick the whole platform serves every
+        // player again.
+        let mut open_outages: Vec<(usize, u64)> = Vec::new();
+        let mut recovery_ticks: Vec<u64> = Vec::new();
         // Center usage accumulators.
         let mut usage: Vec<(BTreeMap<u32, f64>, f64)> =
             vec![(BTreeMap::new(), 0.0); self.centers.len()];
@@ -408,6 +469,7 @@ impl Simulation {
                     .adjust(&target, &mut self.centers, SimTime::ZERO);
                 leases_granted += out.granted as u64;
                 leases_released += out.released as u64;
+                rejections.merge(&out.rejections);
                 if out.unmet {
                     unmet_steps += 1;
                 }
@@ -435,6 +497,95 @@ impl Simulation {
         for t in 0..self.ticks {
             let now = SimTime(t as u64);
             let dynamic = self.mode == AllocationMode::Dynamic;
+            // Fault application: serial, before the fan-out, so revoked
+            // capacity is already gone when this tick is scored and the
+            // events land in program order.
+            let mut dropout = false;
+            while fault_cursor < fault_queue.len() && fault_queue[fault_cursor].tick == t as u64 {
+                let ev = fault_queue[fault_cursor];
+                fault_cursor += 1;
+                fault_event_count += 1;
+                if ev.kind != FaultKind::PredictorDropout && ev.center >= self.centers.len() {
+                    continue; // explicit schedule naming a center we don't have
+                }
+                match ev.kind {
+                    FaultKind::CenterDown => {
+                        let lost = self.centers[ev.center].fail();
+                        leases_revoked += lost.len() as u64;
+                        for group in &mut self.groups {
+                            group.provisioner.drop_leases_at_center(ev.center);
+                        }
+                        if !open_outages.iter().any(|(c, _)| *c == ev.center) {
+                            open_outages.push((ev.center, t as u64));
+                        }
+                        if let Some(sink) = sink.as_mut() {
+                            sink.emit(
+                                "center_down",
+                                &[
+                                    ("tick", t.into()),
+                                    ("center", ev.center.into()),
+                                    ("name", self.centers[ev.center].spec.name.as_str().into()),
+                                    ("leases_lost", lost.len().into()),
+                                ],
+                            );
+                        }
+                    }
+                    FaultKind::CenterUp => {
+                        self.centers[ev.center].repair();
+                        if let Some(sink) = sink.as_mut() {
+                            sink.emit(
+                                "center_up",
+                                &[
+                                    ("tick", t.into()),
+                                    ("center", ev.center.into()),
+                                    ("name", self.centers[ev.center].spec.name.as_str().into()),
+                                ],
+                            );
+                        }
+                    }
+                    FaultKind::CenterDegraded { fraction } => {
+                        self.centers[ev.center].degrade(fraction);
+                        if let Some(sink) = sink.as_mut() {
+                            sink.emit(
+                                "center_degraded",
+                                &[
+                                    ("tick", t.into()),
+                                    ("center", ev.center.into()),
+                                    ("fraction", fraction.into()),
+                                ],
+                            );
+                        }
+                    }
+                    FaultKind::LeaseRevoked => {
+                        if let Some(lease) = self.centers[ev.center].revoke_oldest() {
+                            for group in &mut self.groups {
+                                if group.provisioner.drop_lease(ev.center, lease.id).is_some() {
+                                    break;
+                                }
+                            }
+                            leases_revoked += 1;
+                            if let Some(sink) = sink.as_mut() {
+                                sink.emit(
+                                    "lease_revoked",
+                                    &[
+                                        ("tick", t.into()),
+                                        ("center", ev.center.into()),
+                                        ("lease", lease.id.0.into()),
+                                        ("operator", lease.operator.0.into()),
+                                        ("cpu", lease.amounts.cpu.into()),
+                                    ],
+                                );
+                            }
+                        }
+                    }
+                    FaultKind::PredictorDropout => {
+                        dropout = true;
+                        if let Some(sink) = sink.as_mut() {
+                            sink.emit("predictor_dropout", &[("tick", t.into())]);
+                        }
+                    }
+                }
+            }
             // Fan-out: score the allocation in force against the actual
             // demand and (in dynamic mode) compute each group's next
             // demand target. Each group touches only its own state.
@@ -452,7 +603,13 @@ impl Simulation {
                 let alloc = group.provisioner.allocated();
                 let short = (alloc - demand).min(&ResourceVector::ZERO);
                 let target = if dynamic {
-                    group.provisioner.observe_and_target(players)
+                    if dropout {
+                        // The schedule dropped the predictor this tick:
+                        // last-value fallback, history stays warm.
+                        group.provisioner.observe_and_target_fallback(players)
+                    } else {
+                        group.provisioner.observe_and_target(players)
+                    }
                 } else {
                     ResourceVector::ZERO
                 };
@@ -535,12 +692,120 @@ impl Simulation {
                         let out = group.provisioner.adjust(&target, &mut self.centers, now);
                         leases_granted += out.granted as u64;
                         leases_released += out.released as u64;
+                        rejections.merge(&out.rejections);
                         if out.unmet {
                             unmet_steps += 1;
+                        }
+                        if faults_active {
+                            let lost = group.provisioner.lost_capacity();
+                            if !lost.is_negligible(1e-9) {
+                                if out.granted > 0 {
+                                    reprovisions += out.granted as u64;
+                                    if let Some(sink) = sink.as_mut() {
+                                        sink.emit(
+                                            "reprovision",
+                                            &[
+                                                ("tick", t.into()),
+                                                ("operator", group.provisioner.operator.0.into()),
+                                                ("granted", out.granted.into()),
+                                                ("lost_cpu", lost.cpu.into()),
+                                            ],
+                                        );
+                                    }
+                                }
+                                // Whole again: stop attributing grants
+                                // to fault recovery.
+                                if !out.unmet && !out.deferred {
+                                    group.provisioner.clear_lost_capacity();
+                                }
+                            }
                         }
                         emit_adjust_events(sink.as_mut(), t, &group.provisioner, &target, &out);
                     }
                 });
+            } else if faults_active {
+                // Static mode under faults: the operator re-buys its
+                // fixed peak allocation after losing capacity (it never
+                // otherwise adjusts). Without a schedule this loop body
+                // is unreachable — static stays allocate-once.
+                mmog_obs::time_stat(&t_settle, || {
+                    for gi in 0..self.processing_order.len() {
+                        let idx = self.processing_order[gi];
+                        let lost = self.groups[idx].provisioner.lost_capacity();
+                        if lost.is_negligible(1e-9) {
+                            continue;
+                        }
+                        let target = self.static_targets[idx];
+                        let group = &mut self.groups[idx];
+                        let out = group.provisioner.adjust(&target, &mut self.centers, now);
+                        leases_granted += out.granted as u64;
+                        leases_released += out.released as u64;
+                        rejections.merge(&out.rejections);
+                        if out.unmet {
+                            unmet_steps += 1;
+                        }
+                        if out.granted > 0 {
+                            reprovisions += out.granted as u64;
+                            if let Some(sink) = sink.as_mut() {
+                                sink.emit(
+                                    "reprovision",
+                                    &[
+                                        ("tick", t.into()),
+                                        ("operator", group.provisioner.operator.0.into()),
+                                        ("granted", out.granted.into()),
+                                        ("lost_cpu", lost.cpu.into()),
+                                    ],
+                                );
+                            }
+                        }
+                        if !out.unmet && !out.deferred {
+                            group.provisioner.clear_lost_capacity();
+                        }
+                        emit_adjust_events(sink.as_mut(), t, &group.provisioner, &target, &out);
+                    }
+                });
+            }
+            if faults_active {
+                // Unserved player-ticks: each group's players scaled by
+                // the fraction of its target the settle stage could not
+                // (re-)acquire. Routine prediction lag never shows up
+                // here (a met request zeroes the deficit), so a healthy
+                // run contributes nothing and an outage episode closes
+                // at the first tick the platform is whole again.
+                let mut tick_unserved = 0.0f64;
+                for (gi, group) in self.groups.iter().enumerate() {
+                    let target = if dynamic {
+                        group.tick.target
+                    } else {
+                        self.static_targets[gi]
+                    };
+                    if target.cpu <= 1e-12 {
+                        continue;
+                    }
+                    let deficit = (target.cpu - group.provisioner.allocated().cpu).max(0.0);
+                    if deficit <= 1e-9 {
+                        continue;
+                    }
+                    let players = group.series.values()[t];
+                    tick_unserved += players * (deficit / target.cpu).clamp(0.0, 1.0);
+                }
+                unserved_player_ticks += tick_unserved;
+                if !open_outages.is_empty() && tick_unserved <= 1e-9 {
+                    for (center, start) in open_outages.drain(..) {
+                        let down_ticks = t as u64 - start;
+                        recovery_ticks.push(down_ticks);
+                        if let Some(sink) = sink.as_mut() {
+                            sink.emit(
+                                "fault_recovery",
+                                &[
+                                    ("tick", t.into()),
+                                    ("center", center.into()),
+                                    ("down_ticks", down_ticks.into()),
+                                ],
+                            );
+                        }
+                    }
+                }
             }
         }
 
@@ -560,6 +825,17 @@ impl Simulation {
         mmog_obs::counter("sim.unmet_steps", Domain::Semantic).add(unmet_steps);
         mmog_obs::counter("sim.leases_granted", Domain::Semantic).add(leases_granted);
         mmog_obs::counter("sim.leases_released", Domain::Semantic).add(leases_released);
+        // Fault counters register only on faulted runs, so an unfaulted
+        // metrics summary stays byte-identical to the baseline.
+        if faults_active {
+            mmog_obs::counter("faults.events", Domain::Semantic).add(fault_event_count);
+            mmog_obs::counter("faults.leases_revoked", Domain::Semantic).add(leases_revoked);
+            mmog_obs::counter("faults.reprovisions", Domain::Semantic).add(reprovisions);
+            mmog_obs::counter("faults.outages_recovered", Domain::Semantic)
+                .add(recovery_ticks.len() as u64);
+            mmog_obs::counter("faults.outages_unrecovered", Domain::Semantic)
+                .add(open_outages.len() as u64);
+        }
         // Per-group online prediction error (the paper's metric, scored
         // over the whole run); both the histogram records and the event
         // values are per-group deterministic quantities.
@@ -600,6 +876,19 @@ impl Simulation {
                     ],
                 );
             }
+            if faults_active {
+                sink.emit(
+                    "fault_summary",
+                    &[
+                        ("events", fault_event_count.into()),
+                        ("leases_revoked", leases_revoked.into()),
+                        ("reprovisions", reprovisions.into()),
+                        ("unserved_player_ticks", unserved_player_ticks.into()),
+                        ("recovered", recovery_ticks.len().into()),
+                        ("unrecovered", open_outages.len().into()),
+                    ],
+                );
+            }
             sink.emit(
                 "run_end",
                 &[
@@ -629,6 +918,13 @@ impl Simulation {
             alloc_cpu_series,
             unmet_steps,
             ticks: self.ticks,
+            rejections,
+            unserved_player_ticks,
+            recovery_ticks,
+            unrecovered_outages: open_outages.len(),
+            fault_events: fault_event_count,
+            leases_revoked,
+            reprovisions,
         }
     }
 }
@@ -700,6 +996,7 @@ mod tests {
             warmup_ticks: 30,
             train_ticks: 0,
             master_seed: 5,
+            faults: None,
         }
     }
 
@@ -870,6 +1167,106 @@ mod tests {
             total >= a.min(b) - 1.0 && total <= a.max(b) + 1.0,
             "{a} {total} {b}"
         );
+    }
+
+    /// Index of the most-used center in a baseline run — the victim
+    /// whose outage is guaranteed to revoke leases.
+    fn busiest_center(mode: AllocationMode) -> usize {
+        let report = Simulation::new(base_config(mode, PredictorKind::LastValue)).run();
+        report
+            .center_usage
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.cpu_total.total_cmp(&b.cpu_total))
+            .map(|(i, _)| i)
+            .expect("at least one center")
+    }
+
+    #[test]
+    fn outage_recovers_under_dynamic_provisioning() {
+        use mmog_faults::{FaultEvent, FaultKind};
+        // The busiest center dies at tick 100 and comes back at tick
+        // 160. Dynamic provisioning must re-acquire the lost capacity
+        // from the surviving centers and drive unserved player-ticks
+        // back to zero.
+        let victim = busiest_center(AllocationMode::Dynamic);
+        let mut cfg = base_config(AllocationMode::Dynamic, PredictorKind::LastValue);
+        cfg.faults = Some(FaultSchedule::from_events(
+            "test-outage",
+            vec![
+                FaultEvent {
+                    tick: 100,
+                    center: victim,
+                    kind: FaultKind::CenterDown,
+                },
+                FaultEvent {
+                    tick: 160,
+                    center: victim,
+                    kind: FaultKind::CenterUp,
+                },
+            ],
+        ));
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.fault_events, 2);
+        assert!(report.leases_revoked > 0, "the busiest center held leases");
+        assert!(report.reprovisions > 0, "lost capacity was re-acquired");
+        assert_eq!(
+            report.unrecovered_outages, 0,
+            "dynamic provisioning must heal the outage"
+        );
+        assert_eq!(report.recovery_ticks.len(), 1);
+        assert!(
+            report.recovery_ticks[0] < 30,
+            "recovery took {} ticks",
+            report.recovery_ticks[0]
+        );
+    }
+
+    #[test]
+    fn empty_fault_schedule_matches_baseline_report() {
+        // Faults = Some(empty) exercises the fault plumbing (retry
+        // policy installed, accounting live) without any event — the
+        // scored metrics must equal the unfaulted run's exactly.
+        let baseline = Simulation::new(base_config(
+            AllocationMode::Dynamic,
+            PredictorKind::LastValue,
+        ))
+        .run();
+        let mut cfg = base_config(AllocationMode::Dynamic, PredictorKind::LastValue);
+        cfg.faults = Some(FaultSchedule::from_events("empty", vec![]));
+        let faulted = Simulation::new(cfg).run();
+        use mmog_datacenter::resource::ResourceType;
+        for r in ResourceType::ALL {
+            assert_eq!(baseline.metrics.avg_over(r), faulted.metrics.avg_over(r));
+            assert_eq!(baseline.metrics.avg_under(r), faulted.metrics.avg_under(r));
+        }
+        assert_eq!(baseline.unmet_steps, faulted.unmet_steps);
+        assert_eq!(faulted.fault_events, 0);
+        assert_eq!(faulted.leases_revoked, 0);
+        assert_eq!(faulted.unserved_player_ticks, 0.0);
+        assert_eq!(baseline.rejections, faulted.rejections);
+    }
+
+    #[test]
+    fn static_reprovisions_after_outage_only_under_faults() {
+        use mmog_faults::{FaultEvent, FaultKind};
+        let victim = busiest_center(AllocationMode::Static);
+        let mut cfg = base_config(AllocationMode::Static, PredictorKind::LastValue);
+        cfg.faults = Some(FaultSchedule::from_events(
+            "static-outage",
+            vec![FaultEvent {
+                tick: 100,
+                center: victim,
+                kind: FaultKind::CenterDown,
+            }],
+        ));
+        let report = Simulation::new(cfg).run();
+        assert!(report.leases_revoked > 0);
+        assert!(
+            report.reprovisions > 0,
+            "static operators re-buy their fixed allocation"
+        );
+        assert_eq!(report.unrecovered_outages, 0);
     }
 
     #[test]

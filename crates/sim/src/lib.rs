@@ -14,10 +14,13 @@
 //!   (Equations 1–2) and the significant-under-allocation event counter
 //!   (|Υ| > 1 % for a 2-minute sample).
 //! - [`provision`] — the dynamic (prediction-driven) and static
-//!   (peak-sized) provisioning strategies.
+//!   (peak-sized) provisioning strategies, plus the retry/backoff
+//!   machinery that re-provisions capacity lost to injected faults.
 //! - [`engine`] — the tick loop binding workload, predictors, matching
 //!   and metrics together, with per-center/per-operator allocation
-//!   attribution for the Figures 13–14 analyses.
+//!   attribution for the Figures 13–14 analyses and the optional
+//!   fault-injection plane (outages, degradations, lease revocations;
+//!   DESIGN.md §11).
 //! - [`scenario`] — ready-made experiment setups for Sections V-B
 //!   through V-F.
 //! - [`report`] — plain-text table/series rendering in the paper's
@@ -36,4 +39,5 @@ pub mod scenario;
 pub use demand::DemandModel;
 pub use engine::{AllocationMode, GameSpec, SimReport, Simulation, SimulationConfig};
 pub use metrics::MetricsCollector;
+pub use provision::RetryPolicy;
 pub use scenario::region_origin;

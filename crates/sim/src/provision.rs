@@ -8,13 +8,13 @@
 //! the group once, at peak capacity, and never adjusts.
 
 use crate::demand::DemandModel;
-use mmog_datacenter::center::{DataCenter, Lease};
-use mmog_datacenter::matching::{match_request, MatchOutcome};
+use mmog_datacenter::center::{DataCenter, Lease, LeaseId};
+use mmog_datacenter::matching::{match_request, MatchOutcome, RejectionTotals};
 use mmog_datacenter::request::{OperatorId, ResourceRequest};
 use mmog_datacenter::resource::ResourceVector;
 use mmog_predict::traits::Predictor;
 use mmog_util::geo::{DistanceClass, GeoPoint};
-use mmog_util::time::SimTime;
+use mmog_util::time::{SimDuration, SimTime};
 
 /// A lease held by a group, with the index of the granting center.
 #[derive(Debug, Clone, Copy)]
@@ -34,6 +34,55 @@ pub struct AdjustOutcome {
     pub granted: usize,
     /// Whether part of the request could not be met anywhere.
     pub unmet: bool,
+    /// Whether a deficit existed but the request was skipped because the
+    /// group is backing off after consecutive failures (see
+    /// [`RetryPolicy`]).
+    pub deferred: bool,
+    /// Per-reason rejection counts from this step's matcher call.
+    pub rejections: RejectionTotals,
+}
+
+/// Bounded retry with exponential backoff for re-requesting capacity
+/// after a fault (Sec. II-B's self-healing re-provisioning).
+///
+/// After each consecutive step in which the matcher leaves part of the
+/// request unmet, the group sits out `base_ticks << (failures - 1)`
+/// ticks (exponent capped at [`max_exponent`], skip capped at
+/// [`max_backoff_ticks`]) before asking again, so a platform-wide
+/// outage is not hammered with doomed requests every tick.
+///
+/// [`max_exponent`]: Self::max_exponent
+/// [`max_backoff_ticks`]: Self::max_backoff_ticks
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Backoff after the first consecutive failure, in ticks.
+    pub base_ticks: u64,
+    /// Cap on the doubling exponent.
+    pub max_exponent: u32,
+    /// Hard cap on the backoff, in ticks.
+    pub max_backoff_ticks: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base_ticks: 1,
+            max_exponent: 5,
+            max_backoff_ticks: 32,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Ticks to sit out after `failures` consecutive unmet requests.
+    #[must_use]
+    pub fn backoff_ticks(&self, failures: u32) -> u64 {
+        if failures == 0 {
+            return 0;
+        }
+        let exp = (failures - 1).min(self.max_exponent);
+        (self.base_ticks << exp).min(self.max_backoff_ticks)
+    }
 }
 
 /// Provisioning state for one server group.
@@ -58,11 +107,21 @@ pub struct GroupProvisioner {
     ///
     /// [`adjust`]: Self::adjust
     pub record_matches: bool,
+    /// When set, [`adjust`] applies bounded retry with exponential
+    /// backoff to unmet requests. Only installed by fault-injection
+    /// runs: an unfaulted simulation keeps the request-every-tick
+    /// behaviour of the baseline model.
+    ///
+    /// [`adjust`]: Self::adjust
+    pub retry: Option<RetryPolicy>,
     predictor: Box<dyn Predictor + Send>,
     leases: Vec<HeldLease>,
     allocated: ResourceVector,
     last_match: Option<MatchOutcome>,
     last_prediction: f64,
+    consecutive_unmet: u32,
+    backoff_until: SimTime,
+    lost: ResourceVector,
 }
 
 impl GroupProvisioner {
@@ -83,11 +142,15 @@ impl GroupProvisioner {
             demand_model,
             headroom,
             record_matches: false,
+            retry: None,
             predictor,
             leases: Vec::new(),
             allocated: ResourceVector::ZERO,
             last_match: None,
             last_prediction: f64::NAN,
+            consecutive_unmet: 0,
+            backoff_until: SimTime::ZERO,
+            lost: ResourceVector::ZERO,
         }
     }
 
@@ -105,9 +168,32 @@ impl GroupProvisioner {
 
     /// Feeds the observed player count and returns the demand target
     /// for the next step (predicted players → demand × headroom).
+    ///
+    /// Predictor outputs are sanitised before they reach the demand
+    /// model: a non-finite prediction (NaN/±∞ from a diverged MLP)
+    /// falls back to the current observation, and negative predictions
+    /// clamp to zero — a group can never be sized from garbage.
     pub fn observe_and_target(&mut self, players_now: f64) -> ResourceVector {
         self.predictor.observe(players_now);
-        let predicted = self.predictor.predict().max(0.0);
+        let raw = self.predictor.predict();
+        let predicted = if raw.is_finite() {
+            raw.max(0.0)
+        } else {
+            players_now.max(0.0)
+        };
+        self.last_prediction = predicted;
+        self.demand_model.demand(predicted) * self.headroom
+    }
+
+    /// Like [`observe_and_target`], but ignores the predictor's output
+    /// and targets the current observation (last-value fallback). Used
+    /// when a fault schedule drops the predictor for a tick: the
+    /// observation still feeds the predictor so its history stays warm.
+    ///
+    /// [`observe_and_target`]: Self::observe_and_target
+    pub fn observe_and_target_fallback(&mut self, players_now: f64) -> ResourceVector {
+        self.predictor.observe(players_now);
+        let predicted = players_now.max(0.0);
         self.last_prediction = predicted;
         self.demand_model.demand(predicted) * self.headroom
     }
@@ -136,6 +222,57 @@ impl GroupProvisioner {
     #[must_use]
     pub fn static_target(&self, peak_players: f64) -> ResourceVector {
         self.demand_model.demand(peak_players) * self.headroom
+    }
+
+    /// Forgets every lease held at `center` (the center failed and the
+    /// leases were revoked). Returns the dropped leases; the lost
+    /// amounts accumulate in [`lost_capacity`] until the next
+    /// [`clear_lost_capacity`].
+    ///
+    /// [`lost_capacity`]: Self::lost_capacity
+    /// [`clear_lost_capacity`]: Self::clear_lost_capacity
+    pub fn drop_leases_at_center(&mut self, center: usize) -> Vec<Lease> {
+        let mut dropped = Vec::new();
+        let mut i = 0;
+        while i < self.leases.len() {
+            if self.leases[i].center == center {
+                let held = self.leases.swap_remove(i);
+                self.allocated = (self.allocated - held.lease.amounts).clamp_non_negative();
+                self.lost += held.lease.amounts;
+                dropped.push(held.lease);
+            } else {
+                i += 1;
+            }
+        }
+        dropped
+    }
+
+    /// Forgets one specific lease (spontaneously revoked by its
+    /// center). Returns it if this group held it.
+    pub fn drop_lease(&mut self, center: usize, id: LeaseId) -> Option<Lease> {
+        let i = self
+            .leases
+            .iter()
+            .position(|h| h.center == center && h.lease.id == id)?;
+        let held = self.leases.swap_remove(i);
+        self.allocated = (self.allocated - held.lease.amounts).clamp_non_negative();
+        self.lost += held.lease.amounts;
+        Some(held.lease)
+    }
+
+    /// Amounts lost to outages/revocations since the last
+    /// [`clear_lost_capacity`] — the engine reads this to account
+    /// re-provisioning work.
+    ///
+    /// [`clear_lost_capacity`]: Self::clear_lost_capacity
+    #[must_use]
+    pub fn lost_capacity(&self) -> ResourceVector {
+        self.lost
+    }
+
+    /// Resets the lost-capacity accumulator.
+    pub fn clear_lost_capacity(&mut self) {
+        self.lost = ResourceVector::ZERO;
     }
 
     /// Adjusts held leases towards `target`: releases matured leases
@@ -243,6 +380,12 @@ impl GroupProvisioner {
         self.last_match = None;
         let deficit = (*target - self.allocated).clamp_non_negative();
         if !deficit.is_negligible(1e-6) {
+            if self.retry.is_some() && now < self.backoff_until {
+                // Backing off after consecutive failures: skip the
+                // doomed request and report the deferral.
+                outcome.deferred = true;
+                return outcome;
+            }
             let request = ResourceRequest::new(self.operator, deficit, self.origin, self.tolerance);
             let matched = match_request(centers, &request, now);
             for grant in &matched.grants {
@@ -259,10 +402,29 @@ impl GroupProvisioner {
                 });
                 outcome.granted += 1;
             }
+            for rejection in &matched.rejections {
+                outcome.rejections.add(rejection.reason);
+            }
             outcome.unmet = !matched.fully_met();
             if self.record_matches {
                 self.last_match = Some(matched);
             }
+            if let Some(retry) = self.retry {
+                if outcome.unmet {
+                    self.consecutive_unmet = self.consecutive_unmet.saturating_add(1);
+                    // Sitting out N ticks: the next attempt happens at
+                    // now + N + 1 (the first tick past the skipped ones).
+                    self.backoff_until =
+                        now + SimDuration(retry.backoff_ticks(self.consecutive_unmet) + 1);
+                } else {
+                    self.consecutive_unmet = 0;
+                    self.backoff_until = now;
+                }
+            }
+        } else if self.retry.is_some() {
+            // No deficit: the group is whole again, reset the backoff.
+            self.consecutive_unmet = 0;
+            self.backoff_until = now;
         }
         outcome
     }
@@ -399,6 +561,128 @@ mod tests {
             assert_eq!(out.released, 0);
         }
         assert_eq!(p.lease_count(), after_first);
+    }
+
+    /// Predictor stub returning a fixed (possibly garbage) value.
+    struct Fixed(f64);
+    impl mmog_predict::traits::Predictor for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn observe(&mut self, _: f64) {}
+        fn predict(&self) -> f64 {
+            self.0
+        }
+        fn reset(&mut self) {}
+    }
+
+    fn provisioner_with(predictor: Box<dyn Predictor + Send>) -> GroupProvisioner {
+        GroupProvisioner::new(
+            OperatorId(1),
+            GeoPoint::new(50.0, 10.0),
+            DistanceClass::VeryFar,
+            DemandModel::paper(UpdateModel::Quadratic),
+            1.0,
+            predictor,
+        )
+    }
+
+    #[test]
+    fn garbage_predictions_are_sanitised() {
+        // NaN and ±∞ fall back to the current observation.
+        for garbage in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut p = provisioner_with(Box::new(Fixed(garbage)));
+            let t = p.observe_and_target(800.0);
+            let expected = p.demand_model.demand(800.0);
+            assert!(
+                (t.cpu - expected.cpu).abs() < 1e-12,
+                "{garbage} must fall back to the observation"
+            );
+            assert!((p.last_prediction() - 800.0).abs() < 1e-12);
+        }
+        // Negative predictions clamp to zero demand.
+        let mut p = provisioner_with(Box::new(Fixed(-250.0)));
+        let t = p.observe_and_target(800.0);
+        assert!(t.is_negligible(1e-12), "negative prediction → zero target");
+        assert_eq!(p.last_prediction(), 0.0);
+    }
+
+    #[test]
+    fn fallback_targets_the_observation() {
+        // The predictor would say 9999; the dropout fallback ignores it.
+        let mut p = provisioner_with(Box::new(Fixed(9999.0)));
+        let t = p.observe_and_target_fallback(400.0);
+        let expected = p.demand_model.demand(400.0);
+        assert!((t.cpu - expected.cpu).abs() < 1e-12);
+        assert!((p.last_prediction() - 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropped_leases_accumulate_lost_capacity() {
+        let mut centers = one_center(HostingPolicy::hp(5));
+        let mut p = provisioner();
+        let target = p.demand_model.demand(1500.0);
+        p.adjust(&target, &mut centers, SimTime::ZERO);
+        let held = p.allocated();
+        assert!(held.cpu > 0.0);
+        let dropped = p.drop_leases_at_center(0);
+        assert!(!dropped.is_empty());
+        assert!(p.allocated().is_negligible(1e-12));
+        assert_eq!(p.lease_count(), 0);
+        assert!((p.lost_capacity().cpu - held.cpu).abs() < 1e-9);
+        p.clear_lost_capacity();
+        assert!(p.lost_capacity().is_negligible(1e-12));
+        // Dropping again finds nothing.
+        assert!(p.drop_leases_at_center(0).is_empty());
+    }
+
+    #[test]
+    fn backoff_defers_doomed_requests() {
+        let mut centers = one_center(HostingPolicy::hp(5));
+        centers[0].spec.machines = 0; // nothing can ever be granted
+        let mut p = provisioner();
+        p.retry = Some(RetryPolicy::default());
+        let target = p.demand_model.demand(1000.0);
+        let mut now = SimTime::ZERO;
+        // First attempt fails and arms a 1-tick backoff.
+        let out = p.adjust(&target, &mut centers, now);
+        assert!(out.unmet && !out.deferred);
+        assert!(out.rejections.total() > 0);
+        // Next tick is within the backoff window → deferred, no matcher
+        // call (no new rejections).
+        now += SimDuration::TICK;
+        let out = p.adjust(&target, &mut centers, now);
+        assert!(out.deferred && !out.unmet);
+        assert_eq!(out.rejections.total(), 0);
+        // Consecutive failures stretch the window exponentially: after
+        // the second real failure the wait is 2 ticks.
+        now += SimDuration::TICK;
+        let out = p.adjust(&target, &mut centers, now);
+        assert!(out.unmet && !out.deferred);
+        now += SimDuration::TICK;
+        assert!(p.adjust(&target, &mut centers, now).deferred);
+        now += SimDuration::TICK;
+        assert!(p.adjust(&target, &mut centers, now).deferred);
+        now += SimDuration::TICK;
+        assert!(p.adjust(&target, &mut centers, now).unmet);
+        // Capacity returns → request succeeds and the backoff resets.
+        centers[0].spec.machines = 20;
+        now += SimDuration(RetryPolicy::default().max_backoff_ticks);
+        let out = p.adjust(&target, &mut centers, now);
+        assert!(out.granted > 0 && !out.unmet);
+        now += SimDuration::TICK;
+        let out = p.adjust(&target, &mut centers, now);
+        assert!(!out.deferred, "met request resets the backoff");
+    }
+
+    #[test]
+    fn backoff_caps_at_policy_maximum() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff_ticks(0), 0);
+        assert_eq!(policy.backoff_ticks(1), 1);
+        assert_eq!(policy.backoff_ticks(2), 2);
+        assert_eq!(policy.backoff_ticks(6), 32);
+        assert_eq!(policy.backoff_ticks(60), 32, "capped at max_backoff_ticks");
     }
 
     #[test]

@@ -117,6 +117,7 @@ fn base_sim(
         warmup_ticks: 30,
         train_ticks: 720, // one day of collection for the neural phase
         master_seed: opts.seed,
+        faults: None,
     }
 }
 
@@ -251,6 +252,27 @@ pub fn latency_impact(tolerance: DistanceClass, opts: &ScenarioOpts) -> Simulati
         tolerance,
     );
     base_sim(centers, vec![game], AllocationMode::Dynamic, opts)
+}
+
+/// The fault-injection experiment: the Sec. V-B platform (Table III,
+/// HP-1/HP-2 round-robin) under a deterministic fault schedule derived
+/// from `spec` — outages, degradations, lease revocations, predictor
+/// dropouts. Last-value prediction keeps the experiment about the
+/// *recovery* mechanics rather than the predictor. A zero-rate spec
+/// yields `faults: None`, reproducing the unfaulted baseline
+/// byte-for-byte.
+#[must_use]
+pub fn fault_injection(
+    spec: &mmog_faults::FaultSpec,
+    mode: AllocationMode,
+    opts: &ScenarioOpts,
+) -> SimulationConfig {
+    let mut cfg = prediction_impact(PredictorKind::LastValue, mode, opts);
+    cfg.train_ticks = 0;
+    let ticks = opts.days * mmog_util::time::TICKS_PER_DAY;
+    let schedule = mmog_faults::FaultSchedule::from_spec(spec, ticks, cfg.centers.len());
+    cfg.faults = (!schedule.is_empty()).then_some(schedule);
+    cfg
 }
 
 /// Splits a trace's server groups across games by share (per region,

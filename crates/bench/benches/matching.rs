@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mmog_datacenter::locations::table3_hp12;
-use mmog_datacenter::matching::match_request;
+use mmog_datacenter::matching::{match_request, match_request_indexed, CandidateIndex};
 use mmog_datacenter::policy::HostingPolicy;
 use mmog_datacenter::request::{OperatorId, ResourceRequest};
 use mmog_datacenter::resource::ResourceVector;
@@ -35,6 +35,37 @@ fn bench_match(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_match_indexed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match_request_indexed");
+    for tolerance in [DistanceClass::VeryClose, DistanceClass::VeryFar] {
+        group.bench_function(BenchmarkId::from_parameter(tolerance.label()), |b| {
+            let origin = GeoPoint::new(52.37, 4.90);
+            // One long-lived index, as the provisioner holds: the
+            // ranking phase amortises away, only the fill loop remains.
+            let mut index = CandidateIndex::new(origin, tolerance);
+            b.iter_batched(
+                table3_hp12,
+                |mut centers| {
+                    let req = ResourceRequest::new(
+                        OperatorId(1),
+                        ResourceVector::new(1.0, 1.0, 1.0, 1.0),
+                        origin,
+                        tolerance,
+                    );
+                    black_box(match_request_indexed(
+                        &mut index,
+                        &mut centers,
+                        &req,
+                        SimTime::ZERO,
+                    ))
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
 fn bench_rounding(c: &mut Criterion) {
     let hp1 = HostingPolicy::hp(1);
     let req = ResourceVector::new(0.37, 1.21, 2.3, 0.61);
@@ -43,5 +74,5 @@ fn bench_rounding(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_match, bench_rounding);
+criterion_group!(benches, bench_match, bench_match_indexed, bench_rounding);
 criterion_main!(benches);

@@ -77,5 +77,35 @@ fn bench_neural_training(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_predict, bench_observe, bench_neural_training);
+fn bench_mlp_train_step(c: &mut Criterion) {
+    use mmog_predict::mlp::{Mlp, Scratch};
+    use mmog_util::rng::Rng64;
+    let mut rng = Rng64::seed_from(9);
+    let mut net = Mlp::new(&[6, 3, 1], &mut rng);
+    let mut scratch = Scratch::default();
+    let input = [0.1, -0.2, 0.3, -0.4, 0.5, -0.6];
+    let target = [0.25];
+    c.bench_function("mlp_train_step_scratch", |b| {
+        b.iter(|| {
+            black_box(net.train_step_scratch(
+                &mut scratch,
+                black_box(&input),
+                black_box(&target),
+                0.05,
+                0.3,
+            ))
+        })
+    });
+    c.bench_function("mlp_forward_scratch", |b| {
+        b.iter(|| black_box(net.forward_scratch(black_box(&input), &mut scratch)[0]))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_predict,
+    bench_observe,
+    bench_neural_training,
+    bench_mlp_train_step
+);
 criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Steady-state allocation smoke test for the three hot-path kernels.
+//!
+//! A counting global allocator measures allocations across a warmed-up
+//! loop of each kernel. The MLP training step and the neural
+//! observe→predict path must be exactly allocation-free; the emulator
+//! tick and the indexed matcher must stay under a small constant bound
+//! (their outputs are owned values, so one clone per call is inherent).
+//!
+//! Everything runs inside ONE `#[test]` so the counter is never
+//! polluted by a concurrently running sibling test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations attributable to `f`, measured as the minimum over a few
+/// repeats: the libtest harness's main thread occasionally allocates
+/// (progress reporting) while the test thread runs, and the minimum
+/// filters that unrelated noise out — any unpolluted repeat reveals the
+/// kernel's true count.
+fn count_allocs(mut f: impl FnMut()) -> u64 {
+    (0..4)
+        .map(|_| {
+            let before = ALLOCS.load(Ordering::Relaxed);
+            f();
+            ALLOCS.load(Ordering::Relaxed) - before
+        })
+        .min()
+        .expect("at least one repeat")
+}
+
+#[test]
+fn hot_kernels_stay_allocation_free_in_steady_state() {
+    mlp_train_step_is_allocation_free();
+    neural_observe_predict_is_allocation_free();
+    emulator_step_allocations_are_bounded();
+    indexed_match_allocations_are_bounded();
+}
+
+fn mlp_train_step_is_allocation_free() {
+    use mmog_predict::mlp::{Mlp, Scratch};
+    use mmog_util::rng::Rng64;
+    let mut rng = Rng64::seed_from(42);
+    let mut net = Mlp::new(&[6, 3, 1], &mut rng);
+    let mut scratch = Scratch::default();
+    let input = [0.1, -0.2, 0.3, -0.4, 0.5, -0.6];
+    let target = [0.25];
+    // Warm-up: the scratch grows to the network's shape once.
+    for _ in 0..4 {
+        let _ = net.train_step_scratch(&mut scratch, &input, &target, 0.05, 0.3);
+        let _ = net.forward_scratch(&input, &mut scratch);
+    }
+    let n = count_allocs(|| {
+        for _ in 0..512 {
+            let _ = net.train_step_scratch(&mut scratch, &input, &target, 0.05, 0.3);
+            let _ = net.forward_scratch(&input, &mut scratch);
+        }
+    });
+    assert_eq!(n, 0, "warmed MLP train+forward must not allocate, got {n}");
+}
+
+fn neural_observe_predict_is_allocation_free() {
+    use mmog_predict::neural::{NeuralConfig, NeuralPredictor};
+    use mmog_predict::traits::Predictor;
+    let mut p = NeuralPredictor::untrained(NeuralConfig::default(), 1000.0);
+    // Fill the window and warm every internal buffer.
+    for i in 0..64 {
+        p.observe(900.0 + f64::from(i));
+        let _ = p.predict();
+    }
+    let n = count_allocs(|| {
+        for i in 0..512u32 {
+            p.observe(950.0 + f64::from(i % 100));
+            let _ = p.predict();
+        }
+    });
+    assert_eq!(
+        n, 0,
+        "warmed neural observe→predict must not allocate, got {n}"
+    );
+}
+
+fn emulator_step_allocations_are_bounded() {
+    use mmog_world::config::EmulatorConfig;
+    use mmog_world::emulator::GameEmulator;
+    let cfg = EmulatorConfig {
+        peak_entities: 400,
+        ..EmulatorConfig::default()
+    };
+    let mut emu = GameEmulator::new(cfg, 7);
+    for _ in 0..32 {
+        let _ = emu.step();
+    }
+    let steps = 256u64;
+    let n = count_allocs(|| {
+        for _ in 0..steps {
+            let _ = emu.step();
+        }
+    });
+    // The returned snapshot owns its count map (one clone) and the
+    // population drifts (entity-vector growth is amortised). Anything
+    // near the old per-tick bucket/neighbourhood churn would be
+    // hundreds per step.
+    let per_step = n as f64 / steps as f64;
+    assert!(
+        per_step <= 16.0,
+        "emulator step allocates too much: {per_step:.1}/step"
+    );
+}
+
+fn indexed_match_allocations_are_bounded() {
+    use mmog_datacenter::locations::table3_hp12;
+    use mmog_datacenter::matching::{match_request_indexed, CandidateIndex};
+    use mmog_datacenter::request::{OperatorId, ResourceRequest};
+    use mmog_datacenter::resource::ResourceVector;
+    use mmog_util::geo::{DistanceClass, GeoPoint};
+    use mmog_util::time::SimTime;
+
+    let mut centers = table3_hp12();
+    let origin = GeoPoint::new(52.37, 4.90);
+    let mut index = CandidateIndex::new(origin, DistanceClass::VeryFar);
+    let req = ResourceRequest::new(
+        OperatorId(1),
+        ResourceVector::new(0.2, 0.2, 0.2, 0.2),
+        origin,
+        DistanceClass::VeryFar,
+    );
+    // Warm-up builds the index and grows the lease ledgers.
+    for i in 0..16u64 {
+        let _ = match_request_indexed(&mut index, &mut centers, &req, SimTime(i));
+    }
+    let calls = 128u64;
+    let n = count_allocs(|| {
+        for i in 0..calls {
+            let _ = match_request_indexed(&mut index, &mut centers, &req, SimTime(16 + i));
+        }
+    });
+    // Each call owns its MatchOutcome (grants + cloned phase-1
+    // rejections) and appends a lease; the old path additionally
+    // re-enumerated, re-sorted and cloned a policy per candidate.
+    let per_call = n as f64 / calls as f64;
+    assert!(
+        per_call <= 16.0,
+        "indexed match allocates too much: {per_call:.1}/call"
+    );
+}

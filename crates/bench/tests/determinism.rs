@@ -11,6 +11,8 @@ use mmog_bench::RunOpts;
 use mmog_predict::eval::PredictorKind;
 use mmog_sim::engine::{AllocationMode, Simulation};
 use mmog_sim::scenario::{self, ScenarioOpts};
+use std::fs;
+use std::path::Path;
 
 /// A scale small enough for a debug-build test, big enough to exceed
 /// the engine's parallel-group threshold (5 regions x 2 groups = 10).
@@ -33,6 +35,33 @@ fn engine_fingerprint() -> String {
     cfg.train_ticks = 96;
     let report = Simulation::new(cfg).run();
     format!("{report:?}")
+}
+
+/// Compares `actual` to the committed fixture in `tests/golden/`. The
+/// fixtures were generated from the pre-hot-path-rewrite kernels, so
+/// this pins the optimized MLP, emulator, and matcher to the exact
+/// bytes the original implementations produced. Set
+/// `MMOG_UPDATE_GOLDEN=1` to regenerate after a deliberate
+/// output-changing commit.
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("MMOG_UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        fs::write(&path, actual).expect("write golden fixture");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}; run once with MMOG_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} must stay byte-identical to the pre-optimization fixture"
+    );
 }
 
 #[test]
@@ -89,6 +118,28 @@ fn reports_identical_for_any_job_count() {
         mmog_obs::mask_timing(&parallel_fig06),
         "fig06 must be byte-identical outside its timing markers"
     );
+
+    // Golden byte-identity for the hot-path kernels. fig05 leans on
+    // the MLP training loop (seven predictors, eight emulated series)
+    // and fig_faults drives the emulator, the matcher, and the fault
+    // plane together — between them every optimized kernel's output
+    // lands in a committed fixture, compared at two job counts.
+    mmog_par::set_jobs(1);
+    let serial_fig05 = exp::fig05_prediction_accuracy(&opts);
+    let serial_faults = exp::fig_faults(&opts);
+    mmog_par::set_jobs(4);
+    let parallel_fig05 = exp::fig05_prediction_accuracy(&opts);
+    let parallel_faults = exp::fig_faults(&opts);
+    assert_eq!(
+        serial_fig05, parallel_fig05,
+        "fig05 must be byte-identical between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(
+        serial_faults, parallel_faults,
+        "fig_faults must be byte-identical between --jobs 1 and --jobs 4"
+    );
+    check_golden("fig05_tiny.txt", &serial_fig05);
+    check_golden("fig_faults_tiny.txt", &serial_faults);
 
     mmog_par::set_jobs(baseline_jobs);
 }

@@ -15,6 +15,27 @@ use crate::resource::ResourceVector;
 use mmog_util::geo::GeoPoint;
 use mmog_util::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide availability-change epoch. Bumped whenever any center's
+/// availability state changes ([`DataCenter::fail`],
+/// [`DataCenter::repair`], [`DataCenter::degrade`]), so cached matcher
+/// views ([`crate::matching::CandidateIndex`]) know when their
+/// availability-dependent filtering is stale. The epoch is a pure
+/// invalidation signal: a spurious bump (e.g. from an unrelated center
+/// set in another test) only costs a redundant refresh, never changes a
+/// match result, so determinism is unaffected.
+static AVAIL_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the global availability epoch.
+#[must_use]
+pub fn availability_epoch() -> u64 {
+    AVAIL_EPOCH.load(Ordering::Relaxed)
+}
+
+fn bump_availability_epoch() {
+    AVAIL_EPOCH.fetch_add(1, Ordering::Relaxed);
+}
 
 /// Identifier of a data center (hoster).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -164,6 +185,7 @@ impl DataCenter {
     pub fn fail(&mut self) -> Vec<Lease> {
         self.availability = Availability::Down;
         self.allocated = ResourceVector::ZERO;
+        bump_availability_epoch();
         std::mem::take(&mut self.leases)
     }
 
@@ -173,6 +195,7 @@ impl DataCenter {
     /// [`fail`]: Self::fail
     pub fn repair(&mut self) {
         self.availability = Availability::Up;
+        bump_availability_epoch();
     }
 
     /// Partial degradation to `fraction` of nominal capacity (clamped
@@ -181,6 +204,7 @@ impl DataCenter {
         self.availability = Availability::Degraded {
             fraction: fraction.clamp(0.0, 1.0),
         };
+        bump_availability_epoch();
     }
 
     /// Force-revokes one lease regardless of its earliest-release time

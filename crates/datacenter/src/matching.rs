@@ -18,9 +18,10 @@
 //! unsuitable hosting policies [are] unused when suitable alternatives
 //! exist" — emerges from this ranking.
 
-use crate::center::{Availability, DataCenter, LeaseId};
+use crate::center::{availability_epoch, Availability, DataCenter, LeaseId};
 use crate::request::ResourceRequest;
 use crate::resource::ResourceVector;
+use mmog_util::geo::{DistanceClass, GeoPoint};
 use mmog_util::time::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -156,6 +157,13 @@ mod obs {
         cell.get_or_init(|| counter(name, Domain::Semantic))
     }
 
+    /// Timing stat for one matcher call (`datacenter/match`), interned
+    /// once rather than looked up per request.
+    pub(super) fn match_timer() -> &'static mmog_obs::SpanStat {
+        static T: OnceLock<Arc<mmog_obs::SpanStat>> = OnceLock::new();
+        T.get_or_init(|| mmog_obs::timer("datacenter/match"))
+    }
+
     pub(super) fn record(grants: usize, unmet: bool, rejections: &[super::Rejection]) {
         static REQUESTS: OnceLock<Arc<Counter>> = OnceLock::new();
         static GRANTS: OnceLock<Arc<Counter>> = OnceLock::new();
@@ -197,56 +205,46 @@ mod obs {
     }
 }
 
-/// Matches one request against a set of data centers, mutating their
-/// lease ledgers. See the module docs for the criteria ordering.
-pub fn match_request(
+/// The offer-preference comparator of Sec. II-C: finer policy
+/// granularity first, then shorter time bulk, then closest. Shared by
+/// the one-shot matcher and the candidate index so both rank candidates
+/// identically.
+fn preference_order(
+    centers: &[DataCenter],
+    (i, di): (usize, f64),
+    (j, dj): (usize, f64),
+) -> std::cmp::Ordering {
+    let (pi, pj) = (&centers[i].spec.policy, &centers[j].spec.policy);
+    pi.granularity()
+        .partial_cmp(&pj.granularity())
+        .expect("granularities are finite")
+        .then(pi.time_bulk.cmp(&pj.time_bulk))
+        .then(di.partial_cmp(&dj).expect("distances are finite"))
+}
+
+/// Greedily fills `request` across the pre-ranked candidate list,
+/// quantising each grant to the center's bulks. `rejections` arrives
+/// holding the phase-1 (distance/availability) rejections and leaves
+/// with the fill-loop (exhausted/grant-failed) rejections appended —
+/// exactly the consideration order the one-shot matcher reports.
+fn fill_ranked(
     centers: &mut [DataCenter],
+    ranked: &[(usize, f64)],
     request: &ResourceRequest,
     now: SimTime,
+    mut rejections: Vec<Rejection>,
 ) -> MatchOutcome {
-    // Rank admissible centers: finer granularity, shorter time bulk,
-    // then closest (the Sec. II-C criteria, operator-favouring order).
-    let mut rejections = Vec::new();
-    let mut ranked: Vec<(usize, f64)> = centers
-        .iter()
-        .enumerate()
-        .filter_map(|(i, c)| {
-            if c.availability() == Availability::Down {
-                rejections.push(Rejection {
-                    center_index: i,
-                    reason: RejectReason::Unavailable,
-                });
-                return None;
-            }
-            let d = c.distance_km(&request.origin);
-            if request.tolerance.admits(d) {
-                Some((i, d))
-            } else {
-                rejections.push(Rejection {
-                    center_index: i,
-                    reason: RejectReason::Distance,
-                });
-                None
-            }
-        })
-        .collect();
-    ranked.sort_by(|&(i, di), &(j, dj)| {
-        let (pi, pj) = (&centers[i].spec.policy, &centers[j].spec.policy);
-        pi.granularity()
-            .partial_cmp(&pj.granularity())
-            .expect("granularities are finite")
-            .then(pi.time_bulk.cmp(&pj.time_bulk))
-            .then(di.partial_cmp(&dj).expect("distances are finite"))
-    });
-
     let mut remaining = request.amounts.clamp_non_negative();
     let mut grants = Vec::new();
-    for (idx, distance_km) in ranked {
+    for &(idx, distance_km) in ranked {
         if remaining.is_negligible(1e-9) {
             break;
         }
-        let center = &mut centers[idx];
-        let policy = center.spec.policy.clone();
+        // The policy and free pool are read under a shared borrow; the
+        // ledger is only reborrowed mutably for the grant itself (no
+        // per-candidate policy clone).
+        let center = &centers[idx];
+        let policy = &center.spec.policy;
         let free = center.free();
         // Per resource: round the remaining need up to the bulk grid,
         // but never beyond what the free pool can supply in whole bulks.
@@ -268,7 +266,7 @@ pub fn match_request(
             });
             continue;
         }
-        if let Some(lease) = center.grant(request.operator, grant_amounts, now) {
+        if let Some(lease) = centers[idx].grant(request.operator, grant_amounts, now) {
             remaining = (remaining - grant_amounts).clamp_non_negative();
             grants.push(Grant {
                 center_index: idx,
@@ -290,6 +288,182 @@ pub fn match_request(
         unmet: remaining,
         rejections,
     }
+}
+
+/// Matches one request against a set of data centers, mutating their
+/// lease ledgers. See the module docs for the criteria ordering.
+///
+/// This is the one-shot entry point: it re-ranks the whole platform on
+/// every call. A provisioner issuing many requests with a fixed origin
+/// and tolerance should hold a [`CandidateIndex`] and call
+/// [`match_request_indexed`] instead — same result, without the
+/// per-request rescan.
+pub fn match_request(
+    centers: &mut [DataCenter],
+    request: &ResourceRequest,
+    now: SimTime,
+) -> MatchOutcome {
+    mmog_obs::time_stat(obs::match_timer(), || {
+        // Rank admissible centers: finer granularity, shorter time bulk,
+        // then closest (the Sec. II-C criteria, operator-favouring order).
+        let mut rejections = Vec::new();
+        let mut ranked: Vec<(usize, f64)> = centers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                if c.availability() == Availability::Down {
+                    rejections.push(Rejection {
+                        center_index: i,
+                        reason: RejectReason::Unavailable,
+                    });
+                    return None;
+                }
+                let d = c.distance_km(&request.origin);
+                if request.tolerance.admits(d) {
+                    Some((i, d))
+                } else {
+                    rejections.push(Rejection {
+                        center_index: i,
+                        reason: RejectReason::Distance,
+                    });
+                    None
+                }
+            })
+            .collect();
+        ranked.sort_by(|&a, &b| preference_order(centers, a, b));
+        fill_ranked(centers, &ranked, request, now, rejections)
+    })
+}
+
+/// A per-requester view of the platform that caches everything about
+/// candidate ranking that does not change between requests.
+///
+/// The Sec. II-C ranking depends on three ingredients: center geometry
+/// (static), hosting policies (static), and availability (changed only
+/// by the fault plane). The index therefore pre-computes the distances
+/// and the full offer-preference order once, and re-derives the
+/// availability-dependent admissible list and phase-1 rejections only
+/// when the global [`availability_epoch`] moves. In an unfaulted run
+/// every request after the first skips straight to the fill loop.
+///
+/// An index is bound to one `(origin, tolerance)` pair — one per server
+/// group — and to one center set: it rebuilds itself if the center
+/// count changes, but callers must not reorder centers or mutate their
+/// locations/policies behind its back (the simulation never does).
+#[derive(Debug, Clone)]
+pub struct CandidateIndex {
+    origin: GeoPoint,
+    tolerance: DistanceClass,
+    built: bool,
+    n_centers: usize,
+    epoch: u64,
+    /// Per center, in center-index order: distance from the origin and
+    /// whether the tolerance class admits it. Static once built.
+    by_center: Vec<(f64, bool)>,
+    /// Every center in offer-preference order. Static once built:
+    /// availability only filters this list, it never reorders it.
+    preference: Vec<(usize, f64)>,
+    /// Phase-1 rejections (availability/distance, center-index order)
+    /// for the current availability epoch.
+    rejections: Vec<Rejection>,
+    /// Admissible candidates in preference order for the current
+    /// availability epoch.
+    ranked: Vec<(usize, f64)>,
+}
+
+impl CandidateIndex {
+    /// Creates an empty index for one requester. The first
+    /// [`match_request_indexed`] call populates it.
+    #[must_use]
+    pub fn new(origin: GeoPoint, tolerance: DistanceClass) -> Self {
+        Self {
+            origin,
+            tolerance,
+            built: false,
+            n_centers: 0,
+            epoch: 0,
+            by_center: Vec::new(),
+            preference: Vec::new(),
+            rejections: Vec::new(),
+            ranked: Vec::new(),
+        }
+    }
+
+    /// Computes the static part: distances, admissibility, preference
+    /// order over all centers.
+    fn build(&mut self, centers: &[DataCenter]) {
+        self.n_centers = centers.len();
+        self.by_center.clear();
+        self.by_center.extend(centers.iter().map(|c| {
+            let d = c.distance_km(&self.origin);
+            (d, self.tolerance.admits(d))
+        }));
+        self.preference.clear();
+        self.preference
+            .extend(self.by_center.iter().enumerate().map(|(i, &(d, _))| (i, d)));
+        // Stable sort over the full center list: filtering a stable
+        // sort to a subset gives the same relative order as stably
+        // sorting the subset, so the fill order matches the one-shot
+        // matcher's exactly.
+        self.preference
+            .sort_by(|&a, &b| preference_order(centers, a, b));
+        self.built = true;
+    }
+
+    /// Re-derives the availability-dependent part (phase-1 rejections,
+    /// admissible ranked list) from the cached static tables — no
+    /// distance math, no sorting.
+    fn refresh(&mut self, centers: &[DataCenter]) {
+        self.rejections.clear();
+        self.ranked.clear();
+        for (i, c) in centers.iter().enumerate() {
+            if c.availability() == Availability::Down {
+                self.rejections.push(Rejection {
+                    center_index: i,
+                    reason: RejectReason::Unavailable,
+                });
+            } else if !self.by_center[i].1 {
+                self.rejections.push(Rejection {
+                    center_index: i,
+                    reason: RejectReason::Distance,
+                });
+            }
+        }
+        for &(i, d) in &self.preference {
+            if self.by_center[i].1 && centers[i].availability() != Availability::Down {
+                self.ranked.push((i, d));
+            }
+        }
+    }
+}
+
+/// [`match_request`] through a [`CandidateIndex`]: byte-identical
+/// outcomes (grants, rejection order, unmet amounts), but the
+/// enumerate-filter-sort phase runs only when the platform's
+/// availability actually changed instead of on every request.
+pub fn match_request_indexed(
+    index: &mut CandidateIndex,
+    centers: &mut [DataCenter],
+    request: &ResourceRequest,
+    now: SimTime,
+) -> MatchOutcome {
+    debug_assert!(
+        request.origin == index.origin && request.tolerance == index.tolerance,
+        "a CandidateIndex serves one (origin, tolerance) requester"
+    );
+    mmog_obs::time_stat(obs::match_timer(), || {
+        let epoch = availability_epoch();
+        if !index.built || index.n_centers != centers.len() {
+            index.build(centers);
+            index.refresh(centers);
+            index.epoch = epoch;
+        } else if index.epoch != epoch {
+            index.refresh(centers);
+            index.epoch = epoch;
+        }
+        let rejections = index.rejections.clone();
+        fill_ranked(centers, &index.ranked, request, now, rejections)
+    })
 }
 
 #[cfg(test)]
@@ -497,6 +671,84 @@ mod tests {
         }
         assert_eq!(totals.unavailable, 1);
         assert_eq!(totals.total(), out.rejections.len() as u64);
+    }
+
+    /// Runs the same request sequence through the one-shot matcher and
+    /// the indexed matcher on cloned platforms and asserts identical
+    /// outcomes (grants, rejection order, unmet) and identical end
+    /// states.
+    fn assert_indexed_matches_oneshot(
+        mut centers: Vec<DataCenter>,
+        requests: &[ResourceRequest],
+        mutate: impl Fn(&mut [DataCenter], usize),
+    ) {
+        let mut indexed = centers.clone();
+        let mut index = CandidateIndex::new(requests[0].origin, requests[0].tolerance);
+        for (step, req) in requests.iter().enumerate() {
+            mutate(&mut centers, step);
+            mutate(&mut indexed, step);
+            let now = SimTime::from_minutes(step as u64);
+            let a = match_request(&mut centers, req, now);
+            let b = match_request_indexed(&mut index, &mut indexed, req, now);
+            assert_eq!(a, b, "outcomes diverge at step {step}");
+            for (x, y) in centers.iter().zip(&indexed) {
+                assert_eq!(x.allocated(), y.allocated(), "ledgers diverge at {step}");
+                assert_eq!(x.leases(), y.leases());
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_matches_oneshot_over_mixed_platform() {
+        let centers = vec![
+            center(0, 50.0, 10.0, 3, HostingPolicy::hp(7)),
+            center(1, 50.0, 40.0, 2, HostingPolicy::hp(3)),
+            center(2, 50.0, 10.5, 2, HostingPolicy::hp(5)),
+            center(3, 0.0, 0.0, 10, HostingPolicy::hp(1)), // far away
+        ];
+        let requests: Vec<ResourceRequest> = [0.4, 1.3, 2.0, 0.1, 5.0, 0.7]
+            .iter()
+            .map(|&amt| cpu_req(amt, DistanceClass::Far))
+            .collect();
+        assert_indexed_matches_oneshot(centers, &requests, |_, _| {});
+    }
+
+    #[test]
+    fn indexed_tracks_availability_changes() {
+        let centers = vec![
+            center(0, 50.0, 10.0, 4, HostingPolicy::hp(3)),
+            center(1, 50.0, 11.0, 4, HostingPolicy::hp(5)),
+            center(2, 50.0, 12.0, 4, HostingPolicy::hp(7)),
+        ];
+        let requests: Vec<ResourceRequest> = (0..6)
+            .map(|_| cpu_req(0.5, DistanceClass::VeryFar))
+            .collect();
+        // Fault plane: fail the best center mid-sequence, degrade
+        // another, then repair — the index must follow every change.
+        assert_indexed_matches_oneshot(centers, &requests, |cs, step| match step {
+            2 => {
+                let _ = cs[0].fail();
+            }
+            3 => cs[1].degrade(0.1),
+            4 => {
+                cs[0].repair();
+                cs[1].repair();
+            }
+            _ => {}
+        });
+    }
+
+    #[test]
+    fn indexed_rebuilds_when_center_count_changes() {
+        let mut centers = vec![center(0, 50.0, 10.0, 4, HostingPolicy::hp(5))];
+        let req = cpu_req(0.3, DistanceClass::VeryFar);
+        let mut index = CandidateIndex::new(req.origin, req.tolerance);
+        let out = match_request_indexed(&mut index, &mut centers, &req, SimTime::ZERO);
+        assert!(out.fully_met());
+        // A finer-grained center appears: the index must re-rank.
+        centers.push(center(1, 50.0, 10.0, 4, HostingPolicy::hp(3)));
+        let out = match_request_indexed(&mut index, &mut centers, &req, SimTime::ZERO);
+        assert_eq!(out.grants[0].center_index, 1, "new finest center wins");
     }
 
     #[test]

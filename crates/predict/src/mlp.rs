@@ -7,6 +7,15 @@
 //! dense layers, tanh hidden activations, a linear output (standard for
 //! regression), stochastic gradient descent with momentum, and a
 //! deterministic Xavier-style initialisation from [`Rng64`].
+//!
+//! The network stores every layer's weights in one contiguous
+//! row-major array (bias folded in as each row's last column) and the
+//! hot fused forward+backprop pass runs entirely inside a caller-owned
+//! [`Scratch`], so steady-state training performs no heap allocation.
+//! The arithmetic — accumulation order, momentum update, activation
+//! evaluation — is kept operation-for-operation identical to the
+//! original per-layer implementation, so trained weights and every
+//! downstream report are bit-identical.
 
 use mmog_util::rng::Rng64;
 use serde::{Deserialize, Serialize};
@@ -21,14 +30,6 @@ pub enum Activation {
 }
 
 impl Activation {
-    #[inline]
-    fn apply(self, x: f64) -> f64 {
-        match self {
-            Self::Tanh => x.tanh(),
-            Self::Linear => x,
-        }
-    }
-
     /// Derivative expressed via the activation output `y = f(x)`.
     #[inline]
     fn derivative_from_output(self, y: f64) -> f64 {
@@ -39,57 +40,70 @@ impl Activation {
     }
 }
 
-/// One dense layer: `outputs × (inputs + 1)` weights (bias folded in as
-/// the last column).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct Layer {
-    inputs: usize,
-    outputs: usize,
-    activation: Activation,
-    /// Row-major `[out][in+1]`.
-    weights: Vec<f64>,
-    /// Momentum velocity, same layout.
-    velocity: Vec<f64>,
+/// Dot product of one weight row (`inputs` coefficients then the bias)
+/// against `input`, accumulated in the historical order: bias first,
+/// then coefficient·input terms in ascending index order.
+#[inline(always)]
+fn dot_bias(row: &[f64], input: &[f64]) -> f64 {
+    let (coef, bias) = row.split_at(input.len());
+    let mut acc = bias[0];
+    for (wv, x) in coef.iter().zip(input) {
+        acc += wv * x;
+    }
+    acc
 }
 
-impl Layer {
-    fn new(inputs: usize, outputs: usize, activation: Activation, rng: &mut Rng64) -> Self {
-        // Xavier/Glorot uniform initialisation.
-        let bound = (6.0 / (inputs + outputs) as f64).sqrt();
-        let n = outputs * (inputs + 1);
-        let weights = (0..n).map(|_| rng.range_f64(-bound, bound)).collect();
-        Self {
-            inputs,
-            outputs,
-            activation,
-            weights,
-            velocity: vec![0.0; n],
+/// Reusable forward/backprop buffers. One `Scratch` serves any number
+/// of [`Mlp::forward_scratch`] / [`Mlp::train_step_scratch`] calls (and
+/// any network — buffers grow to fit on first use), so a training loop
+/// allocates nothing per sample or per era.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// Every layer's activations, contiguous: the input copy first,
+    /// then each layer's outputs (segment boundaries come from the
+    /// network's activation offsets).
+    acts: Vec<f64>,
+    /// Current layer's error signal during backprop.
+    delta: Vec<f64>,
+    /// Error signal propagated to the layer below.
+    prev_delta: Vec<f64>,
+}
+
+impl Scratch {
+    /// Grows the buffers to fit `net` (no-op once sized).
+    fn ensure(&mut self, net: &Mlp) {
+        let act_len = *net.act_off.last().expect("offsets non-empty");
+        if self.acts.len() < act_len {
+            self.acts.resize(act_len, 0.0);
         }
-    }
-
-    #[inline]
-    fn w(&self, out: usize, input: usize) -> f64 {
-        self.weights[out * (self.inputs + 1) + input]
-    }
-
-    /// Forward pass, appending activations to `out`.
-    fn forward(&self, input: &[f64], out: &mut Vec<f64>) {
-        debug_assert_eq!(input.len(), self.inputs);
-        for o in 0..self.outputs {
-            let row = &self.weights[o * (self.inputs + 1)..(o + 1) * (self.inputs + 1)];
-            let mut acc = row[self.inputs]; // bias
-            for (w, x) in row[..self.inputs].iter().zip(input) {
-                acc += w * x;
-            }
-            out.push(self.activation.apply(acc));
+        let width = net.shape.iter().copied().max().unwrap_or(0);
+        if self.delta.len() < width {
+            self.delta.resize(width, 0.0);
+        }
+        if self.prev_delta.len() < width {
+            self.prev_delta.resize(width, 0.0);
         }
     }
 }
 
 /// A feed-forward network with tanh hidden layers and a linear output.
+///
+/// Weights live in one flat row-major array covering all layers; layer
+/// `l` maps `shape[l]` inputs to `shape[l+1]` outputs through rows of
+/// `shape[l] + 1` weights (bias last), starting at `w_off[l]`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Mlp {
-    layers: Vec<Layer>,
+    /// Layer sizes, e.g. `[6, 3, 1]`.
+    shape: Vec<usize>,
+    /// All layers' weights, contiguous row-major `[out][in+1]`.
+    weights: Vec<f64>,
+    /// Momentum velocity, same layout.
+    velocity: Vec<f64>,
+    /// Start of layer `l`'s weights in `weights` (len = layers + 1).
+    w_off: Vec<usize>,
+    /// Start of activation segment `l` in [`Scratch::acts`]: segment 0
+    /// is the input copy, segment `l + 1` layer `l`'s outputs.
+    act_off: Vec<usize>,
 }
 
 impl Mlp {
@@ -103,67 +117,227 @@ impl Mlp {
     pub fn new(shape: &[usize], rng: &mut Rng64) -> Self {
         assert!(shape.len() >= 2, "need at least input and output sizes");
         assert!(shape.iter().all(|&s| s > 0), "layer sizes must be positive");
-        let layers = shape
-            .windows(2)
-            .enumerate()
-            .map(|(i, w)| {
-                let activation = if i + 2 == shape.len() {
-                    Activation::Linear
-                } else {
-                    Activation::Tanh
-                };
-                Layer::new(w[0], w[1], activation, rng)
-            })
-            .collect();
-        Self { layers }
+        let mut weights = Vec::new();
+        let mut w_off = Vec::with_capacity(shape.len());
+        w_off.push(0);
+        for w in shape.windows(2) {
+            // Xavier/Glorot uniform initialisation, drawn layer by
+            // layer in the historical order so seeds reproduce.
+            let bound = (6.0 / (w[0] + w[1]) as f64).sqrt();
+            let n = w[1] * (w[0] + 1);
+            weights.extend((0..n).map(|_| rng.range_f64(-bound, bound)));
+            w_off.push(weights.len());
+        }
+        let mut act_off = Vec::with_capacity(shape.len() + 1);
+        act_off.push(0);
+        for &s in shape {
+            act_off.push(act_off.last().expect("seeded") + s);
+        }
+        let velocity = vec![0.0; weights.len()];
+        Self {
+            shape: shape.to_vec(),
+            weights,
+            velocity,
+            w_off,
+            act_off,
+        }
+    }
+
+    /// Number of layers (weight matrices).
+    #[inline]
+    fn layer_count(&self) -> usize {
+        self.shape.len() - 1
+    }
+
+    /// Activation of layer `l`: tanh for hidden layers, linear for the
+    /// output layer.
+    #[inline]
+    fn activation_of(&self, l: usize) -> Activation {
+        if l + 1 == self.layer_count() {
+            Activation::Linear
+        } else {
+            Activation::Tanh
+        }
     }
 
     /// Number of inputs the network expects.
     #[must_use]
     pub fn input_size(&self) -> usize {
-        self.layers.first().map_or(0, |l| l.inputs)
+        self.shape.first().copied().unwrap_or(0)
     }
 
     /// Number of outputs the network produces.
     #[must_use]
     pub fn output_size(&self) -> usize {
-        self.layers.last().map_or(0, |l| l.outputs)
+        self.shape.last().copied().unwrap_or(0)
+    }
+
+    /// One layer's forward pass from `input` into `out`.
+    ///
+    /// The activation dispatch is hoisted out of the row loop and the
+    /// rows walked with `chunks_exact`, so the inner dot product is
+    /// free of bounds checks; the accumulation order (bias first, then
+    /// inputs in index order) is exactly the historical one.
+    #[inline]
+    fn layer_forward(&self, l: usize, input: &[f64], out: &mut [f64]) {
+        let inputs = self.shape[l];
+        debug_assert_eq!(input.len(), inputs);
+        let w = &self.weights[self.w_off[l]..self.w_off[l + 1]];
+        let rows = w.chunks_exact(inputs + 1);
+        match self.activation_of(l) {
+            Activation::Tanh => {
+                for (slot, row) in out.iter_mut().zip(rows) {
+                    *slot = dot_bias(row, input).tanh();
+                }
+            }
+            Activation::Linear => {
+                for (slot, row) in out.iter_mut().zip(rows) {
+                    *slot = dot_bias(row, input);
+                }
+            }
+        }
+    }
+
+    /// Full forward pass caching every layer's activations in `acts`
+    /// (laid out per `act_off`).
+    fn forward_into_acts(&self, input: &[f64], acts: &mut [f64]) {
+        acts[..self.shape[0]].copy_from_slice(input);
+        for l in 0..self.layer_count() {
+            // Segments are consecutive, so splitting at the output
+            // segment's start yields the input (left) and output
+            // (right) slices without aliasing.
+            let (prev, rest) = acts.split_at_mut(self.act_off[l + 1]);
+            let inp = &prev[self.act_off[l]..];
+            let out = &mut rest[..self.shape[l + 1]];
+            self.layer_forward(l, inp, out);
+        }
+    }
+
+    /// Whether the fused two-layer single-output fast path applies.
+    #[inline]
+    fn is_2l1(&self) -> bool {
+        self.shape.len() == 3 && self.shape[2] == 1
+    }
+
+    /// Fused forward pass for a `[n, h, 1]` network (the paper's
+    /// (6,3,1) everywhere in practice): tanh hidden row dot products
+    /// straight into the scratch's hidden segment, then the linear
+    /// output. Identical arithmetic to the generic path — only the
+    /// per-layer bookkeeping (offset lookups, split_at_mut walks, the
+    /// input copy nothing reads back) is gone. Returns the output.
+    fn forward_2l1(&self, input: &[f64], acts: &mut [f64]) -> f64 {
+        let n = self.shape[0];
+        let h = self.shape[1];
+        debug_assert_eq!(input.len(), n);
+        let (w0, w1) = self.weights.split_at(self.w_off[1]);
+        let hid_rest = &mut acts[n..];
+        let (hid, out_slot) = hid_rest.split_at_mut(h);
+        if h == 3 {
+            // The paper's hidden width: keep the three row accumulators
+            // in registers and interleave them, so the CPU overlaps the
+            // three dependency chains instead of running them back to
+            // back. Each accumulator still sees bias first, then
+            // weight·input terms in ascending index order — the exact
+            // per-slot sequence of the row-at-a-time loop.
+            let (row0, rest) = w0.split_at(n + 1);
+            let (row1, row2) = rest.split_at(n + 1);
+            let mut a0 = row0[n];
+            let mut a1 = row1[n];
+            let mut a2 = row2[n];
+            for (((x, w0i), w1i), w2i) in
+                input.iter().zip(&row0[..n]).zip(&row1[..n]).zip(&row2[..n])
+            {
+                a0 += w0i * x;
+                a1 += w1i * x;
+                a2 += w2i * x;
+            }
+            hid[0] = a0.tanh();
+            hid[1] = a1.tanh();
+            hid[2] = a2.tanh();
+        } else {
+            for (slot, row) in hid.iter_mut().zip(w0.chunks_exact(n + 1)) {
+                *slot = dot_bias(row, input).tanh();
+            }
+        }
+        let o = dot_bias(w1, hid);
+        out_slot[0] = o;
+        o
+    }
+
+    /// Forward pass into a reusable scratch; returns the output slice.
+    /// Allocation-free once the scratch is sized.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `input.len()` mismatches the network.
+    pub fn forward_scratch<'s>(&self, input: &[f64], scratch: &'s mut Scratch) -> &'s [f64] {
+        scratch.ensure(self);
+        if self.is_2l1() {
+            self.forward_2l1(input, &mut scratch.acts);
+        } else {
+            self.forward_into_acts(input, &mut scratch.acts);
+        }
+        let nl = self.layer_count();
+        &scratch.acts[self.act_off[nl]..self.act_off[nl] + self.shape[nl]]
     }
 
     /// Forward pass.
     ///
+    /// Convenience wrapper allocating a fresh [`Scratch`]; hot loops
+    /// should hold their own scratch and call [`forward_scratch`].
+    ///
     /// # Panics
     /// Panics in debug builds if `input.len()` mismatches the network.
+    ///
+    /// [`forward_scratch`]: Self::forward_scratch
     #[must_use]
     pub fn forward(&self, input: &[f64]) -> Vec<f64> {
-        let mut current = input.to_vec();
-        let mut next = Vec::new();
-        for layer in &self.layers {
-            next.clear();
-            layer.forward(&current, &mut next);
-            std::mem::swap(&mut current, &mut next);
-        }
-        current
+        let mut scratch = Scratch::default();
+        self.forward_scratch(input, &mut scratch).to_vec()
     }
 
     /// One stochastic-gradient step on a single (input, target) pair
-    /// with momentum. Returns the pre-update squared error.
-    pub fn train_step(
+    /// with momentum, fused forward+backprop inside the caller's
+    /// scratch — no heap allocation once the scratch is sized. Returns
+    /// the pre-update squared error.
+    pub fn train_step_scratch(
         &mut self,
+        scratch: &mut Scratch,
         input: &[f64],
         target: &[f64],
         learning_rate: f64,
         momentum: f64,
     ) -> f64 {
-        // Forward pass caching every layer's activations.
-        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(self.layers.len() + 1);
-        activations.push(input.to_vec());
-        for layer in &self.layers {
-            let mut out = Vec::with_capacity(layer.outputs);
-            layer.forward(activations.last().expect("seeded"), &mut out);
-            activations.push(out);
+        scratch.ensure(self);
+        if self.is_2l1() {
+            self.train_step_2l1(scratch, input, target, learning_rate, momentum)
+        } else {
+            self.train_step_generic(scratch, input, target, learning_rate, momentum)
         }
-        let output = activations.last().expect("at least input layer");
+    }
+
+    /// Generic any-depth train step (see [`train_step_scratch`]); the
+    /// scratch must already be sized.
+    ///
+    /// [`train_step_scratch`]: Self::train_step_scratch
+    fn train_step_generic(
+        &mut self,
+        scratch: &mut Scratch,
+        input: &[f64],
+        target: &[f64],
+        learning_rate: f64,
+        momentum: f64,
+    ) -> f64 {
+        let nl = self.layer_count();
+
+        // Forward pass caching every layer's activations.
+        self.forward_into_acts(input, &mut scratch.acts);
+        let Scratch {
+            acts,
+            delta,
+            prev_delta,
+        } = scratch;
+        let out_off = self.act_off[nl];
+        let output = &acts[out_off..out_off + self.shape[nl]];
         debug_assert_eq!(output.len(), target.len());
         let loss: f64 = output
             .iter()
@@ -171,55 +345,155 @@ impl Mlp {
             .map(|(o, t)| (o - t) * (o - t))
             .sum();
 
-        // Backward pass: delta for the output layer of MSE loss.
-        let mut delta: Vec<f64> = output
-            .iter()
-            .zip(target)
-            .zip(&activations[activations.len() - 1])
-            .map(|((o, t), &y)| {
-                2.0 * (o - t)
-                    * self
-                        .layers
-                        .last()
-                        .expect("non-empty")
-                        .activation
-                        .derivative_from_output(y)
-            })
-            .collect();
+        // Backward pass: delta for the output layer of MSE loss (the
+        // derivative is expressed via the output itself).
+        let act_last = self.activation_of(nl - 1);
+        for ((d, o), t) in delta.iter_mut().zip(output).zip(target) {
+            *d = 2.0 * (o - t) * act_last.derivative_from_output(*o);
+        }
 
-        for li in (0..self.layers.len()).rev() {
-            let input_act = activations[li].clone();
+        // Every inner loop below is a zip over `chunks_exact` rows (no
+        // bounds checks); each array slot still receives exactly the
+        // historical operation sequence. In particular the propagated
+        // delta accumulates `delta[o]·w[o][i]` over ascending `o`
+        // starting from 0.0 — the same per-slot order as the original
+        // per-`i` column sums, just driven row-major.
+        for li in (0..nl).rev() {
+            let inputs = self.shape[li];
+            let outputs = self.shape[li + 1];
+            let in_off = self.act_off[li];
+            let acts_in = &acts[in_off..in_off + inputs];
+            let w_range = self.w_off[li]..self.w_off[li + 1];
             // Compute the delta to propagate before mutating weights.
-            let prev_delta: Vec<f64> = if li > 0 {
-                let layer = &self.layers[li];
-                let below = &self.layers[li - 1];
-                (0..layer.inputs)
-                    .map(|i| {
-                        let sum: f64 = (0..layer.outputs).map(|o| delta[o] * layer.w(o, i)).sum();
-                        sum * below.activation.derivative_from_output(activations[li][i])
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            let layer = &mut self.layers[li];
-            for (o, &d) in delta.iter().enumerate().take(layer.outputs) {
-                let base = o * (layer.inputs + 1);
-                for (i, &act) in input_act.iter().enumerate().take(layer.inputs) {
-                    let grad = d * act;
-                    let v = momentum * layer.velocity[base + i] - learning_rate * grad;
-                    layer.velocity[base + i] = v;
-                    layer.weights[base + i] += v;
+            if li > 0 {
+                let below_act = self.activation_of(li - 1);
+                let w = &self.weights[w_range.clone()];
+                let pd = &mut prev_delta[..inputs];
+                pd.fill(0.0);
+                for (d, row) in delta[..outputs].iter().zip(w.chunks_exact(inputs + 1)) {
+                    for (p, wv) in pd.iter_mut().zip(&row[..inputs]) {
+                        *p += d * wv;
+                    }
+                }
+                for (p, a) in pd.iter_mut().zip(acts_in) {
+                    *p *= below_act.derivative_from_output(*a);
+                }
+            }
+            let wl = &mut self.weights[w_range.clone()];
+            let vl = &mut self.velocity[w_range];
+            for ((row_w, row_v), d) in wl
+                .chunks_exact_mut(inputs + 1)
+                .zip(vl.chunks_exact_mut(inputs + 1))
+                .zip(&delta[..outputs])
+            {
+                let (ww, wb) = row_w.split_at_mut(inputs);
+                let (vv, vb) = row_v.split_at_mut(inputs);
+                for ((wv, vel), a) in ww.iter_mut().zip(vv.iter_mut()).zip(acts_in) {
+                    let grad = d * a;
+                    let v = momentum * *vel - learning_rate * grad;
+                    *vel = v;
+                    *wv += v;
                 }
                 // Bias.
-                let grad = d;
-                let v = momentum * layer.velocity[base + layer.inputs] - learning_rate * grad;
-                layer.velocity[base + layer.inputs] = v;
-                layer.weights[base + layer.inputs] += v;
+                let grad = *d;
+                let v = momentum * vb[0] - learning_rate * grad;
+                vb[0] = v;
+                wb[0] += v;
             }
-            delta = prev_delta;
+            std::mem::swap(delta, prev_delta);
         }
         loss
+    }
+
+    /// Fused forward+backprop step for a `[n, h, 1]` network. The
+    /// operation sequence is the generic path's, verbatim: forward,
+    /// squared error, output delta `2·(o−t)` (the linear derivative's
+    /// `·1.0` is an exact identity), hidden deltas through the
+    /// **pre-update** output row (accumulated from 0.0 like the generic
+    /// column sums), then velocity/weight updates top layer first, rows
+    /// in order, coefficients before bias.
+    fn train_step_2l1(
+        &mut self,
+        scratch: &mut Scratch,
+        input: &[f64],
+        target: &[f64],
+        learning_rate: f64,
+        momentum: f64,
+    ) -> f64 {
+        let n = self.shape[0];
+        let h = self.shape[1];
+        let o = self.forward_2l1(input, &mut scratch.acts);
+        let t = target[0];
+        // A square is never -0.0, so skipping the generic path's
+        // `0.0 + …` fold leaves the loss bit-identical.
+        let loss = (o - t) * (o - t);
+        let d_out = 2.0 * (o - t);
+
+        let w_split = self.w_off[1];
+        let (w0, w1) = self.weights.split_at_mut(w_split);
+        let (v0, v1) = self.velocity.split_at_mut(w_split);
+        let hid = &scratch.acts[n..n + h];
+
+        // Hidden deltas through the pre-update output row.
+        let pd = &mut scratch.prev_delta[..h];
+        for ((p, wv), y) in pd.iter_mut().zip(w1.iter()).zip(hid) {
+            let sum = 0.0 + d_out * wv;
+            *p = sum * (1.0 - y * y);
+        }
+
+        // Output row update.
+        {
+            let (w1c, w1b) = w1.split_at_mut(h);
+            let (v1c, v1b) = v1.split_at_mut(h);
+            for ((wv, vel), y) in w1c.iter_mut().zip(v1c.iter_mut()).zip(hid) {
+                let grad = d_out * y;
+                let v = momentum * *vel - learning_rate * grad;
+                *vel = v;
+                *wv += v;
+            }
+            let v = momentum * v1b[0] - learning_rate * d_out;
+            v1b[0] = v;
+            w1b[0] += v;
+        }
+
+        // Hidden rows (the generic path reads the input back out of the
+        // activation scratch; the values are the caller's, verbatim).
+        for ((row_w, row_v), d) in w0
+            .chunks_exact_mut(n + 1)
+            .zip(v0.chunks_exact_mut(n + 1))
+            .zip(pd.iter())
+        {
+            let (ww, wb) = row_w.split_at_mut(n);
+            let (vv, vb) = row_v.split_at_mut(n);
+            for ((wv, vel), x) in ww.iter_mut().zip(vv.iter_mut()).zip(input) {
+                let grad = d * x;
+                let v = momentum * *vel - learning_rate * grad;
+                *vel = v;
+                *wv += v;
+            }
+            let v = momentum * vb[0] - learning_rate * *d;
+            vb[0] = v;
+            wb[0] += v;
+        }
+        loss
+    }
+
+    /// One stochastic-gradient step on a single (input, target) pair
+    /// with momentum. Returns the pre-update squared error.
+    ///
+    /// Convenience wrapper allocating a fresh [`Scratch`]; hot loops
+    /// should hold their own scratch and call [`train_step_scratch`].
+    ///
+    /// [`train_step_scratch`]: Self::train_step_scratch
+    pub fn train_step(
+        &mut self,
+        input: &[f64],
+        target: &[f64],
+        learning_rate: f64,
+        momentum: f64,
+    ) -> f64 {
+        let mut scratch = Scratch::default();
+        self.train_step_scratch(&mut scratch, input, target, learning_rate, momentum)
     }
 }
 
@@ -256,6 +530,74 @@ mod tests {
     }
 
     #[test]
+    fn scratch_paths_match_allocating_wrappers() {
+        // The fused scratch kernels and the wrapper API must produce
+        // bit-identical outputs and weight trajectories.
+        let mut r1 = Rng64::seed_from(21);
+        let mut r2 = Rng64::seed_from(21);
+        let mut a = Mlp::new(&[6, 3, 1], &mut r1);
+        let mut b = Mlp::new(&[6, 3, 1], &mut r2);
+        let mut scratch = Scratch::default();
+        let xs: Vec<[f64; 6]> = (0..50)
+            .map(|i| std::array::from_fn(|j| ((i * 7 + j) as f64 * 0.13).sin()))
+            .collect();
+        for (i, x) in xs.iter().enumerate() {
+            let t = [(i as f64 * 0.05).cos()];
+            let la = a.train_step(x, &t, 0.05, 0.3);
+            let lb = b.train_step_scratch(&mut scratch, x, &t, 0.05, 0.3);
+            assert_eq!(la.to_bits(), lb.to_bits(), "loss diverged at sample {i}");
+        }
+        for x in &xs {
+            let fa = a.forward(x);
+            let fb = b.forward_scratch(x, &mut scratch);
+            assert_eq!(fa[0].to_bits(), fb[0].to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_2l1_path_matches_generic_bitwise() {
+        // The paper-shape fast path must reproduce the generic layered
+        // implementation bit for bit: same losses, same weight
+        // trajectory, same forward outputs along the way.
+        let mut r1 = Rng64::seed_from(33);
+        let mut r2 = Rng64::seed_from(33);
+        let mut fast = Mlp::new(&[6, 3, 1], &mut r1);
+        let mut slow = Mlp::new(&[6, 3, 1], &mut r2);
+        let mut s_fast = Scratch::default();
+        let mut s_slow = Scratch::default();
+        for i in 0..200 {
+            let x: [f64; 6] = std::array::from_fn(|j| ((i * 11 + j * 3) as f64 * 0.07).sin());
+            let t = [(i as f64 * 0.09).cos()];
+            s_slow.ensure(&slow);
+            let lf = fast.train_step_scratch(&mut s_fast, &x, &t, 0.05, 0.3);
+            let ls = slow.train_step_generic(&mut s_slow, &x, &t, 0.05, 0.3);
+            assert_eq!(lf.to_bits(), ls.to_bits(), "loss diverged at step {i}");
+            let of = fast.forward_2l1(&x, &mut s_fast.acts);
+            slow.forward_into_acts(&x, &mut s_slow.acts);
+            let os = s_slow.acts[slow.act_off[2]];
+            assert_eq!(of.to_bits(), os.to_bits(), "output diverged at step {i}");
+        }
+        for (a, b) in fast.weights.iter().zip(&slow.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in fast.velocity.iter().zip(&slow.velocity) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_networks() {
+        // One scratch serves differently-shaped networks back to back.
+        let mut rng = Rng64::seed_from(2);
+        let big = Mlp::new(&[8, 5, 2], &mut rng);
+        let small = Mlp::new(&[2, 3, 1], &mut rng);
+        let mut scratch = Scratch::default();
+        assert_eq!(big.forward_scratch(&[0.1; 8], &mut scratch).len(), 2);
+        let out = small.forward_scratch(&[0.3, -0.2], &mut scratch)[0];
+        assert_eq!(out.to_bits(), small.forward(&[0.3, -0.2])[0].to_bits());
+    }
+
+    #[test]
     fn learns_linear_function() {
         // y = 0.5·x1 − 0.3·x2 + 0.1.
         let mut rng = Rng64::seed_from(3);
@@ -269,9 +611,10 @@ mod tests {
                 ([x1, x2], f(x1, x2))
             })
             .collect();
+        let mut scratch = Scratch::default();
         for _era in 0..200 {
             for (x, y) in &samples {
-                net.train_step(x, &[*y], 0.05, 0.5);
+                net.train_step_scratch(&mut scratch, x, &[*y], 0.05, 0.5);
             }
         }
         let mse: f64 = samples

@@ -13,11 +13,12 @@
 //! samples as test sets. The training phase runs for a number of
 //! training eras, until a convergence criterion is fulfilled."
 
-use crate::mlp::Mlp;
-use crate::preprocess::{poly_extrapolate, poly_smooth, Normalizer};
+use crate::mlp::{self, Mlp};
+use crate::preprocess::{poly_extrapolate, poly_smooth_into, Normalizer, PolyScratch};
 use crate::traits::Predictor;
 use mmog_util::rng::Rng64;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 
 /// Hyper-parameters of the neural predictor.
@@ -79,6 +80,16 @@ pub struct TrainingReport {
     pub test_samples: usize,
 }
 
+/// Reusable per-predictor buffers: the MLP forward/backprop scratch
+/// and the polynomial-preprocessor workspace. Held in a [`RefCell`] so
+/// the read-only [`Predictor::predict`] path can run the network
+/// without allocating.
+#[derive(Debug, Clone, Default)]
+struct Buffers {
+    mlp: mlp::Scratch,
+    poly: PolyScratch,
+}
+
 /// The deployable neural predictor.
 #[derive(Debug, Clone)]
 pub struct NeuralPredictor {
@@ -87,8 +98,12 @@ pub struct NeuralPredictor {
     normalizer: Normalizer,
     window: VecDeque<f64>,
     /// Features of the previous step's window, kept so online learning
-    /// can do one supervised step when the true value arrives.
-    last_features: Option<Vec<f64>>,
+    /// can do one supervised step when the true value arrives. The
+    /// buffer is recycled tick to tick; `has_features` says whether it
+    /// currently holds a live feature vector.
+    last_features: Vec<f64>,
+    has_features: bool,
+    scratch: RefCell<Buffers>,
 }
 
 impl NeuralPredictor {
@@ -104,7 +119,9 @@ impl NeuralPredictor {
             net,
             normalizer: Normalizer::new(scale_hint.max(1.0)),
             window: VecDeque::with_capacity(cfg.window + 1),
-            last_features: None,
+            last_features: Vec::with_capacity(cfg.window),
+            has_features: false,
+            scratch: RefCell::new(Buffers::default()),
         }
     }
 
@@ -126,17 +143,33 @@ impl NeuralPredictor {
             };
             return (predictor, report);
         }
-        // Build (features, target) pairs.
-        let samples: Vec<(Vec<f64>, f64)> = series
-            .windows(cfg.window + 1)
-            .map(|w| {
-                let features = predictor.features(&w[..cfg.window]);
-                (features, predictor.normalizer.norm(w[cfg.window]))
-            })
-            .collect();
-        let split = ((samples.len() as f64) * cfg.train_fraction).round() as usize;
-        let split = split.clamp(1, samples.len().saturating_sub(1).max(1));
-        let (train, test) = samples.split_at(split.min(samples.len()));
+        // Build the (features, target) pairs as one contiguous feature
+        // matrix (row `i` at `i·window`) plus a target column — the era
+        // loop below then streams cache-line-friendly rows instead of
+        // chasing a pointer per sample.
+        let window = cfg.window;
+        let n_samples = series.len() - window;
+        let mut feats: Vec<f64> = Vec::with_capacity(n_samples * window);
+        let mut targets: Vec<f64> = Vec::with_capacity(n_samples);
+        {
+            let mut bufs = predictor.scratch.borrow_mut();
+            let mut row: Vec<f64> = Vec::with_capacity(window);
+            for w in series.windows(window + 1) {
+                compute_features(
+                    &cfg,
+                    &predictor.normalizer,
+                    &w[..window],
+                    &mut bufs.poly,
+                    &mut row,
+                );
+                feats.extend_from_slice(&row);
+                targets.push(predictor.normalizer.norm(w[window]));
+            }
+        }
+        let split = ((n_samples as f64) * cfg.train_fraction).round() as usize;
+        let split = split.clamp(1, n_samples.saturating_sub(1).max(1));
+        let split = split.min(n_samples);
+        let test_count = n_samples - split;
 
         let mut prev_loss = f64::INFINITY;
         let mut stable = 0;
@@ -144,29 +177,35 @@ impl NeuralPredictor {
         // Present the training sets in a different (deterministic) order
         // each era: plain in-order SGD tracks the signal phase instead of
         // learning its shape.
-        let mut order: Vec<usize> = (0..train.len()).collect();
+        let mut order: Vec<usize> = (0..split).collect();
         let mut shuffle_rng = Rng64::seed_from(cfg.seed ^ 0x9E37_79B9);
+        // One scratch serves every sample of every era — the training
+        // loop performs no heap allocation.
+        let bufs = predictor.scratch.get_mut();
         for era in 0..cfg.max_eras {
             eras = era + 1;
             // (1) present all training sets; (2) adjust weights.
             shuffle_rng.shuffle(&mut order);
             for &i in &order {
-                let (x, y) = &train[i];
-                predictor
-                    .net
-                    .train_step(x, &[*y], cfg.learning_rate, cfg.momentum);
+                predictor.net.train_step_scratch(
+                    &mut bufs.mlp,
+                    &feats[i * window..(i + 1) * window],
+                    &[targets[i]],
+                    cfg.learning_rate,
+                    cfg.momentum,
+                );
             }
             // (3) test the prediction capability.
-            let test_loss = if test.is_empty() {
+            let test_loss = if test_count == 0 {
                 0.0
             } else {
-                test.iter()
-                    .map(|(x, y)| {
-                        let o = predictor.net.forward(x)[0];
-                        (o - y) * (o - y)
-                    })
-                    .sum::<f64>()
-                    / test.len() as f64
+                let mut sum = 0.0;
+                for i in split..n_samples {
+                    let x = &feats[i * window..(i + 1) * window];
+                    let o = predictor.net.forward_scratch(x, &mut bufs.mlp)[0];
+                    sum += (o - targets[i]) * (o - targets[i]);
+                }
+                sum / test_count as f64
             };
             let improvement = (prev_loss - test_loss) / prev_loss.max(1e-12);
             if improvement.abs() < cfg.convergence_tol {
@@ -179,18 +218,16 @@ impl NeuralPredictor {
             }
             prev_loss = test_loss;
         }
-        let test_rmse = if test.is_empty() {
+        let test_rmse = if test_count == 0 {
             0.0
         } else {
-            (test
-                .iter()
-                .map(|(x, y)| {
-                    let o = predictor.net.forward(x)[0];
-                    (o - y) * (o - y)
-                })
-                .sum::<f64>()
-                / test.len() as f64)
-                .sqrt()
+            let mut sum = 0.0;
+            for i in split..n_samples {
+                let x = &feats[i * window..(i + 1) * window];
+                let o = predictor.net.forward_scratch(x, &mut bufs.mlp)[0];
+                sum += (o - targets[i]) * (o - targets[i]);
+            }
+            (sum / test_count as f64).sqrt()
         };
         // Era totals are data/seed-determined and the add is commutative,
         // so this stays deterministic under parallel per-group training.
@@ -199,26 +236,32 @@ impl NeuralPredictor {
         let report = TrainingReport {
             eras,
             test_rmse,
-            train_samples: train.len(),
-            test_samples: test.len(),
+            train_samples: split,
+            test_samples: test_count,
         };
         (predictor, report)
-    }
-
-    /// Builds the network input from a raw window: polynomial smoothing,
-    /// normalisation, then centring into `[-1, 1]` (the tanh hidden
-    /// layer trains poorly on strictly positive inputs).
-    fn features(&self, window: &[f64]) -> Vec<f64> {
-        poly_smooth(window, self.cfg.poly_degree)
-            .into_iter()
-            .map(|x| 2.0 * self.normalizer.norm(x) - 1.0)
-            .collect()
     }
 
     /// The configuration in force.
     #[must_use]
     pub fn config(&self) -> &NeuralConfig {
         &self.cfg
+    }
+}
+
+/// Free-function feature builder (smoothing + normalisation + centring
+/// into `[-1, 1]`) writing into a reusable buffer; a free function so
+/// callers can split-borrow predictor fields.
+fn compute_features(
+    cfg: &NeuralConfig,
+    normalizer: &Normalizer,
+    window: &[f64],
+    poly: &mut PolyScratch,
+    out: &mut Vec<f64>,
+) {
+    poly_smooth_into(window, cfg.poly_degree, poly, out);
+    for x in out.iter_mut() {
+        *x = 2.0 * normalizer.norm(*x) - 1.0;
     }
 }
 
@@ -231,10 +274,13 @@ impl Predictor for NeuralPredictor {
         // Online learning: the arriving value is the ground truth for
         // the forecast computed from `last_features`.
         if self.cfg.online_learning {
-            if let Some(features) = self.last_features.take() {
+            if self.has_features {
+                self.has_features = false;
                 let target = self.normalizer.norm_mut(value);
-                self.net.train_step(
-                    &features,
+                let bufs = self.scratch.get_mut();
+                self.net.train_step_scratch(
+                    &mut bufs.mlp,
+                    &self.last_features,
                     &[target],
                     self.cfg.learning_rate,
                     self.cfg.momentum,
@@ -249,8 +295,19 @@ impl Predictor for NeuralPredictor {
             self.window.pop_front();
         }
         if self.window.len() == self.cfg.window {
-            let w: Vec<f64> = self.window.iter().copied().collect();
-            self.last_features = Some(self.features(&w));
+            // The deque is read in place (`make_contiguous` preserves
+            // order) and the feature vector recycles its buffer — the
+            // per-tick observe path performs no steady-state allocation.
+            let bufs = self.scratch.get_mut();
+            let w: &[f64] = self.window.make_contiguous();
+            compute_features(
+                &self.cfg,
+                &self.normalizer,
+                w,
+                &mut bufs.poly,
+                &mut self.last_features,
+            );
+            self.has_features = true;
         }
     }
 
@@ -264,17 +321,15 @@ impl Predictor for NeuralPredictor {
                 _ => self.window.back().copied().unwrap_or(0.0),
             };
         }
-        let features = self
-            .last_features
-            .as_ref()
-            .expect("window full implies features");
-        let out = self.net.forward(features)[0];
+        assert!(self.has_features, "window full implies features");
+        let mut bufs = self.scratch.borrow_mut();
+        let out = self.net.forward_scratch(&self.last_features, &mut bufs.mlp)[0];
         self.normalizer.denorm(out).max(0.0)
     }
 
     fn reset(&mut self) {
         self.window.clear();
-        self.last_features = None;
+        self.has_features = false;
     }
 }
 

@@ -11,29 +11,55 @@
 /// and partial pivoting. Returns `None` for (near-)singular systems.
 /// Sized for the tiny normal-equation systems of polynomial fitting.
 #[must_use]
-pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+pub fn solve_linear(a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     debug_assert!(a.len() == n && a.iter().all(|row| row.len() == n));
+    let mut flat = Vec::with_capacity(n * n);
+    for row in &a {
+        flat.extend_from_slice(row);
+    }
+    let mut x = vec![0.0; n];
+    if solve_linear_flat(&mut flat, &mut b, &mut x) {
+        Some(x)
+    } else {
+        None
+    }
+}
+
+/// In-place core of [`solve_linear`] on a row-major `n×n` matrix: the
+/// elimination runs inside the caller's buffers (the matrix and
+/// right-hand side are destroyed, the solution lands in `x`), so
+/// per-call fitting allocates nothing. The pivoting and elimination
+/// order are exactly [`solve_linear`]'s, so results are bit-identical.
+/// Returns `false` for (near-)singular systems.
+pub fn solve_linear_flat(a: &mut [f64], b: &mut [f64], x: &mut [f64]) -> bool {
+    let n = b.len();
+    debug_assert!(a.len() == n * n && x.len() == n);
     for col in 0..n {
         // Partial pivot.
         let pivot = (col..n)
             .max_by(|&i, &j| {
-                a[i][col]
+                a[i * n + col]
                     .abs()
-                    .partial_cmp(&a[j][col].abs())
+                    .partial_cmp(&a[j * n + col].abs())
                     .expect("finite matrix")
             })
             .expect("non-empty range");
-        if a[pivot][col].abs() < 1e-12 {
-            return None;
+        if a[pivot * n + col].abs() < 1e-12 {
+            return false;
         }
-        a.swap(col, pivot);
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+        }
         b.swap(col, pivot);
         for row in col + 1..n {
             // Split so the pivot row (index `col` < `row`) and the row
             // being eliminated can be borrowed simultaneously.
-            let (head, tail) = a.split_at_mut(row);
-            let (pivot_row, cur) = (&head[col], &mut tail[0]);
+            let (head, tail) = a.split_at_mut(row * n);
+            let pivot_row = &head[col * n..col * n + n];
+            let cur = &mut tail[..n];
             let factor = cur[col] / pivot_row[col];
             for (x, &p) in cur[col..n].iter_mut().zip(&pivot_row[col..n]) {
                 *x -= factor * p;
@@ -42,15 +68,29 @@ pub fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         }
     }
     // Back-substitution.
-    let mut x = vec![0.0; n];
     for row in (0..n).rev() {
         let mut acc = b[row];
         for k in row + 1..n {
-            acc -= a[row][k] * x[k];
+            acc -= a[row * n + k] * x[k];
         }
-        x[row] = acc / a[row][row];
+        x[row] = acc / a[row * n + row];
     }
-    Some(x)
+    true
+}
+
+/// Reusable buffers for allocation-free polynomial fitting: the normal
+/// equations, the power row, and the solved coefficients all live here
+/// and are recycled call to call.
+#[derive(Debug, Clone, Default)]
+pub struct PolyScratch {
+    /// Row-major `m×m` normal-equation matrix `XᵀX`.
+    xtx: Vec<f64>,
+    /// Right-hand side `Xᵀy`.
+    xty: Vec<f64>,
+    /// Per-sample powers `x⁰ … x^degree`.
+    powers: Vec<f64>,
+    /// Solved coefficients (low-to-high).
+    coeffs: Vec<f64>,
 }
 
 /// Fits a polynomial of the given degree to `ys` (x = 0, 1, 2, …) by
@@ -83,6 +123,49 @@ pub fn polyfit(ys: &[f64], degree: usize) -> Option<Vec<f64>> {
     solve_linear(xtx, xty)
 }
 
+/// Allocation-free [`polyfit`]: the normal equations are assembled and
+/// solved inside `scratch` (identical accumulation and elimination
+/// order, so the coefficients are bit-identical). Returns the
+/// coefficient slice, or `None` for empty input or a singular fit.
+pub fn polyfit_scratch<'s>(
+    ys: &[f64],
+    degree: usize,
+    scratch: &'s mut PolyScratch,
+) -> Option<&'s [f64]> {
+    if ys.is_empty() {
+        return None;
+    }
+    let degree = degree.min(ys.len() - 1);
+    let m = degree + 1;
+    // Normal equations: (Xᵀ X) c = Xᵀ y with Vandermonde X.
+    scratch.xtx.clear();
+    scratch.xtx.resize(m * m, 0.0);
+    scratch.xty.clear();
+    scratch.xty.resize(m, 0.0);
+    scratch.powers.clear();
+    scratch.powers.resize(m, 1.0);
+    for (i, &y) in ys.iter().enumerate() {
+        let x = i as f64;
+        scratch.powers[0] = 1.0;
+        for p in 1..m {
+            scratch.powers[p] = scratch.powers[p - 1] * x;
+        }
+        for r in 0..m {
+            scratch.xty[r] += scratch.powers[r] * y;
+            for c in 0..m {
+                scratch.xtx[r * m + c] += scratch.powers[r] * scratch.powers[c];
+            }
+        }
+    }
+    scratch.coeffs.clear();
+    scratch.coeffs.resize(m, 0.0);
+    if solve_linear_flat(&mut scratch.xtx, &mut scratch.xty, &mut scratch.coeffs) {
+        Some(&scratch.coeffs)
+    } else {
+        None
+    }
+}
+
 /// Evaluates a polynomial (coefficients low-to-high) at `x`.
 #[must_use]
 pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
@@ -94,11 +177,25 @@ pub fn polyval(coeffs: &[f64], x: f64) -> f64 {
 /// raw window.
 #[must_use]
 pub fn poly_smooth(window: &[f64], degree: usize) -> Vec<f64> {
-    match polyfit(window, degree) {
-        Some(coeffs) => (0..window.len())
-            .map(|i| polyval(&coeffs, i as f64))
-            .collect(),
-        None => window.to_vec(),
+    let mut scratch = PolyScratch::default();
+    let mut out = Vec::with_capacity(window.len());
+    poly_smooth_into(window, degree, &mut scratch, &mut out);
+    out
+}
+
+/// Allocation-free [`poly_smooth`]: the fit runs inside `scratch` and
+/// the smoothed window replaces the contents of `out` (identical
+/// values — fit and evaluation order are unchanged).
+pub fn poly_smooth_into(
+    window: &[f64],
+    degree: usize,
+    scratch: &mut PolyScratch,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    match polyfit_scratch(window, degree, scratch) {
+        Some(coeffs) => out.extend((0..window.len()).map(|i| polyval(coeffs, i as f64))),
+        None => out.extend_from_slice(window),
     }
 }
 
@@ -221,6 +318,35 @@ mod tests {
         for (a, b) in smooth.iter().zip(&window) {
             assert!((a - b).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn scratch_fit_matches_allocating_fit() {
+        let mut scratch = PolyScratch::default();
+        let window: Vec<f64> = (0..9)
+            .map(|i| {
+                3.0 + 1.7 * i as f64 - 0.4 * (i * i) as f64 + if i % 2 == 0 { 0.3 } else { -0.3 }
+            })
+            .collect();
+        for degree in 0..4 {
+            let a = polyfit(&window, degree).unwrap();
+            let b = polyfit_scratch(&window, degree, &mut scratch).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "degree {degree}");
+            }
+            let mut smoothed = Vec::new();
+            poly_smooth_into(&window, degree, &mut scratch, &mut smoothed);
+            let reference = poly_smooth(&window, degree);
+            assert_eq!(smoothed.len(), reference.len());
+            for (x, y) in smoothed.iter().zip(&reference) {
+                assert_eq!(x.to_bits(), y.to_bits(), "degree {degree}");
+            }
+        }
+        // Degenerate input falls back to the raw window in both paths.
+        let mut out = vec![99.0];
+        poly_smooth_into(&[], 2, &mut scratch, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -494,6 +494,16 @@ impl Simulation {
         let t_reduce = mmog_obs::timer("sim/run/reduce");
         let t_settle = mmog_obs::timer("sim/run/match_settle");
 
+        // Per-game reduction scratch, recycled tick to tick.
+        let mut per_game = vec![
+            (
+                ResourceVector::ZERO,
+                ResourceVector::ZERO,
+                ResourceVector::ZERO
+            );
+            game_count
+        ];
+
         for t in 0..self.ticks {
             let now = SimTime(t as u64);
             let dynamic = self.mode == AllocationMode::Dynamic;
@@ -636,14 +646,13 @@ impl Simulation {
             let mut total_demand = ResourceVector::ZERO;
             let mut total_alloc = ResourceVector::ZERO;
             let mut shortfall = ResourceVector::ZERO;
-            let mut per_game = vec![
-                (
+            for entry in per_game.iter_mut() {
+                *entry = (
                     ResourceVector::ZERO,
                     ResourceVector::ZERO,
-                    ResourceVector::ZERO
+                    ResourceVector::ZERO,
                 );
-                game_count
-            ];
+            }
             for group in &self.groups {
                 total_demand += group.tick.demand;
                 total_alloc += group.tick.alloc;

@@ -9,7 +9,9 @@
 
 use crate::demand::DemandModel;
 use mmog_datacenter::center::{DataCenter, Lease, LeaseId};
-use mmog_datacenter::matching::{match_request, MatchOutcome, RejectionTotals};
+use mmog_datacenter::matching::{
+    match_request_indexed, CandidateIndex, MatchOutcome, RejectionTotals,
+};
 use mmog_datacenter::request::{OperatorId, ResourceRequest};
 use mmog_datacenter::resource::ResourceVector;
 use mmog_predict::traits::Predictor;
@@ -122,6 +124,14 @@ pub struct GroupProvisioner {
     consecutive_unmet: u32,
     backoff_until: SimTime,
     lost: ResourceVector,
+    /// Cached matcher view for this group's fixed (origin, tolerance):
+    /// candidate ranking survives across ticks instead of being redone
+    /// per request.
+    index: CandidateIndex,
+    /// Cached finest per-resource bulk across the platform (phase 1b),
+    /// keyed on the center count. Policies are static for a run, so
+    /// this is computed at most once per platform.
+    finest_bulks: Option<(usize, [Option<f64>; 4])>,
 }
 
 impl GroupProvisioner {
@@ -151,6 +161,8 @@ impl GroupProvisioner {
             consecutive_unmet: 0,
             backoff_until: SimTime::ZERO,
             lost: ResourceVector::ZERO,
+            index: CandidateIndex::new(origin, tolerance),
+            finest_bulks: None,
         }
     }
 
@@ -319,24 +331,29 @@ impl GroupProvisioner {
         // reshape per step bounds the lease turnover.
         if !surplus.is_negligible(1e-6) {
             // Finest per-resource bulk across the platform (None = some
-            // center grants this resource exactly).
-            let finest: [Option<f64>; 4] = {
-                let mut out = [None; 4];
-                for (slot, r) in out
-                    .iter_mut()
-                    .zip(mmog_datacenter::resource::ResourceType::ALL)
-                {
-                    let mut any_exact = false;
-                    let mut min_bulk = f64::INFINITY;
-                    for c in centers.iter() {
-                        match c.spec.policy.bulk(r) {
-                            None => any_exact = true,
-                            Some(b) => min_bulk = min_bulk.min(b),
+            // center grants this resource exactly). Policies are static,
+            // so the scan runs once per platform and is cached after.
+            let finest: [Option<f64>; 4] = match self.finest_bulks {
+                Some((n, cached)) if n == centers.len() => cached,
+                _ => {
+                    let mut out = [None; 4];
+                    for (slot, r) in out
+                        .iter_mut()
+                        .zip(mmog_datacenter::resource::ResourceType::ALL)
+                    {
+                        let mut any_exact = false;
+                        let mut min_bulk = f64::INFINITY;
+                        for c in centers.iter() {
+                            match c.spec.policy.bulk(r) {
+                                None => any_exact = true,
+                                Some(b) => min_bulk = min_bulk.min(b),
+                            }
                         }
+                        *slot = (!any_exact && min_bulk.is_finite()).then_some(min_bulk);
                     }
-                    *slot = (!any_exact && min_bulk.is_finite()).then_some(min_bulk);
+                    self.finest_bulks = Some((centers.len(), out));
+                    out
                 }
-                out
             };
             let finest_round = |v: &ResourceVector| {
                 v.map(|r, amount| {
@@ -387,7 +404,7 @@ impl GroupProvisioner {
                 return outcome;
             }
             let request = ResourceRequest::new(self.operator, deficit, self.origin, self.tolerance);
-            let matched = match_request(centers, &request, now);
+            let matched = match_request_indexed(&mut self.index, centers, &request, now);
             for grant in &matched.grants {
                 let lease = centers[grant.center_index]
                     .leases()

@@ -116,6 +116,9 @@ mod tests {
         static MEMO: Memo<u64> = Memo::new();
         static BUILDS: AtomicUsize = AtomicUsize::new(0);
         let values: Vec<u64> = std::thread::scope(|s| {
+            // The intermediate collect is the point: all spawns must
+            // happen before the first join or the race disappears.
+            #[allow(clippy::needless_collect)]
             let handles: Vec<_> = (0..8)
                 .map(|_| {
                     s.spawn(|| {

@@ -21,6 +21,18 @@ use mmog_util::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
+/// Interned observability handles for the per-tick kernel (looked up
+/// once, not per tick).
+mod obs {
+    use std::sync::{Arc, OnceLock};
+
+    /// Timing stat for one emulator tick (`world/emulator/step`).
+    pub(super) fn step_timer() -> &'static mmog_obs::SpanStat {
+        static T: OnceLock<Arc<mmog_obs::SpanStat>> = OnceLock::new();
+        T.get_or_init(|| mmog_obs::timer("world/emulator/step"))
+    }
+}
+
 /// State of the world at one tick, reduced to what the provisioning
 /// pipeline needs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -105,6 +117,16 @@ pub struct GameEmulator {
     /// Slow population factor for non-peak-hours worlds, in `[0,1]`.
     slow_walk: f64,
     time: SimTime,
+    /// Per-tick count-map scratch, recycled so [`step`] performs no
+    /// steady-state allocation beyond the snapshot it returns.
+    ///
+    /// [`step`]: Self::step
+    counts_scratch: Vec<u32>,
+    /// The previous tick's count map (swapped with the scratch each
+    /// tick) and its pair count: when entity/sub-zone membership is
+    /// unchanged between ticks the pair sum is reused, not recomputed.
+    last_counts: Vec<u32>,
+    last_pairs: u64,
 }
 
 impl GameEmulator {
@@ -137,6 +159,9 @@ impl GameEmulator {
             visits,
             slow_walk: 0.5,
             time: SimTime::ZERO,
+            counts_scratch: Vec::new(),
+            last_counts: Vec::new(),
+            last_pairs: 0,
         }
     }
 
@@ -385,28 +410,45 @@ impl GameEmulator {
         }
     }
 
-    /// Advances the world one tick and returns the snapshot.
+    /// Advances the world one tick and returns the snapshot. The count
+    /// map is built in a persistent scratch (the only steady-state
+    /// allocation is the snapshot's own copy), and the pair sum is
+    /// reused from the previous tick whenever sub-zone membership is
+    /// unchanged.
     pub fn step(&mut self) -> WorldSnapshot {
-        let target = self.target_population();
-        self.churn_population(target);
-        self.move_attractors();
-        self.move_entities();
+        mmog_obs::time_stat(obs::step_timer(), || {
+            let target = self.target_population();
+            self.churn_population(target);
+            self.move_attractors();
+            self.move_entities();
 
-        // Record visits and build the count map in one pass.
-        let mut counts = vec![0u32; self.grid.sub_zone_count()];
-        for e in &self.entities {
-            let z = self.grid.locate(&e.pos);
-            counts[z.0 as usize] += 1;
-            self.visits[z.0 as usize] += 1;
-        }
-        let snapshot = WorldSnapshot {
-            time: self.time,
-            total: self.entities.len() as u32,
-            interaction_pairs: count_pairs_subzone(&counts),
-            counts,
-        };
-        self.time = self.time.next();
-        snapshot
+            // Record visits and build the count map in one pass.
+            self.counts_scratch.clear();
+            self.counts_scratch.resize(self.grid.sub_zone_count(), 0);
+            for e in &self.entities {
+                let z = self.grid.locate(&e.pos);
+                self.counts_scratch[z.0 as usize] += 1;
+                self.visits[z.0 as usize] += 1;
+            }
+            let interaction_pairs = if self.counts_scratch == self.last_counts {
+                self.last_pairs
+            } else {
+                let pairs = count_pairs_subzone(&self.counts_scratch);
+                self.last_pairs = pairs;
+                pairs
+            };
+            // The scratch becomes this tick's reference map; the old
+            // reference buffer is recycled next tick.
+            std::mem::swap(&mut self.counts_scratch, &mut self.last_counts);
+            let snapshot = WorldSnapshot {
+                time: self.time,
+                total: self.entities.len() as u32,
+                interaction_pairs,
+                counts: self.last_counts.clone(),
+            };
+            self.time = self.time.next();
+            snapshot
+        })
     }
 
     /// Runs `ticks` steps from a fresh world, collecting every snapshot.

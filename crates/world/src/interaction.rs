@@ -14,14 +14,43 @@
 //!   all entity pairs co-located in a sub-zone count as interacting.
 
 use crate::entity::Position;
-use crate::zone::ZoneGrid;
+use crate::zone::{SubZoneId, ZoneGrid};
+
+/// Reusable buffers for the exact pair sweep: per-sub-zone index
+/// buckets and the neighbourhood list. One scratch serves any number of
+/// [`count_pairs_exact_scratch`] calls (buffers grow to fit), so
+/// repeated sweeps over a moving world allocate nothing per tick.
+#[derive(Debug, Clone, Default)]
+pub struct PairScratch {
+    buckets: Vec<Vec<usize>>,
+    neighborhood: Vec<SubZoneId>,
+}
 
 /// Counts unordered entity pairs within `radius` of each other (exact,
 /// grid-accelerated). Entities at exactly `radius` distance count.
+///
+/// Convenience wrapper allocating fresh buffers; hot loops should hold
+/// a [`PairScratch`] and call [`count_pairs_exact_scratch`].
 #[must_use]
 pub fn count_pairs_exact(grid: &ZoneGrid, positions: &[Position], radius: f64) -> u64 {
+    let mut scratch = PairScratch::default();
+    count_pairs_exact_scratch(grid, positions, radius, &mut scratch)
+}
+
+/// Allocation-free [`count_pairs_exact`]: buckets and neighbourhoods
+/// live in `scratch` and are recycled sweep to sweep. The zone visiting
+/// order and distance arithmetic are identical, so the count matches
+/// exactly.
+#[must_use]
+pub fn count_pairs_exact_scratch(
+    grid: &ZoneGrid,
+    positions: &[Position],
+    radius: f64,
+    scratch: &mut PairScratch,
+) -> u64 {
     debug_assert!(radius >= 0.0);
-    let buckets = grid.bucket(positions);
+    grid.bucket_into(positions, &mut scratch.buckets);
+    let buckets = &scratch.buckets;
     // The neighbourhood must cover the interaction radius.
     let radius_cells = (radius / grid.cell_size()).ceil() as u32;
     let mut pairs = 0u64;
@@ -30,8 +59,9 @@ pub fn count_pairs_exact(grid: &ZoneGrid, positions: &[Position], radius: f64) -
         if bucket.is_empty() {
             continue;
         }
-        let zone = crate::zone::SubZoneId(zi as u32);
-        for nz in grid.neighborhood(zone, radius_cells) {
+        let zone = SubZoneId(zi as u32);
+        grid.neighborhood_into(zone, radius_cells, &mut scratch.neighborhood);
+        for &nz in &scratch.neighborhood {
             // Visit each unordered zone pair once; within a zone, count
             // index-ordered pairs.
             if (nz.0 as usize) < zi {

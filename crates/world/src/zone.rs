@@ -91,10 +91,19 @@ impl ZoneGrid {
     /// (including `z` itself), clipped at the world border. The union of
     /// these cells covers the area of interest around any point in `z`.
     pub fn neighborhood(&self, z: SubZoneId, radius_cells: u32) -> Vec<SubZoneId> {
+        let mut out = Vec::new();
+        self.neighborhood_into(z, radius_cells, &mut out);
+        out
+    }
+
+    /// Like [`Self::neighborhood`] but reuses `out` (cleared first) so
+    /// sweep loops stay allocation-free.
+    pub fn neighborhood_into(&self, z: SubZoneId, radius_cells: u32, out: &mut Vec<SubZoneId>) {
         let (gx, gy) = self.coords(z);
         let r = i64::from(radius_cells);
         let g = i64::from(self.grid);
-        let mut out = Vec::with_capacity(((2 * r + 1) * (2 * r + 1)) as usize);
+        out.clear();
+        out.reserve(((2 * r + 1) * (2 * r + 1)) as usize);
         for dy in -r..=r {
             for dx in -r..=r {
                 let nx = i64::from(gx) + dx;
@@ -104,7 +113,6 @@ impl ZoneGrid {
                 }
             }
         }
-        out
     }
 
     /// Buckets positions by sub-zone, returning per-sub-zone index lists.

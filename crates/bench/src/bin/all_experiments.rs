@@ -163,5 +163,15 @@ fn main() {
         fs::write(&summary_path, mmog_obs::summary_json()).expect("cannot write OBS summary");
         println!("== metrics summary -> {}\n", summary_path.display());
         println!("{}", mmog_obs::render_summary_table());
+        // Flame-style span profile next to the summary. Pure wall-clock
+        // data, so the whole file sits inside timing markers — anything
+        // byte-comparing results/ masks it wholesale.
+        let spans = mmog_obs::snapshot_spans();
+        let profile =
+            mmog_obs_analyze::render_profile(&mmog_obs_analyze::profile_from_spans(&spans));
+        let spans_path = out_dir.join("OBS_spans.txt");
+        fs::write(&spans_path, mmog_obs::timing_block(&profile))
+            .expect("cannot write span profile");
+        println!("== span profile -> {}", spans_path.display());
     }
 }

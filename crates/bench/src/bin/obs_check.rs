@@ -1,8 +1,9 @@
 //! Validates observability artifacts: an `OBS_summary.json` against the
 //! `mmog-obs/v1` schema, and optionally a JSONL event trace for
-//! well-formedness, contiguous sequence numbers, and known event kinds
-//! (including the fault plane's `center_down`/`center_up`/
-//! `lease_revoked`/`reprovision` family).
+//! well-formedness, contiguous sequence numbers, and — per event — the
+//! exact field set its kind declares in `mmog_obs::EVENT_FIELDS`
+//! (names, order, and types, covering the fault plane's
+//! `center_down`/`center_up`/`lease_revoked`/`reprovision` family).
 //!
 //! Usage: `obs_check <OBS_summary.json> [trace.jsonl]`
 //!
@@ -22,8 +23,10 @@ fn check_summary(path: &str) -> Result<(), String> {
 fn check_trace(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut count = 0u64;
+    let mut kinds_seen = 0usize;
+    let mut seen = [false; mmog_obs::KNOWN_EVENT_KINDS.len()];
     for (i, line) in text.lines().enumerate() {
-        let (seq, _scope, kind, _value) =
+        let (seq, _scope, kind, value) =
             mmog_obs::parse_trace_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
         if seq != i as u64 {
             return Err(format!(
@@ -31,15 +34,22 @@ fn check_trace(path: &str) -> Result<(), String> {
                 i + 1
             ));
         }
-        if !mmog_obs::KNOWN_EVENT_KINDS.contains(&kind.as_str()) {
-            return Err(format!("{path}:{}: unknown event kind `{kind}`", i + 1));
+        // Unknown kinds and field-set violations (missing/extra fields,
+        // order skew, wrong types) both fail here.
+        mmog_obs::validate_event_fields(&kind, &value)
+            .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        if let Some(idx) = mmog_obs::KNOWN_EVENT_KINDS.iter().position(|k| *k == kind) {
+            if !seen[idx] {
+                seen[idx] = true;
+                kinds_seen += 1;
+            }
         }
         count += 1;
     }
     if count == 0 {
         return Err(format!("{path}: trace is empty"));
     }
-    println!("OK trace {path} ({count} events)");
+    println!("OK trace {path} ({count} events, {kinds_seen} kinds, all field sets valid)");
     Ok(())
 }
 

@@ -5,9 +5,14 @@
 //! One test function covers every comparison: the jobs setting is
 //! process-global, so splitting the checks into separate `#[test]`s
 //! would race when the harness runs them concurrently.
+//!
+//! Failures route through `mmog-obs-analyze`'s first-divergence diff,
+//! so a broken contract names the first diverging line instead of
+//! dumping two multi-kilobyte reports.
 
 use mmog_bench::experiments as exp;
 use mmog_bench::RunOpts;
+use mmog_obs_analyze::first_text_divergence;
 use mmog_predict::eval::PredictorKind;
 use mmog_sim::engine::{AllocationMode, Simulation};
 use mmog_sim::scenario::{self, ScenarioOpts};
@@ -21,6 +26,14 @@ fn tiny() -> ScenarioOpts {
         days: 1,
         seed: 77,
         group_cap: Some(2),
+    }
+}
+
+/// Asserts byte-identity, reporting the first diverging line on
+/// failure.
+fn assert_same_text(what: &str, left: &str, right: &str) {
+    if let Some(d) = first_text_divergence(left, right) {
+        panic!("{what}: {}", d.message());
     }
 }
 
@@ -58,9 +71,10 @@ fn check_golden(name: &str, actual: &str) {
             path.display()
         )
     });
-    assert_eq!(
-        actual, expected,
-        "{name} must stay byte-identical to the pre-optimization fixture"
+    assert_same_text(
+        &format!("{name} must stay byte-identical to the pre-optimization fixture"),
+        &expected,
+        actual,
     );
 }
 
@@ -73,15 +87,16 @@ fn reports_identical_for_any_job_count() {
     let serial = engine_fingerprint();
     mmog_par::set_jobs(4);
     let parallel = engine_fingerprint();
-    assert_eq!(
-        serial, parallel,
-        "SimReport must be bit-identical between --jobs 1 and --jobs 4"
+    assert_same_text(
+        "SimReport must be bit-identical between --jobs 1 and --jobs 4",
+        &serial,
+        &parallel,
     );
 
     // Same seed, same jobs: repeated runs agree (the caches and
     // per-group streams hold no run-to-run state).
     let again = engine_fingerprint();
-    assert_eq!(parallel, again, "same-seed runs must agree");
+    assert_same_text("same-seed runs must agree", &parallel, &again);
 
     // Sweep level: a multi-run experiment's rendered table. Table V
     // fans six predictor runs out and formats every metric (the neural
@@ -96,15 +111,18 @@ fn reports_identical_for_any_job_count() {
     let serial_table = exp::table5_prediction_impact(&opts);
     mmog_par::set_jobs(4);
     let parallel_table = exp::table5_prediction_impact(&opts);
-    assert_eq!(
-        serial_table, parallel_table,
-        "experiment text must be byte-identical between --jobs 1 and --jobs 4"
+    assert_same_text(
+        "experiment text must be byte-identical between --jobs 1 and --jobs 4",
+        &serial_table,
+        &parallel_table,
     );
 
     // fig06 measures wall-clock latency — Figure 6's subject — so its
     // table sits inside `mmog-obs` timing markers. With the markers
     // masked the rest of the report must be byte-identical too; fig06
-    // is no longer exempt from the determinism contract.
+    // is no longer exempt from the determinism contract. A malformed
+    // marker structure (e.g. an unterminated block) is itself a
+    // failure now, not a silent partial mask.
     mmog_par::set_jobs(1);
     let serial_fig06 = exp::fig06_prediction_time(&opts);
     mmog_par::set_jobs(4);
@@ -113,10 +131,14 @@ fn reports_identical_for_any_job_count() {
         serial_fig06.contains(mmog_obs::TIMING_BEGIN),
         "fig06 must mark its wall-clock table"
     );
-    assert_eq!(
-        mmog_obs::mask_timing(&serial_fig06),
-        mmog_obs::mask_timing(&parallel_fig06),
-        "fig06 must be byte-identical outside its timing markers"
+    let serial_masked =
+        mmog_obs::mask_timing(&serial_fig06).expect("fig06 timing markers must be well-formed");
+    let parallel_masked =
+        mmog_obs::mask_timing(&parallel_fig06).expect("fig06 timing markers must be well-formed");
+    assert_same_text(
+        "fig06 must be byte-identical outside its timing markers",
+        &serial_masked,
+        &parallel_masked,
     );
 
     // Golden byte-identity for the hot-path kernels. fig05 leans on
@@ -130,13 +152,15 @@ fn reports_identical_for_any_job_count() {
     mmog_par::set_jobs(4);
     let parallel_fig05 = exp::fig05_prediction_accuracy(&opts);
     let parallel_faults = exp::fig_faults(&opts);
-    assert_eq!(
-        serial_fig05, parallel_fig05,
-        "fig05 must be byte-identical between --jobs 1 and --jobs 4"
+    assert_same_text(
+        "fig05 must be byte-identical between --jobs 1 and --jobs 4",
+        &serial_fig05,
+        &parallel_fig05,
     );
-    assert_eq!(
-        serial_faults, parallel_faults,
-        "fig_faults must be byte-identical between --jobs 1 and --jobs 4"
+    assert_same_text(
+        "fig_faults must be byte-identical between --jobs 1 and --jobs 4",
+        &serial_faults,
+        &parallel_faults,
     );
     check_golden("fig05_tiny.txt", &serial_fig05);
     check_golden("fig_faults_tiny.txt", &serial_faults);

@@ -7,8 +7,12 @@
 //! One test function: the jobs setting and the trace destination are
 //! process-global, so separate `#[test]`s would race under the
 //! parallel test harness.
+//!
+//! Mismatches route through `mmog-obs-analyze`'s first-divergence
+//! helpers, so a failure names the first diverging event or line.
 
 use mmog_faults::FaultSpec;
+use mmog_obs_analyze::{first_text_divergence, trace_diff};
 use mmog_sim::engine::{AllocationMode, Simulation};
 use mmog_sim::scenario::{self, ScenarioOpts};
 use std::fs;
@@ -59,16 +63,22 @@ fn faulted_runs_identical_across_jobs_and_repeats() {
     let _ = fs::remove_file(&p4);
     let _ = fs::remove_file(&p4b);
 
-    assert_eq!(
-        report_serial, report_parallel,
-        "faulted SimReport must be bit-identical between --jobs 1 and --jobs 4"
-    );
-    assert_eq!(
-        trace_serial, trace_parallel,
-        "faulted event trace must be byte-identical between --jobs 1 and --jobs 4"
-    );
+    if let Some(d) = first_text_divergence(&report_serial, &report_parallel) {
+        panic!(
+            "faulted SimReport must be bit-identical between --jobs 1 and --jobs 4: {}",
+            d.message()
+        );
+    }
+    if let Some(d) = trace_diff(&trace_serial, &trace_parallel) {
+        panic!(
+            "faulted event trace must be byte-identical between --jobs 1 and --jobs 4: {}",
+            d.message()
+        );
+    }
     assert_eq!(report_parallel, report_again, "same-seed runs must agree");
-    assert_eq!(trace_parallel, trace_again, "same-seed traces must agree");
+    if let Some(d) = trace_diff(&trace_parallel, &trace_again) {
+        panic!("same-seed traces must agree: {}", d.message());
+    }
 
     // The trace actually exercises the fault plane: every lifecycle
     // event kind the acceptance criteria name is present, lines parse,
@@ -76,8 +86,10 @@ fn faulted_runs_identical_across_jobs_and_repeats() {
     assert!(!trace_serial.is_empty(), "trace must contain events");
     let mut kinds: Vec<String> = Vec::new();
     for (i, line) in trace_serial.lines().enumerate() {
-        let (seq, _scope, kind, _v) = mmog_obs::parse_trace_line(line).expect("line parses");
+        let (seq, _scope, kind, value) = mmog_obs::parse_trace_line(line).expect("line parses");
         assert_eq!(seq, i as u64, "sequence numbers are contiguous");
+        mmog_obs::validate_event_fields(&kind, &value)
+            .unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
         if !kinds.contains(&kind) {
             kinds.push(kind);
         }

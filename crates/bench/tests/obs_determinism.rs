@@ -6,9 +6,16 @@
 //! One test function: the jobs setting, the metric registry and the
 //! trace destination are all process-global, so separate `#[test]`s
 //! would race under the parallel test harness.
+//!
+//! Trace mismatches route through `mmog_obs_analyze::trace_diff`, so a
+//! failure names the first diverging event (kind, tick, field) instead
+//! of dumping two traces; every line of the real mini-suite trace is
+//! also validated against the per-kind field schemas and folded into
+//! timelines by the analytics reader.
 
 use mmog_bench::experiments as exp;
 use mmog_bench::RunOpts;
+use mmog_obs_analyze::{analyze_trace, first_text_divergence, trace_diff, Query};
 use std::fs;
 use std::path::PathBuf;
 
@@ -75,10 +82,12 @@ fn semantic_outputs_identical_across_jobs() {
     // byte-identical; only `timing` may differ.
     let sem_serial = mmog_obs::semantic_section(&summary_serial).expect("semantic section");
     let sem_parallel = mmog_obs::semantic_section(&summary_parallel).expect("semantic section");
-    assert_eq!(
-        sem_serial, sem_parallel,
-        "semantic metrics must be byte-identical between --jobs 1 and --jobs 4"
-    );
+    if let Some(d) = first_text_divergence(&sem_serial, &sem_parallel) {
+        panic!(
+            "semantic metrics must be byte-identical between --jobs 1 and --jobs 4: {}",
+            d.message()
+        );
+    }
     assert!(
         sem_serial.contains("sim.runs"),
         "the engine actually recorded: {sem_serial}"
@@ -86,12 +95,41 @@ fn semantic_outputs_identical_across_jobs() {
 
     // The event logs are byte-identical, non-empty, and well-formed.
     assert!(!trace_serial.is_empty(), "trace must contain events");
-    assert_eq!(
-        trace_serial, trace_parallel,
-        "JSONL event log must be byte-identical between --jobs 1 and --jobs 4"
-    );
-    for (i, line) in trace_serial.lines().enumerate() {
-        let (seq, _scope, _kind, _v) = mmog_obs::parse_trace_line(line).expect("line parses");
-        assert_eq!(seq, i as u64, "sequence numbers are contiguous");
+    if let Some(d) = trace_diff(&trace_serial, &trace_parallel) {
+        panic!(
+            "JSONL event log must be byte-identical between --jobs 1 and --jobs 4: {}",
+            d.message()
+        );
     }
+    for (i, line) in trace_serial.lines().enumerate() {
+        let (seq, _scope, kind, value) = mmog_obs::parse_trace_line(line).expect("line parses");
+        assert_eq!(seq, i as u64, "sequence numbers are contiguous");
+        // Every event of the real trace satisfies its kind's exact
+        // field schema (names, order, types).
+        mmog_obs::validate_event_fields(&kind, &value)
+            .unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
+    }
+
+    // The analytics reader folds the real trace into timelines: every
+    // scope has per-tick rows, the sampled per-center series are
+    // present, and the derived report/artifact are themselves
+    // deterministic.
+    let runs = analyze_trace(&trace_serial, &Query::default()).expect("trace analyzes cleanly");
+    assert!(!runs.is_empty(), "mini-suite trace holds at least one run");
+    for run in &runs {
+        assert!(!run.ticks.is_empty(), "scope {} has tick rows", run.scope);
+        assert!(
+            !run.centers.is_empty(),
+            "scope {} has center_tick series",
+            run.scope
+        );
+    }
+    let report = mmog_obs_analyze::render_timelines(&runs);
+    let artifact = mmog_obs_analyze::timelines_value(&runs).render_pretty();
+    let runs_again = analyze_trace(&trace_serial, &Query::default()).expect("re-analysis");
+    assert_eq!(report, mmog_obs_analyze::render_timelines(&runs_again));
+    assert_eq!(
+        artifact,
+        mmog_obs_analyze::timelines_value(&runs_again).render_pretty()
+    );
 }

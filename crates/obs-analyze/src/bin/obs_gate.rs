@@ -1,0 +1,124 @@
+//! `obs_gate` — the baseline regression gate CI runs after the quick
+//! suite.
+//!
+//! ```text
+//! obs_gate --summary OBS_summary.json --bench BENCH_parallel.json
+//!          --obs-baseline results/BASELINE_obs.json
+//!          --bench-baseline results/BASELINE_bench.json
+//!          [--max-slowdown-pct 25] [--min-stage-ms 50]
+//!          [--update] [--suite quick]
+//! ```
+//!
+//! Default mode compares and exits non-zero on any failure (semantic
+//! drift always fails; timing failures require a matching
+//! `jobs`/`logical_cpus` environment). `--update` regenerates both
+//! baseline files from the current artifacts instead.
+
+use mmog_obs_analyze::gate::{
+    check_bench, check_obs, make_bench_baseline, make_obs_baseline, GateOutcome,
+    DEFAULT_MAX_SLOWDOWN_PCT, DEFAULT_MIN_STAGE_MS,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    summary: PathBuf,
+    bench: PathBuf,
+    obs_baseline: PathBuf,
+    bench_baseline: PathBuf,
+    max_slowdown_pct: f64,
+    min_stage_ms: f64,
+    update: bool,
+    suite: String,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut args = std::env::args().skip(1);
+    let mut summary = None;
+    let mut bench = None;
+    let mut obs_baseline = None;
+    let mut bench_baseline = None;
+    let mut max_slowdown_pct = DEFAULT_MAX_SLOWDOWN_PCT;
+    let mut min_stage_ms = DEFAULT_MIN_STAGE_MS;
+    let mut update = false;
+    let mut suite = "quick".to_string();
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--summary" => summary = Some(PathBuf::from(value("--summary")?)),
+            "--bench" => bench = Some(PathBuf::from(value("--bench")?)),
+            "--obs-baseline" => obs_baseline = Some(PathBuf::from(value("--obs-baseline")?)),
+            "--bench-baseline" => bench_baseline = Some(PathBuf::from(value("--bench-baseline")?)),
+            "--max-slowdown-pct" => {
+                max_slowdown_pct = value("--max-slowdown-pct")?
+                    .parse()
+                    .map_err(|e| format!("--max-slowdown-pct: {e}"))?;
+            }
+            "--min-stage-ms" => {
+                min_stage_ms = value("--min-stage-ms")?
+                    .parse()
+                    .map_err(|e| format!("--min-stage-ms: {e}"))?;
+            }
+            "--update" => update = true,
+            "--suite" => suite = value("--suite")?,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Opts {
+        summary: summary.ok_or("missing --summary")?,
+        bench: bench.ok_or("missing --bench")?,
+        obs_baseline: obs_baseline.ok_or("missing --obs-baseline")?,
+        bench_baseline: bench_baseline.ok_or("missing --bench-baseline")?,
+        max_slowdown_pct,
+        min_stage_ms,
+        update,
+        suite,
+    })
+}
+
+fn read(path: &PathBuf) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn write(path: &PathBuf, body: String) -> Result<(), String> {
+    std::fs::write(path, body + "\n").map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn run(opts: &Opts) -> Result<bool, String> {
+    let summary = read(&opts.summary)?;
+    let bench = read(&opts.bench)?;
+    if opts.update {
+        write(
+            &opts.obs_baseline,
+            make_obs_baseline(&summary, &opts.suite)?,
+        )?;
+        write(&opts.bench_baseline, make_bench_baseline(&bench)?)?;
+        println!(
+            "updated {} and {}",
+            opts.obs_baseline.display(),
+            opts.bench_baseline.display()
+        );
+        return Ok(true);
+    }
+    let mut outcome = GateOutcome::default();
+    outcome.merge(check_obs(&read(&opts.obs_baseline)?, &summary)?);
+    outcome.merge(check_bench(
+        &read(&opts.bench_baseline)?,
+        &bench,
+        opts.max_slowdown_pct,
+        opts.min_stage_ms,
+    )?);
+    print!("{}", outcome.render("obs_gate"));
+    Ok(outcome.pass())
+}
+
+fn main() -> ExitCode {
+    match parse_args().and_then(|opts| run(&opts)) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("obs_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

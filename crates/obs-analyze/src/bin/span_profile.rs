@@ -1,0 +1,29 @@
+//! `span_profile` — flame-style span profile from a saved
+//! `OBS_summary.json`.
+//!
+//! ```text
+//! span_profile SUMMARY.json
+//! ```
+
+use mmog_obs_analyze::{profile_from_summary, render_profile};
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let path = std::env::args()
+        .nth(1)
+        .ok_or("usage: span_profile SUMMARY.json")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let roots = profile_from_summary(&text)?;
+    print!("{}", render_profile(&roots));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("span_profile: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

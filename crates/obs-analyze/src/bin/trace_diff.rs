@@ -1,0 +1,49 @@
+//! `trace_diff` — semantic first-divergence diff between two traces.
+//!
+//! ```text
+//! trace_diff LEFT.jsonl RIGHT.jsonl [--text]
+//! ```
+//!
+//! Exit code 0 and `no divergence` when the files are byte-identical;
+//! exit code 1 and a localized report (kind, tick, field) otherwise.
+//! `--text` switches to plain line-diff mode for non-trace reports.
+
+use mmog_obs_analyze::{first_text_divergence, trace_diff};
+use std::process::ExitCode;
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let text_mode = args.iter().any(|a| a == "--text");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [left, right] = paths.as_slice() else {
+        return Err("usage: trace_diff LEFT RIGHT [--text]".to_string());
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let (a, b) = (read(left)?, read(right)?);
+    let message = if text_mode {
+        first_text_divergence(&a, &b).map(|d| d.message())
+    } else {
+        trace_diff(&a, &b).map(|d| d.message())
+    };
+    match message {
+        None => {
+            println!("no divergence");
+            Ok(true)
+        }
+        Some(msg) => {
+            println!("{msg}");
+            Ok(false)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("trace_diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

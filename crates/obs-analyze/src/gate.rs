@@ -1,0 +1,354 @@
+//! The baseline regression gate.
+//!
+//! Two committed baselines, two comparison regimes:
+//!
+//! - `results/BASELINE_obs.json` holds the **semantic** metrics section
+//!   of a quick-suite `OBS_summary.json`. Semantic instruments use only
+//!   commutative integer operations and the workload caches build once
+//!   per key, so a fresh-process quick-suite run reproduces the section
+//!   byte-for-byte on any machine at any `--jobs` — the gate compares
+//!   **exactly** and any drift fails the build.
+//! - `results/BASELINE_bench.json` holds hot-path stage timings from
+//!   `BENCH_parallel.json`. Wall-clock is machine-dependent, so the
+//!   gate is **threshold-tolerant** (default: fail past a 25% slowdown
+//!   on stages above a noise floor) and records `jobs`/`logical_cpus`
+//!   honestly: when the current run's parallelism or core count differs
+//!   from the baseline's, timing verdicts downgrade to warnings —
+//!   cross-machine noise must never fail a build, but semantic drift
+//!   always does.
+
+use crate::diff::first_text_divergence;
+use mmog_obs::json::Value;
+
+/// Schema identifier of both baseline documents.
+pub const GATE_SCHEMA: &str = "mmog-obs-gate/v1";
+
+/// Default slowdown threshold, percent.
+pub const DEFAULT_MAX_SLOWDOWN_PCT: f64 = 25.0;
+
+/// Default noise floor: stages faster than this in the baseline are
+/// never judged.
+pub const DEFAULT_MIN_STAGE_MS: f64 = 50.0;
+
+/// The gate's verdict: hard failures, advisory warnings, and notes.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// Violations that must fail the build.
+    pub failures: Vec<String>,
+    /// Suspicious but non-fatal observations.
+    pub warnings: Vec<String>,
+    /// Informational lines (improvements, skipped comparisons).
+    pub notes: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes (no failures; warnings allowed).
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the verdict as the report `obs_gate` prints.
+    #[must_use]
+    pub fn render(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("{title}: {}\n", if self.pass() { "PASS" } else { "FAIL" });
+        for f in &self.failures {
+            let _ = writeln!(out, "  FAIL: {f}");
+        }
+        for w in &self.warnings {
+            let _ = writeln!(out, "  warn: {w}");
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Merges another outcome into this one.
+    pub fn merge(&mut self, other: GateOutcome) {
+        self.failures.extend(other.failures);
+        self.warnings.extend(other.warnings);
+        self.notes.extend(other.notes);
+    }
+}
+
+fn parse_doc(text: &str, what: &str) -> Result<Value, String> {
+    mmog_obs::json::parse(text).map_err(|e| format!("{what}: {e}"))
+}
+
+fn check_gate_schema(doc: &Value, what: &str) -> Result<(), String> {
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(GATE_SCHEMA) => Ok(()),
+        Some(other) => Err(format!("{what}: unknown schema {other:?}")),
+        None => Err(format!("{what}: missing schema field")),
+    }
+}
+
+/// Builds the `BASELINE_obs.json` document from an `OBS_summary.json`.
+///
+/// # Errors
+/// Returns a message when the summary doesn't validate against
+/// `mmog-obs/v1`.
+pub fn make_obs_baseline(summary_text: &str, suite: &str) -> Result<String, String> {
+    mmog_obs::validate_summary(summary_text)?;
+    let doc = parse_doc(summary_text, "OBS summary")?;
+    let semantic = doc.get("semantic").ok_or("missing semantic section")?;
+    let baseline = Value::Obj(vec![
+        ("schema".to_string(), Value::Str(GATE_SCHEMA.to_string())),
+        (
+            "source".to_string(),
+            Value::Str("OBS_summary.json".to_string()),
+        ),
+        ("suite".to_string(), Value::Str(suite.to_string())),
+        ("semantic".to_string(), semantic.clone()),
+    ]);
+    Ok(baseline.render_pretty())
+}
+
+/// Compares a summary's semantic section exactly against the committed
+/// baseline. Mismatches are localized via line diff over the
+/// pretty-printed sections.
+///
+/// # Errors
+/// Returns a message when either document is malformed (a broken
+/// baseline is an error, not a failure — it means the gate itself is
+/// mis-set-up).
+pub fn check_obs(baseline_text: &str, summary_text: &str) -> Result<GateOutcome, String> {
+    let baseline = parse_doc(baseline_text, "BASELINE_obs.json")?;
+    check_gate_schema(&baseline, "BASELINE_obs.json")?;
+    mmog_obs::validate_summary(summary_text)?;
+    let summary = parse_doc(summary_text, "OBS summary")?;
+    let expected = baseline
+        .get("semantic")
+        .ok_or("BASELINE_obs.json: missing semantic section")?;
+    let actual = summary
+        .get("semantic")
+        .ok_or("OBS summary: missing semantic section")?;
+    let mut outcome = GateOutcome::default();
+    if expected == actual {
+        let suite = baseline.get("suite").and_then(Value::as_str).unwrap_or("?");
+        outcome.notes.push(format!(
+            "semantic section matches the {suite} baseline exactly"
+        ));
+    } else {
+        let delta = first_text_divergence(&expected.render_pretty(), &actual.render_pretty())
+            .map_or_else(|| "sections differ".to_string(), |d| d.message());
+        outcome.failures.push(format!(
+            "semantic metrics drifted from the committed baseline — {delta}"
+        ));
+    }
+    Ok(outcome)
+}
+
+struct Stage {
+    path: String,
+    total_ms: f64,
+}
+
+fn bench_stages(doc: &Value, what: &str) -> Result<Vec<Stage>, String> {
+    let stages = doc
+        .get("stages")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{what}: missing stages array"))?;
+    stages
+        .iter()
+        .map(|s| {
+            Ok(Stage {
+                path: s
+                    .get("path")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("{what}: stage without path"))?
+                    .to_string(),
+                total_ms: s
+                    .get("total_ms")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{what}: stage without total_ms"))?,
+            })
+        })
+        .collect()
+}
+
+fn env_fields(doc: &Value, what: &str) -> Result<(u64, u64), String> {
+    let get = |field: &str| {
+        doc.get(field)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{what}: missing {field}"))
+    };
+    Ok((get("jobs")?, get("logical_cpus")?))
+}
+
+/// Builds the `BASELINE_bench.json` document from a
+/// `BENCH_parallel.json`, keeping `jobs` and `logical_cpus` honest so
+/// comparisons on a differently-shaped machine degrade to warnings.
+///
+/// # Errors
+/// Returns a message when the bench document is malformed.
+pub fn make_bench_baseline(bench_text: &str) -> Result<String, String> {
+    let doc = parse_doc(bench_text, "BENCH_parallel.json")?;
+    let (jobs, cpus) = env_fields(&doc, "BENCH_parallel.json")?;
+    let stages = bench_stages(&doc, "BENCH_parallel.json")?;
+    let wall = doc
+        .get("wall_seconds")
+        .and_then(Value::as_f64)
+        .ok_or("BENCH_parallel.json: missing wall_seconds")?;
+    let stage_values: Vec<Value> = stages
+        .iter()
+        .map(|s| {
+            Value::Obj(vec![
+                ("path".to_string(), Value::Str(s.path.clone())),
+                ("total_ms".to_string(), Value::Num(s.total_ms)),
+            ])
+        })
+        .collect();
+    let baseline = Value::Obj(vec![
+        ("schema".to_string(), Value::Str(GATE_SCHEMA.to_string())),
+        (
+            "source".to_string(),
+            Value::Str("BENCH_parallel.json".to_string()),
+        ),
+        ("jobs".to_string(), Value::UInt(jobs)),
+        ("logical_cpus".to_string(), Value::UInt(cpus)),
+        ("wall_seconds".to_string(), Value::Num(wall)),
+        ("stages".to_string(), Value::Arr(stage_values)),
+    ]);
+    Ok(baseline.render_pretty())
+}
+
+/// Compares a `BENCH_parallel.json` against the committed timing
+/// baseline: stages above `min_stage_ms` in the baseline that slowed
+/// down more than `max_slowdown_pct` fail the gate — unless the
+/// environment (`jobs`, `logical_cpus`) differs from the baseline's, in
+/// which case every timing verdict is a warning.
+///
+/// # Errors
+/// Returns a message when either document is malformed.
+pub fn check_bench(
+    baseline_text: &str,
+    bench_text: &str,
+    max_slowdown_pct: f64,
+    min_stage_ms: f64,
+) -> Result<GateOutcome, String> {
+    let baseline = parse_doc(baseline_text, "BASELINE_bench.json")?;
+    check_gate_schema(&baseline, "BASELINE_bench.json")?;
+    let bench = parse_doc(bench_text, "BENCH_parallel.json")?;
+    let (base_jobs, base_cpus) = env_fields(&baseline, "BASELINE_bench.json")?;
+    let (cur_jobs, cur_cpus) = env_fields(&bench, "BENCH_parallel.json")?;
+    let base_stages = bench_stages(&baseline, "BASELINE_bench.json")?;
+    let cur_stages = bench_stages(&bench, "BENCH_parallel.json")?;
+
+    let mut outcome = GateOutcome::default();
+    let comparable = base_jobs == cur_jobs && base_cpus == cur_cpus;
+    if !comparable {
+        outcome.notes.push(format!(
+            "environment differs from baseline (jobs {base_jobs}→{cur_jobs}, logical_cpus \
+             {base_cpus}→{cur_cpus}); timing verdicts downgraded to warnings"
+        ));
+    }
+    fn verdict(outcome: &mut GateOutcome, comparable: bool, message: String) {
+        if comparable {
+            outcome.failures.push(message);
+        } else {
+            outcome.warnings.push(message);
+        }
+    }
+    for base in &base_stages {
+        if base.total_ms < min_stage_ms {
+            continue;
+        }
+        let Some(cur) = cur_stages.iter().find(|s| s.path == base.path) else {
+            outcome.warnings.push(format!(
+                "stage `{}` missing from the current run",
+                base.path
+            ));
+            continue;
+        };
+        let slowdown_pct = (cur.total_ms / base.total_ms - 1.0) * 100.0;
+        if slowdown_pct > max_slowdown_pct {
+            verdict(
+                &mut outcome,
+                comparable,
+                format!(
+                    "stage `{}` slowed down {slowdown_pct:.1}% ({:.1} ms → {:.1} ms, threshold {max_slowdown_pct:.0}%)",
+                    base.path, base.total_ms, cur.total_ms
+                ),
+            );
+        } else if slowdown_pct < -max_slowdown_pct {
+            outcome.notes.push(format!(
+                "stage `{}` sped up {:.1}% ({:.1} ms → {:.1} ms) — consider refreshing the baseline",
+                base.path, -slowdown_pct, base.total_ms, cur.total_ms
+            ));
+        }
+    }
+    if let (Some(base_wall), Some(cur_wall)) = (
+        baseline.get("wall_seconds").and_then(Value::as_f64),
+        bench.get("wall_seconds").and_then(Value::as_f64),
+    ) {
+        let slowdown_pct = (cur_wall / base_wall - 1.0) * 100.0;
+        if slowdown_pct > max_slowdown_pct {
+            verdict(
+                &mut outcome,
+                comparable,
+                format!(
+                    "suite wall clock slowed down {slowdown_pct:.1}% ({base_wall:.1} s → {cur_wall:.1} s)"
+                ),
+            );
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SUMMARY: &str = r#"{"schema":"mmog-obs/v1","semantic":{"counters":{"sim.ticks":40},"gauges":{},"histograms":{}},"timing":{"counters":{},"gauges":{},"histograms":{},"spans":[]}}"#;
+
+    #[test]
+    fn obs_gate_round_trip_and_perturbation() {
+        let baseline = make_obs_baseline(SUMMARY, "quick").unwrap();
+        let clean = check_obs(&baseline, SUMMARY).unwrap();
+        assert!(clean.pass(), "{:?}", clean.failures);
+
+        let perturbed = SUMMARY.replace(r#""sim.ticks":40"#, r#""sim.ticks":41"#);
+        let bad = check_obs(&baseline, &perturbed).unwrap();
+        assert!(!bad.pass());
+        let msg = &bad.failures[0];
+        assert!(msg.contains("sim.ticks"), "{msg}");
+        assert!(msg.contains("drifted"), "{msg}");
+    }
+
+    fn bench(jobs: u64, cpus: u64, ms: f64) -> String {
+        format!(
+            r#"{{"jobs":{jobs},"logical_cpus":{cpus},"stages":[{{"path":"sim/run","calls":1,"total_ms":{ms},"mean_us":1}},{{"path":"tiny","calls":1,"total_ms":1,"mean_us":1}}],"wall_seconds":10}}"#
+        )
+    }
+
+    #[test]
+    fn bench_gate_thresholds_and_environment_honesty() {
+        let baseline = make_bench_baseline(&bench(1, 1, 1000.0)).unwrap();
+        // Within threshold: pass.
+        let ok = check_bench(&baseline, &bench(1, 1, 1200.0), 25.0, 50.0).unwrap();
+        assert!(ok.pass(), "{:?}", ok.failures);
+        // Past threshold on the same environment: fail.
+        let slow = check_bench(&baseline, &bench(1, 1, 1500.0), 25.0, 50.0).unwrap();
+        assert!(!slow.pass());
+        assert!(slow.failures[0].contains("sim/run"), "{:?}", slow.failures);
+        // Same slowdown on different hardware: warning, not failure.
+        let other = check_bench(&baseline, &bench(4, 4, 1500.0), 25.0, 50.0).unwrap();
+        assert!(other.pass());
+        assert_eq!(other.warnings.len(), 1);
+        // Stages under the noise floor are never judged: `tiny` grows
+        // 100x without tripping anything.
+        let noisy = bench(1, 1, 1000.0).replace(r#""total_ms":1,"#, r#""total_ms":100,"#);
+        let out = check_bench(&baseline, &noisy, 25.0, 50.0).unwrap();
+        assert!(out.pass(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn malformed_baselines_are_errors_not_failures() {
+        assert!(check_obs("{}", SUMMARY).is_err());
+        assert!(check_bench("{}", &bench(1, 1, 1.0), 25.0, 50.0).is_err());
+        assert!(make_obs_baseline("{}", "quick").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! `mmog-obs-analyze` — the read side of the `mmog-obs` telemetry
+//! plane.
+//!
+//! PR 2 taught the simulator to *emit* deterministic traces and
+//! metrics; this crate is the layer that reads them back, in the spirit
+//! of the monitoring/accounting services the service-oriented MMOG
+//! hosting literature treats as first-class citizens next to the
+//! simulation itself:
+//!
+//! - [`reader`] — a streaming, validating iterator over the JSONL
+//!   trace with a composable [`Query`] filter (kind, scope, tick
+//!   range, group, center).
+//! - [`timeline`] — per-run timelines derived from the event stream:
+//!   per-tick demand vs. allocation with over/under-allocation, sampled
+//!   per-center allocation/free curves, rejection-reason waterfalls and
+//!   per-group prediction error, rendered as deterministic text and as
+//!   a `TIMELINE_<run>.json` artifact.
+//! - [`profile`] — a flame-style span profile (self/total time,
+//!   percent-of-parent) over `mmog_obs::span` output, from the live
+//!   tree or a saved `OBS_summary.json`.
+//! - [`diff`] — semantic first-divergence reporting for traces and for
+//!   report text, so determinism failures localize to one event and
+//!   one field instead of a byte offset.
+//! - [`gate`] — the baseline regression gate CI runs: exact match on
+//!   the semantic metrics section, threshold-tolerant comparison on
+//!   hot-path stage timings.
+//!
+//! Everything here is offline analysis of already-deterministic
+//! artifacts, so the same determinism rule applies transitively: any
+//! output derived from semantic inputs is byte-stable; anything
+//! wall-clock-derived (the span profile, timing verdicts) is clearly
+//! separated and never byte-compared.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod diff;
+pub mod gate;
+pub mod profile;
+pub mod reader;
+pub mod timeline;
+
+pub use diff::{first_text_divergence, trace_diff, Divergence, TextDivergence};
+pub use gate::{check_bench, check_obs, make_bench_baseline, make_obs_baseline, GateOutcome};
+pub use profile::{profile_from_spans, profile_from_summary, render_profile, ProfileNode};
+pub use reader::{read_trace, Query, TraceEvent};
+pub use timeline::{analyze_trace, render_timelines, timelines_value, RunTimeline};

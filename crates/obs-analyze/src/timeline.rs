@@ -1,0 +1,452 @@
+//! Per-run timelines derived from the event stream.
+//!
+//! A trace holds one chunk per simulation run (scope); this module
+//! folds each scope's events into a [`RunTimeline`] — the per-tick
+//! demand/allocation curves, sampled per-center series, rejection
+//! waterfall and per-group prediction error that the paper's Sec. V
+//! evaluation plots (Figs. 8–14) — and renders the set as a
+//! deterministic text report plus a `TIMELINE_<run>.json` document.
+//!
+//! Every number here is folded from semantic event fields in global
+//! `seq` order, so the text and JSON outputs inherit the trace's
+//! byte-stability across `--jobs` values.
+
+use crate::reader::{read_trace, Query, TraceEvent};
+use mmog_obs::json::Value;
+
+/// Schema identifier of the `TIMELINE_<run>.json` artifact.
+pub const TIMELINE_SCHEMA: &str = "mmog-obs-timeline/v1";
+
+/// One platform-wide tick sample (from `tick` events).
+#[derive(Debug, Clone, Copy)]
+pub struct TickRow {
+    /// Tick index.
+    pub tick: u64,
+    /// Total CPU demand across groups.
+    pub demand_cpu: f64,
+    /// Total CPU allocated across groups.
+    pub alloc_cpu: f64,
+    /// Unmet CPU demand.
+    pub shortfall_cpu: f64,
+}
+
+impl TickRow {
+    /// CPU allocated beyond demand this tick (never negative).
+    #[must_use]
+    pub fn over_cpu(&self) -> f64 {
+        (self.alloc_cpu - self.demand_cpu).max(0.0)
+    }
+}
+
+/// One sampled per-center snapshot (from `center_tick` events).
+#[derive(Debug, Clone, Copy)]
+pub struct CenterSample {
+    /// Tick index of the sample.
+    pub tick: u64,
+    /// CPU leased out of this center at the sample.
+    pub alloc_cpu: f64,
+    /// CPU free in this center at the sample.
+    pub free_cpu: f64,
+}
+
+/// The sampled allocation series of one data center.
+#[derive(Debug, Clone)]
+pub struct CenterSeries {
+    /// Platform index of the center.
+    pub center: u64,
+    /// Samples in tick order.
+    pub samples: Vec<CenterSample>,
+}
+
+/// One group's prediction-error report (from `prediction_group`).
+#[derive(Debug, Clone)]
+pub struct PredictionRow {
+    /// Group index.
+    pub group: u64,
+    /// Owning operator.
+    pub operator: u64,
+    /// Game name.
+    pub game: String,
+    /// Mean absolute prediction error, percent.
+    pub error_pct: f64,
+}
+
+/// One center's integrated usage attribution (from `center_usage`).
+#[derive(Debug, Clone)]
+pub struct UsageRow {
+    /// Center name.
+    pub name: String,
+    /// CPU capacity of the center.
+    pub capacity_cpu: f64,
+    /// Allocated CPU integrated over post-warmup ticks.
+    pub cpu_unit_ticks: f64,
+    /// Free CPU integrated over post-warmup ticks.
+    pub cpu_free_unit_ticks: f64,
+}
+
+/// Everything the analytics layer derives from one run's events.
+#[derive(Debug, Clone, Default)]
+pub struct RunTimeline {
+    /// The run's deterministic chunk label.
+    pub scope: String,
+    /// Allocation mode from `run_start` (when present).
+    pub mode: Option<String>,
+    /// Configured tick count from `run_start`.
+    pub configured_ticks: Option<u64>,
+    /// Platform-wide per-tick rows.
+    pub ticks: Vec<TickRow>,
+    /// Sampled per-center series, in center order.
+    pub centers: Vec<CenterSeries>,
+    /// Rejection-reason waterfall: `(reason, count)` sorted by reason.
+    pub rejections: Vec<(String, u64)>,
+    /// Per-group prediction error, in group-event order.
+    pub prediction: Vec<PredictionRow>,
+    /// Integrated per-center usage, in platform order.
+    pub usage: Vec<UsageRow>,
+}
+
+impl RunTimeline {
+    fn fold(&mut self, event: &TraceEvent) {
+        match event.kind.as_str() {
+            "run_start" => {
+                self.mode = event.str("mode").map(str::to_string);
+                self.configured_ticks = event.u64("ticks");
+            }
+            "tick" => self.ticks.push(TickRow {
+                tick: event.tick().unwrap_or(0),
+                demand_cpu: event.f64("demand_cpu").unwrap_or(0.0),
+                alloc_cpu: event.f64("alloc_cpu").unwrap_or(0.0),
+                shortfall_cpu: event.f64("shortfall_cpu").unwrap_or(0.0),
+            }),
+            "center_tick" => {
+                let center = event.u64("center").unwrap_or(0);
+                let sample = CenterSample {
+                    tick: event.tick().unwrap_or(0),
+                    alloc_cpu: event.f64("alloc_cpu").unwrap_or(0.0),
+                    free_cpu: event.f64("free_cpu").unwrap_or(0.0),
+                };
+                match self.centers.iter_mut().find(|s| s.center == center) {
+                    Some(series) => series.samples.push(sample),
+                    None => self.centers.push(CenterSeries {
+                        center,
+                        samples: vec![sample],
+                    }),
+                }
+            }
+            "match_reject" => {
+                let reason = event.str("reason").unwrap_or("?").to_string();
+                match self.rejections.binary_search_by(|(r, _)| r.cmp(&reason)) {
+                    Ok(i) => self.rejections[i].1 += 1,
+                    Err(i) => self.rejections.insert(i, (reason, 1)),
+                }
+            }
+            "prediction_group" => self.prediction.push(PredictionRow {
+                group: event.u64("group").unwrap_or(0),
+                operator: event.u64("operator").unwrap_or(0),
+                game: event.str("game").unwrap_or("?").to_string(),
+                error_pct: event.f64("error_pct").unwrap_or(0.0),
+            }),
+            "center_usage" => self.usage.push(UsageRow {
+                name: event.str("name").unwrap_or("?").to_string(),
+                capacity_cpu: event.f64("capacity_cpu").unwrap_or(0.0),
+                cpu_unit_ticks: event.f64("cpu_unit_ticks").unwrap_or(0.0),
+                cpu_free_unit_ticks: event.f64("cpu_free_unit_ticks").unwrap_or(0.0),
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// Folds a whole trace into one [`RunTimeline`] per scope, in the
+/// trace's deterministic scope order. `query` pre-filters the events
+/// that are folded (the default query folds everything).
+///
+/// # Errors
+/// Returns the first malformed line (parse failure or field-schema
+/// violation), with its line number.
+pub fn analyze_trace(text: &str, query: &Query) -> Result<Vec<RunTimeline>, String> {
+    let mut runs: Vec<RunTimeline> = Vec::new();
+    for event in read_trace(text, query) {
+        let event = event?;
+        let run = match runs.iter_mut().find(|r| r.scope == event.scope) {
+            Some(run) => run,
+            None => {
+                runs.push(RunTimeline {
+                    scope: event.scope.clone(),
+                    ..RunTimeline::default()
+                });
+                runs.last_mut().expect("just pushed")
+            }
+        };
+        run.fold(&event);
+    }
+    Ok(runs)
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> Option<(f64, f64, usize)> {
+    let mut sum = 0.0;
+    let mut peak = f64::NEG_INFINITY;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        peak = peak.max(v);
+        n += 1;
+    }
+    (n > 0).then(|| (sum / n as f64, peak, n))
+}
+
+/// Renders the timeline set as the deterministic text report
+/// `trace_analyze` prints.
+#[must_use]
+pub fn render_timelines(runs: &[RunTimeline]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("Timeline report (mmog-obs-analyze)\n");
+    for run in runs {
+        let _ = write!(out, "\nscope: {}\n", run.scope);
+        if let (Some(mode), Some(ticks)) = (&run.mode, run.configured_ticks) {
+            let _ = writeln!(out, "  mode {mode}, {ticks} configured ticks");
+        }
+        if let Some((mean_d, peak_d, n)) = mean(run.ticks.iter().map(|t| t.demand_cpu)) {
+            let _ = writeln!(
+                out,
+                "  demand_cpu: {n} ticks, mean {mean_d:.3}, peak {peak_d:.3}"
+            );
+        }
+        if let Some((mean_a, peak_a, _)) = mean(run.ticks.iter().map(|t| t.alloc_cpu)) {
+            let _ = writeln!(out, "  alloc_cpu:  mean {mean_a:.3}, peak {peak_a:.3}");
+        }
+        if let Some((mean_o, peak_o, _)) = mean(run.ticks.iter().map(TickRow::over_cpu)) {
+            let _ = writeln!(
+                out,
+                "  over-allocation: mean {mean_o:.3} cpu, peak {peak_o:.3}"
+            );
+        }
+        let short_ticks = run.ticks.iter().filter(|t| t.shortfall_cpu > 0.0).count();
+        let short_total: f64 = run.ticks.iter().map(|t| t.shortfall_cpu).sum();
+        let _ = writeln!(
+            out,
+            "  under-allocation: {short_ticks} ticks short, {short_total:.3} cpu-ticks total"
+        );
+        if !run.centers.is_empty() {
+            let samples = run.centers.iter().map(|c| c.samples.len()).sum::<usize>();
+            let _ = writeln!(
+                out,
+                "  center series: {} centers, {samples} samples",
+                run.centers.len()
+            );
+        }
+        if !run.rejections.is_empty() {
+            let waterfall: Vec<String> = run
+                .rejections
+                .iter()
+                .map(|(r, n)| format!("{r} {n}"))
+                .collect();
+            let _ = writeln!(out, "  rejections: {}", waterfall.join(", "));
+        }
+        if let Some((mean_e, _, n)) = mean(run.prediction.iter().map(|p| p.error_pct.abs())) {
+            let worst = run
+                .prediction
+                .iter()
+                .max_by(|a, b| {
+                    a.error_pct
+                        .abs()
+                        .partial_cmp(&b.error_pct.abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty prediction set");
+            let _ = writeln!(
+                out,
+                "  prediction error: {n} groups, mean |err| {mean_e:.3}%, worst group {} ({}) {:.3}%",
+                worst.group, worst.game, worst.error_pct
+            );
+        }
+        if !run.usage.is_empty() {
+            let used: f64 = run.usage.iter().map(|u| u.cpu_unit_ticks).sum();
+            let free: f64 = run.usage.iter().map(|u| u.cpu_free_unit_ticks).sum();
+            let _ = writeln!(
+                out,
+                "  center usage: {} centers, {used:.3} allocated cpu-ticks, {free:.3} free cpu-ticks",
+                run.usage.len()
+            );
+        }
+    }
+    out
+}
+
+fn num(v: f64) -> Value {
+    Value::Num(v)
+}
+
+/// Builds the `TIMELINE_<run>.json` document for a timeline set.
+#[must_use]
+pub fn timelines_value(runs: &[RunTimeline]) -> Value {
+    let scopes: Vec<Value> = runs
+        .iter()
+        .map(|run| {
+            let ticks: Vec<Value> = run
+                .ticks
+                .iter()
+                .map(|t| {
+                    Value::Obj(vec![
+                        ("tick".to_string(), Value::UInt(t.tick)),
+                        ("demand_cpu".to_string(), num(t.demand_cpu)),
+                        ("alloc_cpu".to_string(), num(t.alloc_cpu)),
+                        ("shortfall_cpu".to_string(), num(t.shortfall_cpu)),
+                        ("over_cpu".to_string(), num(t.over_cpu())),
+                    ])
+                })
+                .collect();
+            let centers: Vec<Value> = run
+                .centers
+                .iter()
+                .map(|c| {
+                    let samples: Vec<Value> = c
+                        .samples
+                        .iter()
+                        .map(|s| {
+                            Value::Obj(vec![
+                                ("tick".to_string(), Value::UInt(s.tick)),
+                                ("alloc_cpu".to_string(), num(s.alloc_cpu)),
+                                ("free_cpu".to_string(), num(s.free_cpu)),
+                            ])
+                        })
+                        .collect();
+                    Value::Obj(vec![
+                        ("center".to_string(), Value::UInt(c.center)),
+                        ("samples".to_string(), Value::Arr(samples)),
+                    ])
+                })
+                .collect();
+            let rejections: Vec<(String, Value)> = run
+                .rejections
+                .iter()
+                .map(|(r, n)| (r.clone(), Value::UInt(*n)))
+                .collect();
+            let prediction: Vec<Value> = run
+                .prediction
+                .iter()
+                .map(|p| {
+                    Value::Obj(vec![
+                        ("group".to_string(), Value::UInt(p.group)),
+                        ("operator".to_string(), Value::UInt(p.operator)),
+                        ("game".to_string(), Value::Str(p.game.clone())),
+                        ("error_pct".to_string(), num(p.error_pct)),
+                    ])
+                })
+                .collect();
+            let usage: Vec<Value> = run
+                .usage
+                .iter()
+                .map(|u| {
+                    Value::Obj(vec![
+                        ("name".to_string(), Value::Str(u.name.clone())),
+                        ("capacity_cpu".to_string(), num(u.capacity_cpu)),
+                        ("cpu_unit_ticks".to_string(), num(u.cpu_unit_ticks)),
+                        (
+                            "cpu_free_unit_ticks".to_string(),
+                            num(u.cpu_free_unit_ticks),
+                        ),
+                    ])
+                })
+                .collect();
+            Value::Obj(vec![
+                ("scope".to_string(), Value::Str(run.scope.clone())),
+                (
+                    "mode".to_string(),
+                    run.mode
+                        .as_ref()
+                        .map_or(Value::Null, |m| Value::Str(m.clone())),
+                ),
+                (
+                    "configured_ticks".to_string(),
+                    run.configured_ticks.map_or(Value::Null, Value::UInt),
+                ),
+                ("ticks".to_string(), Value::Arr(ticks)),
+                ("centers".to_string(), Value::Arr(centers)),
+                ("rejections".to_string(), Value::Obj(rejections)),
+                ("prediction".to_string(), Value::Arr(prediction)),
+                ("usage".to_string(), Value::Arr(usage)),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        (
+            "schema".to_string(),
+            Value::Str(TIMELINE_SCHEMA.to_string()),
+        ),
+        ("scopes".to_string(), Value::Arr(scopes)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> String {
+        [
+            r#"{"seq":0,"scope":"runA","kind":"run_start","mode":"dynamic","groups":2,"centers":2,"ticks":4,"warmup":0}"#,
+            r#"{"seq":1,"scope":"runA","kind":"tick","tick":0,"demand_cpu":10,"alloc_cpu":12,"shortfall_cpu":0}"#,
+            r#"{"seq":2,"scope":"runA","kind":"center_tick","tick":0,"center":0,"alloc_cpu":8,"free_cpu":2}"#,
+            r#"{"seq":3,"scope":"runA","kind":"center_tick","tick":0,"center":1,"alloc_cpu":4,"free_cpu":6}"#,
+            r#"{"seq":4,"scope":"runA","kind":"tick","tick":1,"demand_cpu":14,"alloc_cpu":12,"shortfall_cpu":2}"#,
+            r#"{"seq":5,"scope":"runA","kind":"match_reject","tick":1,"operator":0,"center":1,"reason":"distance"}"#,
+            r#"{"seq":6,"scope":"runA","kind":"match_reject","tick":1,"operator":0,"center":0,"reason":"exhausted"}"#,
+            r#"{"seq":7,"scope":"runA","kind":"match_reject","tick":2,"operator":1,"center":1,"reason":"distance"}"#,
+            r#"{"seq":8,"scope":"runA","kind":"prediction_group","group":0,"operator":0,"game":"rpg","error_pct":7.5}"#,
+            r#"{"seq":9,"scope":"runA","kind":"prediction_group","group":1,"operator":1,"game":"fps","error_pct":-12.5}"#,
+            r#"{"seq":10,"scope":"runA","kind":"center_usage","name":"c0","capacity_cpu":10,"cpu_unit_ticks":16,"cpu_free_unit_ticks":4}"#,
+            r#"{"seq":11,"scope":"runA","kind":"run_end","ticks":4,"unmet_steps":1,"leases_granted":3,"leases_released":1}"#,
+            r#"{"seq":12,"scope":"runB","kind":"tick","tick":0,"demand_cpu":1,"alloc_cpu":1,"shortfall_cpu":0}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn folds_scopes_independently() {
+        let runs = analyze_trace(&sample_trace(), &Query::default()).unwrap();
+        assert_eq!(runs.len(), 2);
+        let a = &runs[0];
+        assert_eq!(a.scope, "runA");
+        assert_eq!(a.mode.as_deref(), Some("dynamic"));
+        assert_eq!(a.ticks.len(), 2);
+        assert!((a.ticks[0].over_cpu() - 2.0).abs() < 1e-12);
+        assert!((a.ticks[1].over_cpu()).abs() < 1e-12);
+        assert_eq!(a.centers.len(), 2);
+        assert_eq!(
+            a.rejections,
+            vec![("distance".to_string(), 2), ("exhausted".to_string(), 1)]
+        );
+        assert_eq!(a.prediction.len(), 2);
+        assert_eq!(a.usage.len(), 1);
+        assert_eq!(runs[1].scope, "runB");
+        assert_eq!(runs[1].ticks.len(), 1);
+    }
+
+    #[test]
+    fn report_and_json_are_deterministic() {
+        let runs = analyze_trace(&sample_trace(), &Query::default()).unwrap();
+        let text_a = render_timelines(&runs);
+        let json_a = timelines_value(&runs).render_pretty();
+        let runs_b = analyze_trace(&sample_trace(), &Query::default()).unwrap();
+        assert_eq!(text_a, render_timelines(&runs_b));
+        assert_eq!(json_a, timelines_value(&runs_b).render_pretty());
+        assert!(
+            text_a.contains("rejections: distance 2, exhausted 1"),
+            "{text_a}"
+        );
+        assert!(text_a.contains("worst group 1 (fps) -12.500%"), "{text_a}");
+        let parsed = mmog_obs::json::parse(&json_a).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Value::as_str),
+            Some(TIMELINE_SCHEMA)
+        );
+    }
+
+    #[test]
+    fn query_scoped_timelines() {
+        let runs =
+            analyze_trace(&sample_trace(), &Query::default().scope_contains("runB")).unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].scope, "runB");
+    }
+}

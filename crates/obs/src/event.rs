@@ -36,6 +36,7 @@ pub const KNOWN_EVENT_KINDS: &[&str] = &[
     "provision",
     "match_reject",
     "prediction_group",
+    "center_tick",
     "center_usage",
     "run_end",
     // Fault plane (only present when a fault schedule is installed).
@@ -48,6 +49,231 @@ pub const KNOWN_EVENT_KINDS: &[&str] = &[
     "fault_recovery",
     "fault_summary",
 ];
+
+/// The type an event field must carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldType {
+    /// An unsigned integer (`Value::as_u64` succeeds).
+    U64,
+    /// Any JSON number — floats render shortest-round-trip, so a whole
+    /// `f64` like `2.0` reads back as an integer node and must still
+    /// pass.
+    Num,
+    /// A string.
+    Str,
+    /// A boolean.
+    Bool,
+}
+
+impl FieldType {
+    /// Whether `value` satisfies this type.
+    #[must_use]
+    pub fn admits(self, value: &Value) -> bool {
+        match self {
+            FieldType::U64 => value.as_u64().is_some(),
+            FieldType::Num => value.as_f64().is_some(),
+            FieldType::Str => value.as_str().is_some(),
+            FieldType::Bool => matches!(value, Value::Bool(_)),
+        }
+    }
+}
+
+/// The exact field set (name, type, order) each event kind carries —
+/// the write-side contract of every emitter in the workspace. Trace
+/// validators (`obs_check`, the analytics reader) check events against
+/// this table, so adding or changing an emitter means extending it in
+/// lock-step with [`KNOWN_EVENT_KINDS`].
+pub const EVENT_FIELDS: &[(&str, &[(&str, FieldType)])] = &[
+    (
+        "run_start",
+        &[
+            ("mode", FieldType::Str),
+            ("groups", FieldType::U64),
+            ("centers", FieldType::U64),
+            ("ticks", FieldType::U64),
+            ("warmup", FieldType::U64),
+        ],
+    ),
+    (
+        "tick",
+        &[
+            ("tick", FieldType::U64),
+            ("demand_cpu", FieldType::Num),
+            ("alloc_cpu", FieldType::Num),
+            ("shortfall_cpu", FieldType::Num),
+        ],
+    ),
+    (
+        "provision",
+        &[
+            ("tick", FieldType::U64),
+            ("operator", FieldType::U64),
+            ("granted", FieldType::U64),
+            ("released", FieldType::U64),
+            ("unmet", FieldType::Bool),
+            ("target_cpu", FieldType::Num),
+            ("alloc_cpu", FieldType::Num),
+        ],
+    ),
+    (
+        "match_reject",
+        &[
+            ("tick", FieldType::U64),
+            ("operator", FieldType::U64),
+            ("center", FieldType::U64),
+            ("reason", FieldType::Str),
+        ],
+    ),
+    (
+        "prediction_group",
+        &[
+            ("group", FieldType::U64),
+            ("operator", FieldType::U64),
+            ("game", FieldType::Str),
+            ("error_pct", FieldType::Num),
+        ],
+    ),
+    (
+        "center_tick",
+        &[
+            ("tick", FieldType::U64),
+            ("center", FieldType::U64),
+            ("alloc_cpu", FieldType::Num),
+            ("free_cpu", FieldType::Num),
+        ],
+    ),
+    (
+        "center_usage",
+        &[
+            ("name", FieldType::Str),
+            ("capacity_cpu", FieldType::Num),
+            ("cpu_unit_ticks", FieldType::Num),
+            ("cpu_free_unit_ticks", FieldType::Num),
+        ],
+    ),
+    (
+        "run_end",
+        &[
+            ("ticks", FieldType::U64),
+            ("unmet_steps", FieldType::U64),
+            ("leases_granted", FieldType::U64),
+            ("leases_released", FieldType::U64),
+        ],
+    ),
+    (
+        "center_down",
+        &[
+            ("tick", FieldType::U64),
+            ("center", FieldType::U64),
+            ("name", FieldType::Str),
+            ("leases_lost", FieldType::U64),
+        ],
+    ),
+    (
+        "center_up",
+        &[
+            ("tick", FieldType::U64),
+            ("center", FieldType::U64),
+            ("name", FieldType::Str),
+        ],
+    ),
+    (
+        "center_degraded",
+        &[
+            ("tick", FieldType::U64),
+            ("center", FieldType::U64),
+            ("fraction", FieldType::Num),
+        ],
+    ),
+    (
+        "lease_revoked",
+        &[
+            ("tick", FieldType::U64),
+            ("center", FieldType::U64),
+            ("lease", FieldType::U64),
+            ("operator", FieldType::U64),
+            ("cpu", FieldType::Num),
+        ],
+    ),
+    ("predictor_dropout", &[("tick", FieldType::U64)]),
+    (
+        "reprovision",
+        &[
+            ("tick", FieldType::U64),
+            ("operator", FieldType::U64),
+            ("granted", FieldType::U64),
+            ("lost_cpu", FieldType::Num),
+        ],
+    ),
+    (
+        "fault_recovery",
+        &[
+            ("tick", FieldType::U64),
+            ("center", FieldType::U64),
+            ("down_ticks", FieldType::U64),
+        ],
+    ),
+    (
+        "fault_summary",
+        &[
+            ("events", FieldType::U64),
+            ("leases_revoked", FieldType::U64),
+            ("reprovisions", FieldType::U64),
+            ("unserved_player_ticks", FieldType::Num),
+            ("recovered", FieldType::U64),
+            ("unrecovered", FieldType::U64),
+        ],
+    ),
+];
+
+/// The expected field set for `kind`, if it is a known event kind.
+#[must_use]
+pub fn event_fields(kind: &str) -> Option<&'static [(&'static str, FieldType)]> {
+    EVENT_FIELDS
+        .iter()
+        .find(|(k, _)| *k == kind)
+        .map(|(_, fields)| *fields)
+}
+
+/// Validates a parsed trace event against [`EVENT_FIELDS`]: after the
+/// `seq`/`scope`/`kind` envelope, the event must carry exactly the
+/// declared fields, in declaration order, each with the declared type.
+/// Emission order is deterministic, so the order check costs nothing
+/// and catches emitter/schema skew exactly.
+///
+/// # Errors
+/// Returns a message naming the first violation: unknown kind, missing
+/// or unexpected field, order skew, or type mismatch.
+pub fn validate_event_fields(kind: &str, value: &Value) -> Result<(), String> {
+    let Some(expected) = event_fields(kind) else {
+        return Err(format!("unknown event kind `{kind}`"));
+    };
+    let members = value.as_obj().ok_or("event is not a JSON object")?;
+    let payload: Vec<&(String, Value)> = members
+        .iter()
+        .filter(|(name, _)| !matches!(name.as_str(), "seq" | "scope" | "kind"))
+        .collect();
+    if payload.len() != expected.len() {
+        let actual: Vec<&str> = payload.iter().map(|(n, _)| n.as_str()).collect();
+        let wanted: Vec<&str> = expected.iter().map(|(n, _)| *n).collect();
+        return Err(format!(
+            "`{kind}` carries fields {actual:?}, expected {wanted:?}"
+        ));
+    }
+    for ((name, value), (want_name, want_type)) in payload.iter().zip(expected) {
+        if name != want_name {
+            return Err(format!(
+                "`{kind}` field order skew: found `{name}` where `{want_name}` was expected"
+            ));
+        }
+        if !want_type.admits(value) {
+            return Err(format!(
+                "`{kind}` field `{name}` has the wrong type (expected {want_type:?})"
+            ));
+        }
+    }
+    Ok(())
+}
 
 /// One typed field value of an event.
 #[derive(Debug, Clone, PartialEq)]
@@ -341,5 +567,77 @@ mod tests {
         if !trace_enabled() {
             assert!(EventSink::if_enabled().is_none());
         }
+    }
+
+    #[test]
+    fn every_known_kind_has_a_field_schema() {
+        for kind in KNOWN_EVENT_KINDS {
+            assert!(
+                event_fields(kind).is_some(),
+                "kind `{kind}` missing from EVENT_FIELDS"
+            );
+        }
+        assert_eq!(EVENT_FIELDS.len(), KNOWN_EVENT_KINDS.len());
+    }
+
+    #[test]
+    fn field_validation_accepts_real_emitter_output() {
+        let mut sink = EventSink::new();
+        sink.emit(
+            "tick",
+            &[
+                ("tick", 3u64.into()),
+                ("demand_cpu", 0.25.into()),
+                ("alloc_cpu", 2.0.into()),
+                ("shortfall_cpu", 0.0.into()),
+            ],
+        );
+        sink.emit(
+            "center_tick",
+            &[
+                ("tick", 3u64.into()),
+                ("center", 1u64.into()),
+                ("alloc_cpu", 2.0.into()),
+                ("free_cpu", 6.0.into()),
+            ],
+        );
+        for line in sink.lines() {
+            let value = json::parse(line).unwrap();
+            let kind = value.get("kind").and_then(Value::as_str).unwrap();
+            validate_event_fields(kind, &value).expect("emitter output must match its schema");
+        }
+    }
+
+    #[test]
+    fn field_validation_names_the_first_violation() {
+        // Whole floats render as integers and must still satisfy Num
+        // fields; the parse-back path exercises exactly that collapse.
+        let ok = json::parse(
+            r#"{"seq":0,"kind":"tick","tick":1,"demand_cpu":2,"alloc_cpu":2.5,"shortfall_cpu":0}"#,
+        )
+        .unwrap();
+        validate_event_fields("tick", &ok).unwrap();
+
+        let err = validate_event_fields("nope", &ok).unwrap_err();
+        assert!(err.contains("unknown event kind"), "{err}");
+
+        let missing =
+            json::parse(r#"{"kind":"tick","tick":1,"demand_cpu":2,"alloc_cpu":2}"#).unwrap();
+        let err = validate_event_fields("tick", &missing).unwrap_err();
+        assert!(err.contains("shortfall_cpu"), "{err}");
+
+        let reordered = json::parse(
+            r#"{"kind":"tick","demand_cpu":2,"tick":1,"alloc_cpu":2,"shortfall_cpu":0}"#,
+        )
+        .unwrap();
+        let err = validate_event_fields("tick", &reordered).unwrap_err();
+        assert!(err.contains("order skew"), "{err}");
+
+        let wrong_type = json::parse(
+            r#"{"kind":"tick","tick":"one","demand_cpu":2,"alloc_cpu":2,"shortfall_cpu":0}"#,
+        )
+        .unwrap();
+        let err = validate_event_fields("tick", &wrong_type).unwrap_err();
+        assert!(err.contains("wrong type"), "{err}");
     }
 }

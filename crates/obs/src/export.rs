@@ -311,7 +311,7 @@ mod tests {
         c.incr();
         let _ = crate::span::span("test.export.table/span");
         let table = render_summary_table();
-        let masked = crate::mask_timing(&table);
+        let masked = crate::mask_timing(&table).expect("table timing block is well-formed");
         assert!(masked.contains("test.export.table"));
         assert!(!masked.contains("Span tree"));
     }

@@ -47,8 +47,9 @@ pub mod registry;
 pub mod span;
 
 pub use event::{
-    apply_trace_env, flush_trace, parse_trace_line, render_trace, set_trace_path, trace_enabled,
-    EventSink, Field, KNOWN_EVENT_KINDS,
+    apply_trace_env, event_fields, flush_trace, parse_trace_line, render_trace, set_trace_path,
+    trace_enabled, validate_event_fields, EventSink, Field, FieldType, EVENT_FIELDS,
+    KNOWN_EVENT_KINDS,
 };
 pub use export::{
     render_summary_table, semantic_section, summary_json, summary_value, validate_summary,
@@ -86,23 +87,51 @@ pub fn timing_block(body: &str) -> String {
 }
 
 /// Replaces every `TIMING_BEGIN … TIMING_END` region (markers included)
-/// with [`TIMING_MASKED`]. An unterminated region masks to the end of
-/// the text.
-#[must_use]
-pub fn mask_timing(text: &str) -> String {
+/// with [`TIMING_MASKED`].
+///
+/// # Errors
+/// A malformed report is an error, never a silently partial mask: an
+/// open marker without a close marker (which would otherwise swallow
+/// every semantic byte to the end of the text) and a stray close marker
+/// without an open one both fail, naming the byte offset. Determinism
+/// tests surface this instead of comparing half-masked text.
+pub fn mask_timing(text: &str) -> Result<String, String> {
     let mut out = String::with_capacity(text.len());
     let mut rest = text;
+    let mut offset = 0usize;
     while let Some(start) = rest.find(TIMING_BEGIN) {
-        out.push_str(&rest[..start]);
+        let head = &rest[..start];
+        if let Some(stray) = head.find(TIMING_END) {
+            return Err(format!(
+                "stray timing close marker at byte {} with no open marker",
+                offset + stray
+            ));
+        }
+        out.push_str(head);
         out.push_str(TIMING_MASKED);
         let after_begin = &rest[start + TIMING_BEGIN.len()..];
         match after_begin.find(TIMING_END) {
-            Some(end) => rest = &after_begin[end + TIMING_END.len()..],
-            None => return out,
+            Some(end) => {
+                let consumed = start + TIMING_BEGIN.len() + end + TIMING_END.len();
+                offset += consumed;
+                rest = &after_begin[end + TIMING_END.len()..];
+            }
+            None => {
+                return Err(format!(
+                    "unterminated timing block opened at byte {}",
+                    offset + start
+                ))
+            }
         }
     }
+    if let Some(stray) = rest.find(TIMING_END) {
+        return Err(format!(
+            "stray timing close marker at byte {} with no open marker",
+            offset + stray
+        ));
+    }
     out.push_str(rest);
-    out
+    Ok(out)
 }
 
 /// Resets every process-global accumulator (metrics and spans) while
@@ -123,7 +152,7 @@ mod tests {
             "semantic head\n{}semantic tail\n",
             timing_block("wall clock: 12.3ms")
         );
-        let masked = mask_timing(&report);
+        let masked = mask_timing(&report).expect("well-formed block");
         assert_eq!(
             masked,
             format!("semantic head\n{TIMING_MASKED}\nsemantic tail\n")
@@ -131,18 +160,34 @@ mod tests {
     }
 
     #[test]
-    fn mask_handles_multiple_and_unterminated_regions() {
+    fn mask_handles_multiple_regions() {
         let text = format!("a {b}1{e} b {b}2{e} c", b = TIMING_BEGIN, e = TIMING_END);
         assert_eq!(
-            mask_timing(&text),
+            mask_timing(&text).expect("well-formed blocks"),
             format!("a {TIMING_MASKED} b {TIMING_MASKED} c")
         );
+    }
+
+    #[test]
+    fn mask_rejects_malformed_marker_structure() {
         let unterminated = format!("head {TIMING_BEGIN} tail without end");
-        assert_eq!(mask_timing(&unterminated), format!("head {TIMING_MASKED}"));
+        let err = mask_timing(&unterminated).expect_err("must not half-mask");
+        assert!(err.contains("unterminated timing block"), "{err}");
+        assert!(err.contains("byte 5"), "{err}");
+
+        let stray = format!("head {TIMING_END} tail");
+        let err = mask_timing(&stray).expect_err("stray close must fail");
+        assert!(err.contains("stray timing close marker"), "{err}");
+
+        let stray_after = format!("a {b}1{e} b {e}", b = TIMING_BEGIN, e = TIMING_END);
+        assert!(mask_timing(&stray_after).is_err());
     }
 
     #[test]
     fn mask_of_clean_text_is_identity() {
-        assert_eq!(mask_timing("no markers here\n"), "no markers here\n");
+        assert_eq!(
+            mask_timing("no markers here\n").expect("clean text"),
+            "no markers here\n"
+        );
     }
 }

@@ -1,0 +1,200 @@
+//! Edge-case and property tests for `mmog_obs::json`: escape
+//! sequences, surrogate-free unicode, extreme numbers, exponent
+//! literals, deep nesting, and render/parse round-trip stability.
+//!
+//! The round-trip invariant the rest of the workspace leans on is
+//! *render stability*, not node-type identity: a whole float like
+//! `Num(2.0)` renders as `2` and re-parses as `UInt(2)`, but rendering
+//! the re-parsed tree reproduces the original bytes exactly. Every
+//! byte-compared artifact (traces, summaries, baselines) relies on
+//! that fixed point.
+
+use mmog_obs::json::{self, Value};
+use proptest::prelude::*;
+
+/// Strategy: a string of arbitrary scalar values (surrogate code
+/// points can't occur — `char::from_u32` rejects them), with a bias
+/// toward ASCII, the escape-relevant control range, and the astral
+/// planes.
+fn unicode_string() -> impl Strategy<Value = String> {
+    prop::collection::vec((0u32..=0x10_FFFF, 0u32..4), 0..64).prop_map(|points| {
+        points
+            .into_iter()
+            .filter_map(|(cp, bias)| {
+                let cp = match bias {
+                    0 => cp % 0x80,            // ASCII incl. controls and quotes
+                    1 => cp % 0x20,            // the \u-escaped control range
+                    2 => 0x1F300 + cp % 0x100, // astral plane
+                    _ => cp,
+                };
+                char::from_u32(cp)
+            })
+            .collect()
+    })
+}
+
+/// Builds a composite document from drawn scalars: an object holding
+/// strings, ints, floats and a nested array, exercising every node
+/// kind the writer emits.
+fn composite(strings: Vec<String>, ints: Vec<i64>, floats: Vec<f64>) -> Value {
+    let arr = Value::Arr(
+        ints.iter()
+            .map(|&i| Value::Int(i))
+            .chain(floats.iter().map(|&x| Value::Num(x)))
+            .chain(strings.iter().cloned().map(Value::Str))
+            .collect(),
+    );
+    Value::Obj(vec![
+        ("null".to_string(), Value::Null),
+        ("flag".to_string(), Value::Bool(true)),
+        ("items".to_string(), arr),
+        (
+            "nested".to_string(),
+            Value::Obj(
+                strings
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, s)| (format!("k{i}"), Value::Str(s)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+proptest! {
+    #[test]
+    fn strings_round_trip(s in unicode_string()) {
+        let rendered = Value::Str(s.clone()).render();
+        let parsed = json::parse(&rendered).expect("rendered string parses");
+        prop_assert_eq!(parsed, Value::Str(s));
+    }
+
+    #[test]
+    fn unsigned_integers_round_trip(u in any::<u64>()) {
+        let rendered = Value::UInt(u).render();
+        let parsed = json::parse(&rendered).expect("rendered u64 parses");
+        prop_assert_eq!(parsed.as_u64(), Some(u));
+        prop_assert_eq!(parsed.render(), rendered);
+    }
+
+    #[test]
+    fn signed_integers_round_trip(i in i64::MIN..=i64::MAX) {
+        let rendered = Value::Int(i).render();
+        let parsed = json::parse(&rendered).expect("rendered i64 parses");
+        prop_assert_eq!(parsed.as_i64(), Some(i));
+        prop_assert_eq!(parsed.render(), rendered);
+    }
+
+    #[test]
+    fn finite_floats_round_trip(x in -1e300f64..1e300) {
+        // Shortest round-trip formatting guarantees the parsed float is
+        // bit-identical; whole floats may come back as integer nodes
+        // but `as_f64` widens them losslessly.
+        let rendered = Value::Num(x).render();
+        let parsed = json::parse(&rendered).expect("rendered float parses");
+        prop_assert_eq!(parsed.as_f64(), Some(x));
+        prop_assert_eq!(parsed.render(), rendered);
+    }
+
+    #[test]
+    fn composite_documents_reach_a_render_fixed_point(
+        strings in prop::collection::vec(unicode_string(), 0..6),
+        ints in prop::collection::vec(i64::MIN..=i64::MAX, 0..6),
+        floats in prop::collection::vec(-1e12f64..1e12, 0..6),
+    ) {
+        let doc = composite(strings, ints, floats);
+        let first = doc.render();
+        let reparsed = json::parse(&first).expect("composite parses");
+        // Render is a fixed point: one parse/render cycle is stable.
+        prop_assert_eq!(reparsed.render(), first.clone());
+        let pretty = reparsed.render_pretty();
+        let from_pretty = json::parse(&pretty).expect("pretty form parses");
+        prop_assert_eq!(from_pretty.render(), first);
+    }
+
+    #[test]
+    fn deep_nesting_round_trips(depth in 1usize..=120, use_obj in any::<bool>()) {
+        let mut v = Value::UInt(7);
+        for _ in 0..depth {
+            v = if use_obj {
+                Value::Obj(vec![("k".to_string(), v)])
+            } else {
+                Value::Arr(vec![v])
+            };
+        }
+        let rendered = v.render();
+        let parsed = json::parse(&rendered).expect("deep document parses");
+        prop_assert_eq!(parsed, v);
+    }
+}
+
+#[test]
+fn escape_sequences_render_exactly() {
+    let s = "quote:\" backslash:\\ nl:\n cr:\r tab:\t ctl:\u{1}";
+    let rendered = Value::Str(s.to_string()).render();
+    assert_eq!(
+        rendered,
+        "\"quote:\\\" backslash:\\\\ nl:\\n cr:\\r tab:\\t ctl:\\u0001\""
+    );
+    assert_eq!(json::parse(&rendered), Ok(Value::Str(s.to_string())));
+}
+
+#[test]
+fn parser_accepts_escapes_the_writer_never_emits() {
+    // \/ \b \f and \uXXXX are legal JSON input even though the writer
+    // prefers literal slashes and only \u-escapes control characters.
+    let parsed = json::parse("\"\\u0041\\b\\f\\/\\u00e9\"").expect("escape forms parse");
+    assert_eq!(parsed, Value::Str("A\u{8}\u{c}/\u{e9}".to_string()));
+}
+
+#[test]
+fn parser_accepts_exponent_literals() {
+    // The writer never emits exponent notation, but external JSON may.
+    for (text, expect) in [
+        ("1e10", 1e10),
+        ("2.5E-3", 2.5e-3),
+        ("-1.25e+5", -1.25e5),
+        ("1e308", 1e308),
+        ("-1e-300", -1e-300),
+    ] {
+        let parsed = json::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        assert_eq!(parsed.as_f64(), Some(expect), "literal {text}");
+    }
+}
+
+#[test]
+fn integers_beyond_u64_fall_back_to_float() {
+    // 2^64 doesn't fit any integer node; the parser degrades to f64.
+    let parsed = json::parse("18446744073709551616").expect("big literal parses");
+    assert_eq!(parsed.as_f64(), Some(18_446_744_073_709_551_616.0));
+    // i64::MIN and u64::MAX sit exactly on the integer-node boundaries.
+    assert_eq!(
+        json::parse("-9223372036854775808")
+            .expect("i64::MIN")
+            .as_i64(),
+        Some(i64::MIN)
+    );
+    assert_eq!(
+        json::parse("18446744073709551615")
+            .expect("u64::MAX")
+            .as_u64(),
+        Some(u64::MAX)
+    );
+}
+
+#[test]
+fn non_finite_floats_render_as_null() {
+    assert_eq!(Value::Num(f64::NAN).render(), "null");
+    assert_eq!(Value::Num(f64::INFINITY).render(), "null");
+    assert_eq!(Value::Num(f64::NEG_INFINITY).render(), "null");
+}
+
+#[test]
+fn whole_floats_collapse_to_integer_nodes_stably() {
+    let rendered = Value::Num(2.0).render();
+    assert_eq!(rendered, "2");
+    let reparsed = json::parse(&rendered).expect("parses");
+    assert_eq!(reparsed, Value::UInt(2));
+    assert_eq!(reparsed.as_f64(), Some(2.0));
+    assert_eq!(reparsed.render(), rendered);
+}

@@ -459,6 +459,10 @@ impl Simulation {
         // Center usage accumulators.
         let mut usage: Vec<(BTreeMap<u32, f64>, f64)> =
             vec![(BTreeMap::new(), 0.0); self.centers.len()];
+        // Stride for per-center `center_tick` trace samples: at most
+        // ~96 sampled ticks per run regardless of scale, derived from
+        // the configuration so it is jobs-independent.
+        let center_tick_stride = (self.ticks / 96).max(1);
 
         // Static mode: one up-front allocation per group.
         if self.mode == AllocationMode::Static {
@@ -686,6 +690,23 @@ impl Simulation {
                         ("shortfall_cpu", shortfall.cpu.into()),
                     ],
                 );
+                // Per-center allocation snapshots for the analytics
+                // timelines, sampled on a tick-count-derived stride (plus
+                // the final tick) so suite-scale traces stay bounded.
+                if t % center_tick_stride == 0 || t + 1 == self.ticks {
+                    for (ci, center) in self.centers.iter().enumerate() {
+                        let alloc_cpu: f64 = center.leases().iter().map(|l| l.amounts.cpu).sum();
+                        sink.emit(
+                            "center_tick",
+                            &[
+                                ("tick", t.into()),
+                                ("center", ci.into()),
+                                ("alloc_cpu", alloc_cpu.into()),
+                                ("free_cpu", center.free().cpu.into()),
+                            ],
+                        );
+                    }
+                }
             }
             t_reduce
                 .record_ns(u64::try_from(reduce_start.elapsed().as_nanos()).unwrap_or(u64::MAX));

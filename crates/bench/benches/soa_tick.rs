@@ -1,0 +1,121 @@
+//! AoS vs SoA layout of the per-group hot state, measured on the
+//! engine's per-tick access pattern at 10/100/1000 groups.
+//!
+//! The engine used to carry each group's hot scalars (players, demand,
+//! allocation, shortfall, error accumulators) inline in the same record
+//! as its cold state (predictor, demand model, game binding — hundreds
+//! of bytes that the tick loop never reads). The refactor moved the hot
+//! scalars into one contiguous `Vec` of ~80-byte records. This bench
+//! reconstructs both layouts side by side and runs the same
+//! predict→accumulate→reduce tick kernel over each, so the cache effect
+//! of the layout is measured in isolation from the rest of the engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// The hot scalars the tick loop actually touches (mirrors the engine's
+/// `GroupHot`).
+#[derive(Clone, Copy, Default)]
+struct Hot {
+    players: f64,
+    demand: f64,
+    alloc: f64,
+    short: f64,
+    target: f64,
+    abs_err_sum: f64,
+    actual_sum: f64,
+}
+
+/// Cold per-group payload the tick loop never reads (mirrors the
+/// predictor + demand model + game binding that used to sit inline).
+#[derive(Clone)]
+struct Cold {
+    _weights: [f64; 64],
+    _history: Vec<f64>,
+    _name: String,
+}
+
+impl Cold {
+    fn new(i: usize) -> Self {
+        Self {
+            _weights: [0.5; 64],
+            _history: vec![0.0; 24],
+            _name: format!("group-{i}"),
+        }
+    }
+}
+
+/// Array-of-structs: hot and cold interleaved, the pre-refactor layout.
+struct AosGroup {
+    hot: Hot,
+    _cold: Cold,
+}
+
+fn tick_kernel(hot: &mut Hot, t: usize) -> f64 {
+    // Same arithmetic shape as the engine's predict→score step: read
+    // the players signal, derive demand/allocation/shortfall, fold the
+    // error accumulators, and contribute to the tick reduction.
+    hot.players = (t as f64).mul_add(0.25, hot.players * 0.5);
+    hot.demand = hot.players * 1.05;
+    hot.alloc = hot.demand.min(2000.0);
+    hot.short = hot.demand - hot.alloc;
+    hot.target = hot.alloc;
+    hot.abs_err_sum += hot.short.abs();
+    hot.actual_sum += hot.players;
+    hot.alloc - hot.short
+}
+
+fn bench_soa_tick(c: &mut Criterion) {
+    const TICKS: usize = 720;
+    let mut group = c.benchmark_group("tick_layout_one_day");
+    group.sample_size(10);
+    for n in [10usize, 100, 1000] {
+        group.throughput(Throughput::Elements((TICKS * n) as u64));
+        group.bench_function(BenchmarkId::new("aos", n), |b| {
+            b.iter_batched(
+                || {
+                    (0..n)
+                        .map(|i| AosGroup {
+                            hot: Hot::default(),
+                            _cold: Cold::new(i),
+                        })
+                        .collect::<Vec<_>>()
+                },
+                |mut groups| {
+                    let mut acc = 0.0;
+                    for t in 0..TICKS {
+                        for g in &mut groups {
+                            acc += tick_kernel(&mut g.hot, t);
+                        }
+                    }
+                    black_box(acc)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("soa", n), |b| {
+            b.iter_batched(
+                || {
+                    let hot = vec![Hot::default(); n];
+                    let cold = (0..n).map(Cold::new).collect::<Vec<_>>();
+                    (hot, cold)
+                },
+                |(mut hot, cold)| {
+                    let mut acc = 0.0;
+                    for t in 0..TICKS {
+                        for h in &mut hot {
+                            acc += tick_kernel(h, t);
+                        }
+                    }
+                    black_box(cold.len());
+                    black_box(acc)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_soa_tick);
+criterion_main!(benches);

@@ -6,11 +6,20 @@
 //! `center_down`/`center_up`/`lease_revoked`/`reprovision` family).
 //!
 //! Usage: `obs_check <OBS_summary.json> [trace.jsonl]`
+//!        `obs_check --scale <BENCH_scale.json>`
+//!
+//! `--scale` validates a `scale_bench` document instead: the
+//! `mmog-scale-bench/v1` schema tag, the gate-compatible timing shape
+//! (`jobs`, `logical_cpus`, `stages[{path, total_ms}]`,
+//! `wall_seconds`), the per-stage throughput fields, and the
+//! deterministic `semantic` section.
 //!
 //! Exits non-zero with a diagnostic on the first violation — the CI
 //! observability smoke job runs this against a quick-scale
-//! `all_experiments` run.
+//! `all_experiments` run, and the scale smoke job against
+//! `scale_bench --quick` output.
 
+use mmog_obs::json::Value;
 use std::process::ExitCode;
 
 fn check_summary(path: &str) -> Result<(), String> {
@@ -53,16 +62,105 @@ fn check_trace(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a `BENCH_scale.json` document (the testable core is
+/// [`check_scale_text`]; this wrapper adds file I/O).
+fn check_scale(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    check_scale_text(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("OK scale bench {path}");
+    Ok(())
+}
+
+fn check_scale_text(text: &str) -> Result<(), String> {
+    let doc = mmog_obs::json::parse(text).map_err(|e| e.to_string())?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("mmog-scale-bench/v1") => {}
+        Some(other) => return Err(format!("unknown schema {other:?}")),
+        None => return Err("missing schema field".into()),
+    }
+    for field in ["jobs", "logical_cpus", "ticks", "seed"] {
+        doc.get(field)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("missing or non-integer {field}"))?;
+    }
+    doc.get("wall_seconds")
+        .and_then(Value::as_f64)
+        .ok_or("missing or non-numeric wall_seconds")?;
+    let stages = doc
+        .get("stages")
+        .and_then(Value::as_arr)
+        .ok_or("missing stages array")?;
+    if stages.is_empty() {
+        return Err("stages array is empty".into());
+    }
+    for (i, s) in stages.iter().enumerate() {
+        let path = s
+            .get("path")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("stages[{i}]: missing path"))?;
+        if !path.starts_with("scale/") {
+            return Err(format!("stages[{i}]: path {path:?} must start with scale/"));
+        }
+        for field in ["total_ms", "players_per_sec", "ticks_per_sec"] {
+            s.get(field)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("stages[{i}]: missing or non-numeric {field}"))?;
+        }
+        for field in ["players", "worlds", "groups"] {
+            s.get(field)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("stages[{i}]: missing or non-integer {field}"))?;
+        }
+        // peak_rss_kb is platform-dependent: integer or null, but
+        // must be present.
+        let rss = s
+            .get("peak_rss_kb")
+            .ok_or_else(|| format!("stages[{i}]: missing peak_rss_kb"))?;
+        if rss.as_u64().is_none() && !matches!(rss, Value::Null) {
+            return Err(format!("stages[{i}]: peak_rss_kb must be integer or null"));
+        }
+    }
+    let points = doc
+        .get("semantic")
+        .and_then(|s| s.get("points"))
+        .and_then(Value::as_arr)
+        .ok_or("missing semantic.points array")?;
+    if points.len() != stages.len() {
+        return Err(format!(
+            "semantic.points has {} entries but stages has {}",
+            points.len(),
+            stages.len()
+        ));
+    }
+    for (i, p) in points.iter().enumerate() {
+        let worlds = p
+            .get("worlds")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("semantic.points[{i}]: missing worlds array"))?;
+        if worlds.is_empty() {
+            return Err(format!("semantic.points[{i}]: worlds array is empty"));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let Some(summary) = args.next() else {
-        eprintln!("usage: obs_check <OBS_summary.json> [trace.jsonl]");
+    let Some(first) = args.next() else {
+        eprintln!("usage: obs_check <OBS_summary.json> [trace.jsonl] | obs_check --scale <BENCH_scale.json>");
         return ExitCode::FAILURE;
     };
-    let result = check_summary(&summary).and_then(|()| match args.next() {
-        Some(trace) => check_trace(&trace),
-        None => Ok(()),
-    });
+    let result = if first == "--scale" {
+        match args.next() {
+            Some(path) => check_scale(&path),
+            None => Err("--scale needs a path".into()),
+        }
+    } else {
+        check_summary(&first).and_then(|()| match args.next() {
+            Some(trace) => check_trace(&trace),
+            None => Ok(()),
+        })
+    };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -1,0 +1,82 @@
+//! `scale_bench` — the federation scale sweep (10k → 10M synthetic
+//! players), writing `results/BENCH_scale.json`.
+//!
+//! Each sweep point federates independent worlds, every one driven by a
+//! streaming one-region RuneScape-like workload (O(1) memory per group
+//! in the trace length) and fanned across the parallel layer; see
+//! [`mmog_bench::scale`]. The JSON is gate-compatible: CI compares it
+//! against `results/BASELINE_scale.json` with `obs_gate --bench-only`.
+//!
+//! ```text
+//! scale_bench [--quick] [--full] [--ticks N] [--jobs N] [--seed N]
+//! ```
+//!
+//! `--quick` stops the ladder at 100k (the CI smoke scale), the default
+//! runs 10k → 1M, `--full` adds the 10M point. `--ticks` sets the
+//! per-world tick count (default one day, 720).
+
+use mmog_bench::scale;
+use mmog_util::time::TICKS_PER_DAY;
+use std::fs;
+use std::path::Path;
+
+struct Opts {
+    quick: bool,
+    full: bool,
+    ticks: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Opts {
+    let mut opts = Opts {
+        quick: false,
+        full: false,
+        ticks: TICKS_PER_DAY as usize,
+        seed: 2008,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts.quick = true,
+            "--full" => opts.full = true,
+            "--ticks" if i + 1 < args.len() => {
+                opts.ticks = args[i + 1].parse().unwrap_or(opts.ticks);
+                i += 1;
+            }
+            "--seed" if i + 1 < args.len() => {
+                opts.seed = args[i + 1].parse().unwrap_or(opts.seed);
+                i += 1;
+            }
+            "--jobs" if i + 1 < args.len() => {
+                jobs = args[i + 1].parse().unwrap_or(jobs);
+                i += 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    mmog_par::set_jobs(jobs);
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let points = scale::sweep_points(opts.quick, opts.full);
+    println!(
+        "Scale sweep: {} -> {} players, {} ticks/world, {} jobs",
+        points.first().map_or(0, scale::SweepPoint::players),
+        points.last().map_or(0, scale::SweepPoint::players),
+        opts.ticks,
+        mmog_par::jobs()
+    );
+    let results = scale::run_sweep(&points, opts.ticks, opts.seed);
+    let json = scale::render_json(&results, opts.ticks, opts.seed);
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("cannot create results/");
+    let path = out_dir.join("BENCH_scale.json");
+    fs::write(&path, &json).expect("cannot write BENCH_scale.json");
+    println!("-> {}", path.display());
+    print!("{json}");
+}

@@ -7,5 +7,6 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod scale;
 
 pub use cli::RunOpts;

@@ -1,0 +1,387 @@
+//! The federation scale sweep behind `bin/scale_bench`.
+//!
+//! Scales the provisioning pipeline from the paper's ~130 server groups
+//! to millions of synthetic players by federating **worlds**: each world
+//! is an independent [`Simulation`] driven by a one-region *streaming*
+//! RuneScape-like workload (O(1) memory per group in the trace length —
+//! no materialized series anywhere), and the federation fans the worlds
+//! across the PR-1 parallel layer with `mmog_par::par_map`. Inside a
+//! world the engine detects the parallel context and runs serial, so
+//! the per-world reports are bit-identical for any `--jobs` and the
+//! sweep's semantic section can be committed and diffed byte-for-byte.
+//!
+//! The JSON document written by [`render_json`] is shaped like
+//! `BENCH_parallel.json` (`jobs`, `logical_cpus`, `stages[{path,
+//! total_ms}]`, `wall_seconds`) so the PR-5 `obs_gate` bench machinery
+//! gates it against a committed baseline without new comparison code.
+
+use mmog_datacenter::resource::ResourceType;
+use mmog_predict::eval::PredictorKind;
+use mmog_sim::engine::{AllocationMode, SimReport, Simulation, SimulationConfig};
+use mmog_sim::scenario::ScenarioOpts;
+use mmog_util::time::TICKS_PER_DAY;
+use mmog_workload::runescape::RuneScapeConfig;
+
+/// One point of the sweep: a target player population reached as
+/// `worlds × groups_per_world × 2000` players.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Display label (`"10k"`, `"1M"`, …), also the stage path suffix.
+    pub label: &'static str,
+    /// Independent federated worlds.
+    pub worlds: usize,
+    /// Server groups per world (each peaks at 2 000 players).
+    pub groups_per_world: u32,
+}
+
+impl SweepPoint {
+    /// Peak synthetic players this point simulates.
+    #[must_use]
+    pub fn players(&self) -> u64 {
+        self.worlds as u64 * u64::from(self.groups_per_world) * 2000
+    }
+}
+
+/// The sweep ladder. `--quick` stops at 100k, the default at 1M, and
+/// `--full` adds the 10M point (500 worlds — minutes, not CI material).
+#[must_use]
+pub fn sweep_points(quick: bool, full: bool) -> Vec<SweepPoint> {
+    let mut points = vec![
+        SweepPoint {
+            label: "10k",
+            worlds: 1,
+            groups_per_world: 5,
+        },
+        SweepPoint {
+            label: "100k",
+            worlds: 5,
+            groups_per_world: 10,
+        },
+    ];
+    if !quick {
+        points.push(SweepPoint {
+            label: "1M",
+            worlds: 50,
+            groups_per_world: 10,
+        });
+        if full {
+            points.push(SweepPoint {
+                label: "10M",
+                worlds: 500,
+                groups_per_world: 10,
+            });
+        }
+    }
+    points
+}
+
+/// Deterministic per-world reductions — everything here is a pure
+/// function of the world's seed and scale, independent of `--jobs`,
+/// wall clock, and machine.
+#[derive(Debug, Clone)]
+pub struct WorldSummary {
+    /// World index within its sweep point.
+    pub world: usize,
+    /// Mean CPU over-allocation excess (Ω − 100), percent.
+    pub avg_over_cpu: f64,
+    /// Mean CPU under-allocation Υ, percent (≤ 0).
+    pub avg_under_cpu: f64,
+    /// Significant under-allocation events.
+    pub events: u64,
+    /// Scored ticks.
+    pub samples: u64,
+    /// Adjustment steps with a partially unmet request.
+    pub unmet_steps: u64,
+}
+
+impl WorldSummary {
+    fn from_report(world: usize, report: &SimReport) -> Self {
+        Self {
+            world,
+            avg_over_cpu: report.metrics.avg_over(ResourceType::Cpu),
+            avg_under_cpu: report.metrics.avg_under(ResourceType::Cpu),
+            events: report.metrics.events(),
+            samples: report.metrics.samples(),
+            unmet_steps: report.unmet_steps,
+        }
+    }
+}
+
+/// Timing and semantics of one completed sweep point.
+#[derive(Debug, Clone)]
+pub struct PointResult {
+    /// The point that ran.
+    pub point: SweepPoint,
+    /// Ticks each world simulated.
+    pub ticks: usize,
+    /// Wall-clock seconds for the whole point (all worlds).
+    pub seconds: f64,
+    /// Peak RSS in kB after the point, if the platform exposes it.
+    pub peak_rss_kb: Option<u64>,
+    /// One summary per world, in world order.
+    pub worlds: Vec<WorldSummary>,
+}
+
+impl PointResult {
+    /// Synthetic players simulated per wall-clock second, normalised to
+    /// a full simulated day: simulating one day for P players in S
+    /// seconds scores P/S; shorter windows scale proportionally.
+    #[must_use]
+    pub fn players_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.point.players() as f64 / self.seconds * self.ticks as f64 / TICKS_PER_DAY as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// World-ticks simulated per wall-clock second.
+    #[must_use]
+    pub fn ticks_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            (self.point.worlds * self.ticks) as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The streaming one-region configuration of one federated world.
+/// Public so the allocation-smoke and determinism tests exercise the
+/// exact workload the sweep runs.
+#[must_use]
+pub fn world_config(
+    point: &SweepPoint,
+    world: usize,
+    ticks: usize,
+    master_seed: u64,
+) -> SimulationConfig {
+    let days = (ticks as u64).div_ceil(TICKS_PER_DAY).max(1);
+    // Every world gets its own seed stream; the offset keeps world 0 of
+    // different points distinct as well.
+    let seed = master_seed
+        .wrapping_add(point.players())
+        .wrapping_add(world as u64);
+    let mut rs = RuneScapeConfig::paper_default(days, seed);
+    rs.regions.truncate(1);
+    rs.regions[0].groups = point.groups_per_world;
+    let mut game = mmog_sim::scenario::prediction_impact(
+        PredictorKind::LastValue,
+        AllocationMode::Dynamic,
+        &ScenarioOpts::smoke(seed),
+    );
+    game.games[0].workload = rs.into();
+    game.ticks = Some(ticks);
+    game.train_ticks = 0;
+    game.warmup_ticks = 0;
+    game.master_seed = seed;
+    game
+}
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Runs one sweep point: builds every world's streaming configuration
+/// and fans the runs across the parallel layer. World order (and so the
+/// semantic section) is independent of `--jobs`.
+#[must_use]
+pub fn run_point(point: &SweepPoint, ticks: usize, master_seed: u64) -> PointResult {
+    let worlds: Vec<usize> = (0..point.worlds).collect();
+    let start = std::time::Instant::now();
+    let reports = mmog_par::par_map(&worlds, |&w| {
+        Simulation::new(world_config(point, w, ticks, master_seed)).run()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let worlds = reports
+        .iter()
+        .enumerate()
+        .map(|(w, r)| WorldSummary::from_report(w, r))
+        .collect();
+    PointResult {
+        point: *point,
+        ticks,
+        seconds,
+        peak_rss_kb: peak_rss_kb(),
+        worlds,
+    }
+}
+
+/// Runs the whole ladder, reporting progress on stdout.
+#[must_use]
+pub fn run_sweep(points: &[SweepPoint], ticks: usize, master_seed: u64) -> Vec<PointResult> {
+    points
+        .iter()
+        .map(|p| {
+            let result = run_point(p, ticks, master_seed);
+            println!(
+                "scale/{}: {} players, {} worlds x {} groups, {:.2}s ({:.0} players/s, {:.1} world-ticks/s)",
+                p.label,
+                p.players(),
+                p.worlds,
+                p.groups_per_world,
+                result.seconds,
+                result.players_per_sec(),
+                result.ticks_per_sec(),
+            );
+            result
+        })
+        .collect()
+}
+
+/// Renders the deterministic section alone: identical bytes for any
+/// `--jobs` and any machine (the determinism suite compares this output
+/// across worker counts through the trace differ).
+#[must_use]
+pub fn render_semantic(results: &[PointResult]) -> String {
+    let mut out = String::from("{\n    \"points\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "      {{\"label\": \"{}\", \"players\": {}, \"worlds\": [\n",
+            r.point.label,
+            r.point.players()
+        ));
+        for (j, w) in r.worlds.iter().enumerate() {
+            let wc = if j + 1 == r.worlds.len() { "" } else { "," };
+            out.push_str(&format!(
+                "        {{\"world\": {}, \"avg_over_cpu\": {:.6}, \"avg_under_cpu\": {:.6}, \
+                 \"events\": {}, \"samples\": {}, \"unmet_steps\": {}}}{wc}\n",
+                w.world, w.avg_over_cpu, w.avg_under_cpu, w.events, w.samples, w.unmet_steps
+            ));
+        }
+        out.push_str(&format!("      ]}}{comma}\n"));
+    }
+    out.push_str("    ]\n  }");
+    out
+}
+
+/// Renders the full `BENCH_scale.json` document. The `stages` array
+/// matches the shape `obs_gate`'s bench comparison reads (`path`,
+/// `total_ms`), with throughput fields alongside; `semantic` embeds
+/// [`render_semantic`].
+#[must_use]
+pub fn render_json(results: &[PointResult], ticks: usize, seed: u64) -> String {
+    let jobs = mmog_par::jobs();
+    let cpus = mmog_par::available_jobs();
+    let wall: f64 = results.iter().map(|r| r.seconds).sum();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"mmog-scale-bench/v1\",\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"logical_cpus\": {cpus},\n"));
+    out.push_str(&format!("  \"ticks\": {ticks},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"stages\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let rss = r
+            .peak_rss_kb
+            .map_or("null".to_string(), |kb| kb.to_string());
+        out.push_str(&format!(
+            "    {{\"path\": \"scale/{}\", \"players\": {}, \"worlds\": {}, \"groups\": {}, \
+             \"total_ms\": {:.3}, \"players_per_sec\": {:.0}, \"ticks_per_sec\": {:.2}, \
+             \"peak_rss_kb\": {rss}}}{comma}\n",
+            r.point.label,
+            r.point.players(),
+            r.point.worlds,
+            r.point.worlds as u64 * u64::from(r.point.groups_per_world),
+            r.seconds * 1e3,
+            r.players_per_sec(),
+            r.ticks_per_sec(),
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"semantic\": {},\n", render_semantic(results)));
+    out.push_str(&format!("  \"wall_seconds\": {wall:.3}\n"));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_matches_flags() {
+        let quick = sweep_points(true, false);
+        assert_eq!(
+            quick.iter().map(|p| p.label).collect::<Vec<_>>(),
+            ["10k", "100k"]
+        );
+        let default = sweep_points(false, false);
+        assert_eq!(default.last().unwrap().label, "1M");
+        let full = sweep_points(false, true);
+        assert_eq!(full.last().unwrap().label, "10M");
+        assert_eq!(full.last().unwrap().players(), 10_000_000);
+        for p in &full {
+            let expected: u64 = match p.label {
+                "10k" => 10_000,
+                "100k" => 100_000,
+                "1M" => 1_000_000,
+                "10M" => 10_000_000,
+                other => panic!("unexpected point {other}"),
+            };
+            assert_eq!(p.players(), expected, "{}", p.label);
+        }
+    }
+
+    #[test]
+    fn world_config_is_streaming_and_seed_distinct() {
+        let p = SweepPoint {
+            label: "10k",
+            worlds: 1,
+            groups_per_world: 5,
+        };
+        let cfg = world_config(&p, 0, 120, 2008);
+        assert_eq!(cfg.games[0].workload.group_count(), 5);
+        assert!(matches!(
+            cfg.games[0].workload,
+            mmog_sim::engine::GameWorkload::Streaming(_)
+        ));
+        assert_eq!(cfg.ticks, Some(120));
+        let other = world_config(&p, 1, 120, 2008);
+        assert_ne!(cfg.master_seed, other.master_seed);
+    }
+
+    #[test]
+    fn tiny_sweep_produces_gate_compatible_json() {
+        let p = SweepPoint {
+            label: "10k",
+            worlds: 2,
+            groups_per_world: 2,
+        };
+        let results = run_sweep(&[p], 30, 7);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].worlds.len(), 2);
+        assert!(results[0].worlds.iter().all(|w| w.samples == 30));
+        let json = render_json(&results, 30, 7);
+        // The bench-gate reader must accept this document as-is.
+        let baseline = mmog_obs_analyze::gate::make_bench_baseline(&json).unwrap();
+        let outcome = mmog_obs_analyze::gate::check_bench(&baseline, &json, 25.0, 50.0).unwrap();
+        assert!(outcome.pass(), "{:?}", outcome.failures);
+        // And the document itself parses as JSON.
+        let doc = mmog_obs::json::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(mmog_obs::json::Value::as_str),
+            Some("mmog-scale-bench/v1")
+        );
+        assert!(doc.get("semantic").is_some());
+    }
+
+    #[test]
+    fn semantic_section_ignores_timing() {
+        let p = SweepPoint {
+            label: "10k",
+            worlds: 1,
+            groups_per_world: 2,
+        };
+        let mut results = run_sweep(&[p], 20, 11);
+        let a = render_semantic(&results);
+        results[0].seconds *= 100.0;
+        results[0].peak_rss_kb = Some(123_456);
+        let b = render_semantic(&results);
+        assert_eq!(a, b, "semantic rendering must not depend on timing");
+    }
+}

@@ -165,5 +165,56 @@ fn reports_identical_for_any_job_count() {
     check_golden("fig05_tiny.txt", &serial_fig05);
     check_golden("fig_faults_tiny.txt", &serial_faults);
 
+    // Streaming workload generation: byte-identical to the materialized
+    // path at full paper scale (130 groups x 14 days), group by group.
+    streaming_matches_materialized_at_paper_scale();
+
+    // Scale sweep: the deterministic semantic section is byte-identical
+    // between --jobs 1 and --jobs 4 (timing fields are excluded from
+    // the section by construction).
+    let sweep = mmog_bench::scale::SweepPoint {
+        label: "10k",
+        worlds: 3,
+        groups_per_world: 4,
+    };
+    mmog_par::set_jobs(1);
+    let serial_sweep =
+        mmog_bench::scale::render_semantic(&[mmog_bench::scale::run_point(&sweep, 60, 77)]);
+    mmog_par::set_jobs(4);
+    let parallel_sweep =
+        mmog_bench::scale::render_semantic(&[mmog_bench::scale::run_point(&sweep, 60, 77)]);
+    assert_same_text(
+        "scale sweep semantics must be byte-identical between --jobs 1 and --jobs 4",
+        &serial_sweep,
+        &parallel_sweep,
+    );
+
     mmog_par::set_jobs(baseline_jobs);
+}
+
+/// The streaming generator replays the materialized generator's RNG
+/// protocol exactly: at the paper's full scale every group's series
+/// must match to the last bit, tick by tick.
+fn streaming_matches_materialized_at_paper_scale() {
+    use mmog_workload::runescape::{generate, RuneScapeConfig};
+    use mmog_workload::stream::StreamingTrace;
+    let cfg = RuneScapeConfig::paper_default(14, 2008);
+    let trace = generate(&cfg);
+    let mut stream = StreamingTrace::new(&cfg);
+    let groups: Vec<&mmog_workload::trace::ServerGroupTrace> =
+        trace.regions.iter().flat_map(|r| r.groups.iter()).collect();
+    assert_eq!(stream.group_count(), groups.len());
+    let mut row = vec![0.0; stream.group_count()];
+    let mut t = 0usize;
+    while stream.next_tick(&mut row) {
+        for (g, (group, &streamed)) in groups.iter().zip(&row).enumerate() {
+            let materialized = group.series.values()[t];
+            assert!(
+                materialized.to_bits() == streamed.to_bits(),
+                "group {g} tick {t}: materialized {materialized} != streamed {streamed}"
+            );
+        }
+        t += 1;
+    }
+    assert_eq!(t, trace.regions[0].groups[0].series.len());
 }

@@ -76,7 +76,7 @@ impl Ecosystem {
             tolerance: DistanceClass::VeryFar,
             headroom: 1.0,
             predictor: PredictorKind::Neural,
-            trace,
+            workload: trace.into(),
             static_peak_players: 2100.0, // capacity x the 1.05 overfull clamp
             priority: 0,
         }

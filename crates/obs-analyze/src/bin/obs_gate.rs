@@ -11,8 +11,18 @@
 //!
 //! Default mode compares and exits non-zero on any failure (semantic
 //! drift always fails; timing failures require a matching
-//! `jobs`/`logical_cpus` environment). `--update` regenerates both
+//! `jobs`/`logical_cpus` environment). `--update` regenerates the
 //! baseline files from the current artifacts instead.
+//!
+//! `--summary`/`--obs-baseline` may be omitted **together** for
+//! bench-only gating — any timing document with `jobs`,
+//! `logical_cpus`, `stages[{path, total_ms}]` and `wall_seconds`
+//! (`BENCH_parallel.json`, `BENCH_scale.json`) works as `--bench`:
+//!
+//! ```text
+//! obs_gate --bench results/BENCH_scale.json
+//!          --bench-baseline results/BASELINE_scale.json
+//! ```
 
 use mmog_obs_analyze::gate::{
     check_bench, check_obs, make_bench_baseline, make_obs_baseline, GateOutcome,
@@ -22,9 +32,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Opts {
-    summary: PathBuf,
+    /// `None` in bench-only mode (`--obs-baseline` must be absent too).
+    summary: Option<PathBuf>,
     bench: PathBuf,
-    obs_baseline: PathBuf,
+    obs_baseline: Option<PathBuf>,
     bench_baseline: PathBuf,
     max_slowdown_pct: f64,
     min_stage_ms: f64,
@@ -64,10 +75,16 @@ fn parse_args() -> Result<Opts, String> {
             other => return Err(format!("unknown argument {other}")),
         }
     }
+    if summary.is_some() != obs_baseline.is_some() {
+        return Err(
+            "--summary and --obs-baseline must be given together (omit both for bench-only gating)"
+                .into(),
+        );
+    }
     Ok(Opts {
-        summary: summary.ok_or("missing --summary")?,
+        summary,
         bench: bench.ok_or("missing --bench")?,
-        obs_baseline: obs_baseline.ok_or("missing --obs-baseline")?,
+        obs_baseline,
         bench_baseline: bench_baseline.ok_or("missing --bench-baseline")?,
         max_slowdown_pct,
         min_stage_ms,
@@ -85,23 +102,23 @@ fn write(path: &PathBuf, body: String) -> Result<(), String> {
 }
 
 fn run(opts: &Opts) -> Result<bool, String> {
-    let summary = read(&opts.summary)?;
     let bench = read(&opts.bench)?;
     if opts.update {
-        write(
-            &opts.obs_baseline,
-            make_obs_baseline(&summary, &opts.suite)?,
-        )?;
+        if let (Some(summary), Some(obs_baseline)) = (&opts.summary, &opts.obs_baseline) {
+            write(
+                obs_baseline,
+                make_obs_baseline(&read(summary)?, &opts.suite)?,
+            )?;
+            println!("updated {}", obs_baseline.display());
+        }
         write(&opts.bench_baseline, make_bench_baseline(&bench)?)?;
-        println!(
-            "updated {} and {}",
-            opts.obs_baseline.display(),
-            opts.bench_baseline.display()
-        );
+        println!("updated {}", opts.bench_baseline.display());
         return Ok(true);
     }
     let mut outcome = GateOutcome::default();
-    outcome.merge(check_obs(&read(&opts.obs_baseline)?, &summary)?);
+    if let (Some(summary), Some(obs_baseline)) = (&opts.summary, &opts.obs_baseline) {
+        outcome.merge(check_obs(&read(obs_baseline)?, &read(summary)?)?);
+    }
     outcome.merge(check_bench(
         &read(&opts.bench_baseline)?,
         &bench,

@@ -398,6 +398,97 @@ impl Pool {
         }
         assert!(!panicked, "pool worker panicked during fan-out");
     }
+
+    /// Disjoint mutable fan-out over two equally long slices:
+    /// `f(i, &mut a[i], &mut b[i])` for every index, caller
+    /// participating. The struct-of-arrays engine uses this to pair a
+    /// group's cold state (provisioner, model) with its hot state
+    /// (contiguous per-tick scratch) without interleaving them in one
+    /// struct. Serial when the pool has no parked workers.
+    ///
+    /// # Panics
+    /// Panics when the slices differ in length; propagates panics raised
+    /// by `f` (the pool stays usable).
+    pub fn for_each_mut2<A, B, F>(&self, a: &mut [A], b: &mut [B], f: F)
+    where
+        A: Send,
+        B: Send,
+        F: Fn(usize, &mut A, &mut B) + Sync,
+    {
+        let n = a.len();
+        assert_eq!(n, b.len(), "for_each_mut2 slices must pair up");
+        if self.workers.is_empty() || n <= 1 {
+            for (i, (ai, bi)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+                f(i, ai, bi);
+            }
+            return;
+        }
+        obs_hooks::record_dispatch(self.threads(), n);
+
+        struct Ctx<A, B, F> {
+            a: SendPtr<A>,
+            b: SendPtr<B>,
+            len: usize,
+            next: AtomicUsize,
+            f: F,
+        }
+
+        /// Claims indices until the cursor passes the end.
+        unsafe fn trampoline<A, B, F: Fn(usize, &mut A, &mut B) + Sync>(p: *const ()) {
+            // SAFETY: the dispatcher keeps the Ctx alive until every
+            // worker has decremented `active`, which happens only after
+            // this function returns.
+            let ctx = unsafe { &*(p.cast::<Ctx<A, B, F>>()) };
+            loop {
+                let i = ctx.next.fetch_add(1, Ordering::Relaxed);
+                if i >= ctx.len {
+                    break;
+                }
+                // SAFETY: each index is claimed exactly once, so these
+                // are the only live references to a[i] and b[i].
+                (ctx.f)(i, unsafe { &mut *ctx.a.0.add(i) }, unsafe {
+                    &mut *ctx.b.0.add(i)
+                });
+            }
+        }
+
+        let ctx = Ctx {
+            a: SendPtr(a.as_mut_ptr()),
+            b: SendPtr(b.as_mut_ptr()),
+            len: n,
+            next: AtomicUsize::new(0),
+            f,
+        };
+        let job = Job {
+            run: trampoline::<A, B, F>,
+            ctx: std::ptr::from_ref(&ctx).cast(),
+        };
+        {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            st.job = Some(job);
+            st.epoch += 1;
+            st.active = self.workers.len();
+            st.panicked = false;
+            self.shared.work.notify_all();
+        }
+        // The caller is one of the compute threads.
+        let caller_result = catch_unwind(AssertUnwindSafe(|| {
+            enter_parallel(|| unsafe { (job.run)(job.ctx) });
+        }));
+        // Wait for every worker before ctx leaves scope.
+        let panicked = {
+            let mut st = self.shared.state.lock().expect("pool lock");
+            while st.active > 0 {
+                st = self.shared.done.wait(st).expect("pool wait");
+            }
+            st.job = None;
+            st.panicked
+        };
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(!panicked, "pool worker panicked during fan-out");
+    }
 }
 
 fn worker_loop(shared: &PoolShared) {
@@ -516,6 +607,33 @@ mod tests {
         }
         let expected: Vec<u64> = (0..1000).map(|i| i * (1 + 2 + 3)).collect();
         assert_eq!(items, expected);
+    }
+
+    #[test]
+    fn pool_for_each_mut2_pairs_slices() {
+        let pool = Pool::new(4);
+        let mut hot = vec![0u64; 777];
+        let mut cold: Vec<u64> = (0..777).collect();
+        for round in 1..=2u64 {
+            pool.for_each_mut2(&mut hot, &mut cold, |i, h, c| {
+                *h += *c * round;
+                *c += i as u64;
+            });
+        }
+        for (i, h) in hot.iter().enumerate() {
+            let i = i as u64;
+            // Round 1: h += i; cold becomes 2i. Round 2: h += 2·2i.
+            assert_eq!(*h, i + 4 * i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn pool_for_each_mut2_rejects_mismatched_lengths() {
+        let pool = Pool::new(1);
+        let mut a = vec![0u8; 3];
+        let mut b = vec![0u8; 4];
+        pool.for_each_mut2(&mut a, &mut b, |_, _, _| {});
     }
 
     #[test]

@@ -19,7 +19,9 @@ use mmog_obs::{Domain, EventSink};
 use mmog_predict::eval::PredictorKind;
 use mmog_util::geo::{DistanceClass, GeoPoint};
 use mmog_util::series::TimeSeries;
-use mmog_util::time::SimTime;
+use mmog_util::time::{SimTime, TICKS_PER_DAY};
+use mmog_workload::runescape::RuneScapeConfig;
+use mmog_workload::stream::StreamingTrace;
 use mmog_workload::trace::GameTrace;
 use mmog_world::update::UpdateModel;
 use serde::{Deserialize, Serialize};
@@ -33,6 +35,44 @@ pub enum AllocationMode {
     /// One peak-sized allocation at the start, never adjusted — "the
     /// current industry practice" the paper argues against.
     Static,
+}
+
+/// A game's player-count workload: a fully materialized trace, or a
+/// generator configuration the engine expands tick by tick in O(1)
+/// memory per group. The two forms are byte-identical for the same
+/// configuration (see [`mmog_workload::stream`]); streaming is what
+/// makes thousand-group / million-player runs representable at all.
+#[derive(Debug, Clone)]
+pub enum GameWorkload {
+    /// Materialized per-group series (the paper-scale default).
+    Trace(GameTrace),
+    /// Streamed from the RuneScape-like generator during the run; no
+    /// full-length series is ever held in memory.
+    Streaming(RuneScapeConfig),
+}
+
+impl GameWorkload {
+    /// Number of server groups this workload drives, without
+    /// materialising anything.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        match self {
+            Self::Trace(trace) => trace.total_groups(),
+            Self::Streaming(cfg) => cfg.regions.iter().map(|r| r.groups as usize).sum(),
+        }
+    }
+}
+
+impl From<GameTrace> for GameWorkload {
+    fn from(trace: GameTrace) -> Self {
+        Self::Trace(trace)
+    }
+}
+
+impl From<RuneScapeConfig> for GameWorkload {
+    fn from(cfg: RuneScapeConfig) -> Self {
+        Self::Streaming(cfg)
+    }
 }
 
 /// One MMOG handled by the ecosystem.
@@ -51,7 +91,7 @@ pub struct GameSpec {
     /// The load predictor (Sec. V-B axis).
     pub predictor: PredictorKind,
     /// The player-count workload.
-    pub trace: GameTrace,
+    pub workload: GameWorkload,
     /// Per-group peak players used by static provisioning.
     pub static_peak_players: f64,
     /// Request priority (lower = served first each tick). The paper's
@@ -158,40 +198,65 @@ pub struct SimReport {
     pub reprovisions: u64,
 }
 
-/// Per-tick per-group results, written by the (possibly parallel)
-/// fan-out and folded serially afterwards in group-index order — the
-/// ordered reduction that keeps aggregates bit-identical for any
-/// thread count.
+/// A group's hot per-tick state, split struct-of-arrays style out of
+/// [`GroupRuntime`]: every field here is read or written by every tick,
+/// so the engine keeps one contiguous `Vec<GroupHot>` that the
+/// fan-out writes and the ordered reduction scans — a linear walk over
+/// packed 80-byte records instead of chasing provisioner-sized structs.
+/// Folding happens serially in group-index order, which keeps aggregates
+/// bit-identical for any thread count.
 #[derive(Debug, Clone, Copy)]
-struct TickScratch {
+struct GroupHot {
+    /// This tick's observed player count, filled from the group's
+    /// workload source before the fan-out.
+    players: f64,
     demand: ResourceVector,
     alloc: ResourceVector,
     short: ResourceVector,
     target: ResourceVector,
-}
-
-impl TickScratch {
-    const ZERO: Self = Self {
-        demand: ResourceVector::ZERO,
-        alloc: ResourceVector::ZERO,
-        short: ResourceVector::ZERO,
-        target: ResourceVector::ZERO,
-    };
-}
-
-struct GroupRuntime {
-    provisioner: GroupProvisioner,
-    series: TimeSeries,
-    demand_model: DemandModel,
-    /// Index into the configuration's game list.
-    game: usize,
-    /// Scratch for the per-tick fan-out.
-    tick: TickScratch,
     /// Σ|predicted − actual| players over scored ticks (the paper's
     /// un-normalized sample prediction error, accumulated online).
     abs_err_sum: f64,
     /// Σ actual players over the same ticks (the metric's denominator).
     actual_sum: f64,
+}
+
+impl GroupHot {
+    const ZERO: Self = Self {
+        players: 0.0,
+        demand: ResourceVector::ZERO,
+        alloc: ResourceVector::ZERO,
+        short: ResourceVector::ZERO,
+        target: ResourceVector::ZERO,
+        abs_err_sum: 0.0,
+        actual_sum: 0.0,
+    };
+}
+
+/// A group's cold state: touched once per tick at most (the provisioner
+/// during predict/settle), never scanned by the reduction.
+struct GroupRuntime {
+    provisioner: GroupProvisioner,
+    demand_model: DemandModel,
+    /// Index into the configuration's game list.
+    game: usize,
+}
+
+/// Where one game's per-tick player counts come from. Each source
+/// covers a contiguous range of global group indices starting at
+/// `start` (games are enumerated in configuration order).
+enum WorkloadSource {
+    /// Materialized series, one per group, indexed by tick.
+    Materialized {
+        start: usize,
+        series: Vec<TimeSeries>,
+    },
+    /// Lazily generated; `next_tick` yields each tick's counts in O(1)
+    /// memory per group.
+    Streaming {
+        start: usize,
+        stream: StreamingTrace,
+    },
 }
 
 /// Below this many server groups a per-tick fan-out costs more in
@@ -245,6 +310,14 @@ fn emit_adjust_events(
 pub struct Simulation {
     centers: Vec<DataCenter>,
     groups: Vec<GroupRuntime>,
+    /// Hot per-group state, one contiguous array (SoA split of the
+    /// group runtimes); indexed like `groups`.
+    hot: Vec<GroupHot>,
+    /// Per-game player-count sources, contiguous over group indices.
+    sources: Vec<WorkloadSource>,
+    /// Scratch for streaming sources' per-tick output (sized once to
+    /// the widest streaming game, so the tick loop never allocates).
+    players_scratch: Vec<f64>,
     mode: AllocationMode,
     ticks: usize,
     warmup: usize,
@@ -276,7 +349,12 @@ impl Simulation {
             game: usize,
             operator: OperatorId,
             origin: GeoPoint,
+            /// Materialized series (empty for streaming groups; moved
+            /// into the game's [`WorkloadSource`] after training).
             series: TimeSeries,
+            /// Streaming groups' training prefix (`None` ⇒ slice
+            /// `series[..train_end]`).
+            stream_train: Option<Vec<f64>>,
             train_end: usize,
             seed: u64,
         }
@@ -286,23 +364,85 @@ impl Simulation {
         let mut min_len = usize::MAX;
         for (game_idx, game) in cfg.games.iter().enumerate() {
             let demand_model = DemandModel::paper(game.update_model);
-            for region in &game.trace.regions {
-                let operator = OperatorId(game.operator_base + u32::from(region.region.0));
-                let origin = crate::scenario::region_origin(&region.name);
-                operator_origins.insert(operator.0, (region.name.clone(), origin));
-                for group in &region.groups {
-                    assert!(!group.series.is_empty(), "empty trace for {}", region.name);
-                    min_len = min_len.min(group.series.len());
-                    static_targets
-                        .push(demand_model.demand(game.static_peak_players) * game.headroom);
-                    specs.push(GroupSpec {
-                        game: game_idx,
-                        operator,
-                        origin,
-                        series: group.series.clone(),
-                        train_end: cfg.train_ticks.min(group.series.len()),
-                        seed: mmog_util::rng::stream_seed(cfg.master_seed, specs.len() as u64),
-                    });
+            match &game.workload {
+                GameWorkload::Trace(trace) => {
+                    for region in &trace.regions {
+                        let operator = OperatorId(game.operator_base + u32::from(region.region.0));
+                        let origin = crate::scenario::region_origin(&region.name);
+                        operator_origins.insert(operator.0, (region.name.clone(), origin));
+                        for group in &region.groups {
+                            assert!(!group.series.is_empty(), "empty trace for {}", region.name);
+                            min_len = min_len.min(group.series.len());
+                            static_targets.push(
+                                demand_model.demand(game.static_peak_players) * game.headroom,
+                            );
+                            specs.push(GroupSpec {
+                                game: game_idx,
+                                operator,
+                                origin,
+                                series: group.series.clone(),
+                                stream_train: None,
+                                train_end: cfg.train_ticks.min(group.series.len()),
+                                seed: mmog_util::rng::stream_seed(
+                                    cfg.master_seed,
+                                    specs.len() as u64,
+                                ),
+                            });
+                        }
+                    }
+                }
+                GameWorkload::Streaming(rs) => {
+                    let ticks = (rs.days * TICKS_PER_DAY) as usize;
+                    assert!(ticks > 0, "empty streaming workload for {}", game.name);
+                    min_len = min_len.min(ticks);
+                    let train_end = cfg.train_ticks.min(ticks);
+                    let first_spec = specs.len();
+                    for (ri, region) in rs.regions.iter().enumerate() {
+                        let operator = OperatorId(game.operator_base + ri as u32);
+                        let origin = crate::scenario::region_origin(&region.name);
+                        operator_origins.insert(operator.0, (region.name.clone(), origin));
+                        for _ in 0..region.groups {
+                            static_targets.push(
+                                demand_model.demand(game.static_peak_players) * game.headroom,
+                            );
+                            specs.push(GroupSpec {
+                                game: game_idx,
+                                operator,
+                                origin,
+                                series: TimeSeries::new(),
+                                stream_train: (train_end > 0).then(Vec::new),
+                                train_end,
+                                seed: mmog_util::rng::stream_seed(
+                                    cfg.master_seed,
+                                    specs.len() as u64,
+                                ),
+                            });
+                        }
+                    }
+                    // Predictor training needs each group's leading
+                    // `train_end` ticks: stream exactly that prefix into
+                    // per-group buffers (the run itself re-streams from
+                    // tick 0 on a fresh, identical source). This is the
+                    // only trace-length-proportional memory a streaming
+                    // game ever holds, and only when training is on.
+                    if train_end > 0 {
+                        let mut stream = StreamingTrace::new(rs);
+                        let mut row = vec![0.0f64; stream.group_count()];
+                        for spec in &mut specs[first_spec..] {
+                            if let Some(train) = spec.stream_train.as_mut() {
+                                train.reserve_exact(train_end);
+                            }
+                        }
+                        for _ in 0..train_end {
+                            assert!(stream.next_tick(&mut row), "prefix within trace length");
+                            for (spec, &v) in specs[first_spec..].iter_mut().zip(&row) {
+                                spec.stream_train
+                                    .as_mut()
+                                    .expect("train_end > 0 allocates prefixes")
+                                    .push(v);
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -319,9 +459,11 @@ impl Simulation {
         let groups: Vec<GroupRuntime> = mmog_par::par_map(&specs, |spec| {
             let game = &cfg.games[spec.game];
             let demand_model = DemandModel::paper(game.update_model);
-            let predictor = game
-                .predictor
-                .build_seeded(&spec.series.values()[..spec.train_end], spec.seed);
+            let history: &[f64] = match &spec.stream_train {
+                Some(prefix) => prefix,
+                None => &spec.series.values()[..spec.train_end],
+            };
+            let predictor = game.predictor.build_seeded(history, spec.seed);
             let mut provisioner = GroupProvisioner::new(
                 spec.operator,
                 spec.origin,
@@ -334,15 +476,39 @@ impl Simulation {
             provisioner.retry = retry;
             GroupRuntime {
                 provisioner,
-                series: spec.series.clone(),
                 demand_model,
                 game: spec.game,
-                tick: TickScratch::ZERO,
-                abs_err_sum: 0.0,
-                actual_sum: 0.0,
             }
         });
         drop(train_span);
+        // The specs' materialized series become the run's per-tick
+        // sources (moved, not cloned a second time); streaming games
+        // get a fresh source that replays from tick 0.
+        let mut sources = Vec::with_capacity(cfg.games.len());
+        let mut players_scratch_len = 0usize;
+        {
+            let mut spec_iter = specs.into_iter();
+            let mut start = 0usize;
+            for game in &cfg.games {
+                match &game.workload {
+                    GameWorkload::Trace(trace) => {
+                        let n = trace.total_groups();
+                        let series: Vec<TimeSeries> =
+                            spec_iter.by_ref().take(n).map(|s| s.series).collect();
+                        sources.push(WorkloadSource::Materialized { start, series });
+                        start += n;
+                    }
+                    GameWorkload::Streaming(rs) => {
+                        let stream = StreamingTrace::new(rs);
+                        let n = stream.group_count();
+                        spec_iter.by_ref().take(n).for_each(drop);
+                        players_scratch_len = players_scratch_len.max(n);
+                        sources.push(WorkloadSource::Streaming { start, stream });
+                        start += n;
+                    }
+                }
+            }
+        }
         mmog_obs::counter("sim.groups", Domain::Semantic).add(groups.len() as u64);
         mmog_obs::gauge("sim.groups_max", Domain::Semantic).set_max(groups.len() as i64);
         assert!(
@@ -379,6 +545,9 @@ impl Simulation {
         }
         Self {
             centers: cfg.centers,
+            hot: vec![GroupHot::ZERO; groups.len()],
+            players_scratch: vec![0.0; players_scratch_len],
+            sources,
             groups,
             mode: cfg.mode,
             ticks,
@@ -600,23 +769,45 @@ impl Simulation {
                     }
                 }
             }
+            // Fill this tick's player counts into the hot array from
+            // each game's source (serial: streaming sources advance
+            // stateful generators; the materialized copy is a gather).
+            let hot = &mut self.hot;
+            for src in &mut self.sources {
+                match src {
+                    WorkloadSource::Materialized { start, series } => {
+                        for (j, s) in series.iter().enumerate() {
+                            hot[*start + j].players = s.values()[t];
+                        }
+                    }
+                    WorkloadSource::Streaming { start, stream } => {
+                        let row = &mut self.players_scratch[..stream.group_count()];
+                        let produced = stream.next_tick(row);
+                        debug_assert!(produced, "ticks clamped to the stream length");
+                        for (j, &p) in row.iter().enumerate() {
+                            hot[*start + j].players = p;
+                        }
+                    }
+                }
+            }
             // Fan-out: score the allocation in force against the actual
             // demand and (in dynamic mode) compute each group's next
-            // demand target. Each group touches only its own state.
-            let step = |_i: usize, group: &mut GroupRuntime| {
-                let players = group.series.values()[t];
+            // demand target. Each group touches only its own cold state
+            // and its slot in the contiguous hot array.
+            let step = |_i: usize, group: &mut GroupRuntime, hot: &mut GroupHot| {
+                let players = hot.players;
                 // Score the prediction made last tick against this
                 // tick's observation. Per-group accumulators keep the
                 // sums deterministic under the fan-out.
                 let prev = group.provisioner.last_prediction();
                 if dynamic && prev.is_finite() {
-                    group.abs_err_sum += (prev - players).abs();
-                    group.actual_sum += players;
+                    hot.abs_err_sum += (prev - players).abs();
+                    hot.actual_sum += players;
                 }
-                let demand = group.demand_model.demand(players);
-                let alloc = group.provisioner.allocated();
-                let short = (alloc - demand).min(&ResourceVector::ZERO);
-                let target = if dynamic {
+                hot.demand = group.demand_model.demand(players);
+                hot.alloc = group.provisioner.allocated();
+                hot.short = (hot.alloc - hot.demand).min(&ResourceVector::ZERO);
+                hot.target = if dynamic {
                     if dropout {
                         // The schedule dropped the predictor this tick:
                         // last-value fallback, history stays warm.
@@ -627,18 +818,14 @@ impl Simulation {
                 } else {
                     ResourceVector::ZERO
                 };
-                group.tick = TickScratch {
-                    demand,
-                    alloc,
-                    short,
-                    target,
-                };
             };
             mmog_obs::time_stat(&t_predict, || match &pool {
-                Some(pool) => pool.for_each_mut(&mut self.groups, step),
+                Some(pool) => pool.for_each_mut2(&mut self.groups, &mut self.hot, step),
                 None => {
-                    for (i, group) in self.groups.iter_mut().enumerate() {
-                        step(i, group);
+                    for (i, (group, hot)) in
+                        self.groups.iter_mut().zip(self.hot.iter_mut()).enumerate()
+                    {
+                        step(i, group, hot);
                     }
                 }
             });
@@ -657,14 +844,14 @@ impl Simulation {
                     ResourceVector::ZERO,
                 );
             }
-            for group in &self.groups {
-                total_demand += group.tick.demand;
-                total_alloc += group.tick.alloc;
-                shortfall += group.tick.short;
+            for (group, hot) in self.groups.iter().zip(&self.hot) {
+                total_demand += hot.demand;
+                total_alloc += hot.alloc;
+                shortfall += hot.short;
                 let entry = &mut per_game[group.game];
-                entry.0 += group.tick.alloc;
-                entry.1 += group.tick.demand;
-                entry.2 += group.tick.short;
+                entry.0 += hot.alloc;
+                entry.1 += hot.demand;
+                entry.2 += hot.short;
             }
             if t >= self.warmup {
                 metrics.record(now, &total_alloc, &total_demand, &shortfall, machines);
@@ -717,8 +904,9 @@ impl Simulation {
             if dynamic {
                 mmog_obs::time_stat(&t_settle, || {
                     for gi in 0..self.processing_order.len() {
-                        let group = &mut self.groups[self.processing_order[gi]];
-                        let target = group.tick.target;
+                        let idx = self.processing_order[gi];
+                        let target = self.hot[idx].target;
+                        let group = &mut self.groups[idx];
                         let out = group.provisioner.adjust(&target, &mut self.centers, now);
                         leases_granted += out.granted as u64;
                         leases_released += out.released as u64;
@@ -805,7 +993,7 @@ impl Simulation {
                 let mut tick_unserved = 0.0f64;
                 for (gi, group) in self.groups.iter().enumerate() {
                     let target = if dynamic {
-                        group.tick.target
+                        self.hot[gi].target
                     } else {
                         self.static_targets[gi]
                     };
@@ -816,7 +1004,7 @@ impl Simulation {
                     if deficit <= 1e-9 {
                         continue;
                     }
-                    let players = group.series.values()[t];
+                    let players = self.hot[gi].players;
                     tick_unserved += players * (deficit / target.cpu).clamp(0.0, 1.0);
                 }
                 unserved_player_ticks += tick_unserved;
@@ -874,11 +1062,11 @@ impl Simulation {
             Domain::Semantic,
             &[1.0, 2.0, 5.0, 10.0, 20.0, 50.0],
         );
-        for (gi, group) in self.groups.iter().enumerate() {
-            if group.actual_sum <= 0.0 {
+        for (gi, (group, hot)) in self.groups.iter().zip(&self.hot).enumerate() {
+            if hot.actual_sum <= 0.0 {
                 continue;
             }
-            let error_pct = 100.0 * group.abs_err_sum / group.actual_sum;
+            let error_pct = 100.0 * hot.abs_err_sum / hot.actual_sum;
             err_hist.record(error_pct);
             if let Some(sink) = sink.as_mut() {
                 sink.emit(
@@ -1017,7 +1205,7 @@ mod tests {
                 tolerance: DistanceClass::VeryFar,
                 headroom: 1.0,
                 predictor,
-                trace: small_trace(2, 5),
+                workload: small_trace(2, 5).into(),
                 static_peak_players: 2100.0, // capacity x the 1.05 overfull clamp
                 priority: 0,
             }],
@@ -1197,6 +1385,27 @@ mod tests {
             total >= a.min(b) - 1.0 && total <= a.max(b) + 1.0,
             "{a} {total} {b}"
         );
+    }
+
+    #[test]
+    fn streaming_workload_matches_materialized_report() {
+        // The tentpole contract: a game whose workload is the streaming
+        // generator must produce the same report, to the last bit, as
+        // the same configuration materialized up front — including with
+        // predictor training on (the stream serves the train prefix).
+        let mut rs = RuneScapeConfig::paper_default(1, 5);
+        rs.regions.truncate(2);
+        rs.regions[0].groups = 6;
+        rs.regions[1].groups = 4;
+        let mut materialized = base_config(AllocationMode::Dynamic, PredictorKind::Neural);
+        materialized.games[0].workload = generate(&rs).into();
+        materialized.train_ticks = 96;
+        let mut streaming = base_config(AllocationMode::Dynamic, PredictorKind::Neural);
+        streaming.games[0].workload = rs.into();
+        streaming.train_ticks = 96;
+        let a = Simulation::new(materialized).run();
+        let b = Simulation::new(streaming).run();
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     /// Index of the most-used center in a baseline run — the victim

@@ -37,7 +37,7 @@ pub mod report;
 pub mod scenario;
 
 pub use demand::DemandModel;
-pub use engine::{AllocationMode, GameSpec, SimReport, Simulation, SimulationConfig};
+pub use engine::{AllocationMode, GameSpec, GameWorkload, SimReport, Simulation, SimulationConfig};
 pub use metrics::MetricsCollector;
 pub use provision::RetryPolicy;
 pub use scenario::region_origin;

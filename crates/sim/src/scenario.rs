@@ -97,7 +97,7 @@ fn base_game(
         tolerance,
         headroom: 1.0,
         predictor,
-        trace,
+        workload: trace.into(),
         static_peak_players: 2100.0, // capacity x the 1.05 overfull clamp
         priority: 0,
     }
@@ -339,7 +339,7 @@ pub fn multi_mmog(shares: [f64; 3], opts: &ScenarioOpts) -> SimulationConfig {
             tolerance: DistanceClass::VeryFar,
             headroom: 1.0,
             predictor: PredictorKind::Neural,
-            trace: part,
+            workload: part.into(),
             static_peak_players: 2100.0, // capacity x the 1.05 overfull clamp
             priority: 0,
         })

@@ -26,6 +26,9 @@
 //!   session traces T0–T7/T5a/T5b, with a generator and ECDF extraction.
 //! - [`growth`] — the Figure 1 market model: logistic subscription
 //!   curves for the 1997–2008 MMORPG market.
+//! - [`stream`] — the same generator as a lazy per-tick source: O(1)
+//!   memory per group in the trace length, byte-identical to the
+//!   materialized path, for thousand-group / million-player scale-out.
 //! - [`cache`] — process-wide sharing of generated traces, so sweeps
 //!   that re-request the same workload build it once.
 
@@ -38,8 +41,10 @@ pub mod events;
 pub mod growth;
 pub mod packets;
 pub mod runescape;
+pub mod stream;
 pub mod trace;
 
 pub use events::PopulationEvent;
 pub use runescape::{generate, RegionSpec, RuneScapeConfig};
+pub use stream::StreamingTrace;
 pub use trace::{GameTrace, RegionId, RegionTrace, ServerGroupId, ServerGroupTrace};

@@ -10,7 +10,7 @@
 //! that Sec. IV-B's predictors consume, plus interaction counts.
 
 use crate::config::EmulatorConfig;
-use crate::entity::{Entity, EntityId, Position};
+use crate::entity::{Entity, EntityId, EntityStore, Position};
 use crate::interaction::count_pairs_subzone;
 use crate::profile::AiProfile;
 use crate::zone::{SubZoneId, ZoneGrid};
@@ -104,7 +104,10 @@ pub struct GameEmulator {
     cfg: EmulatorConfig,
     grid: ZoneGrid,
     rng: Rng64,
-    entities: Vec<Entity>,
+    /// Live entities in struct-of-arrays layout: the per-tick loops
+    /// (churn, movement, count map) each scan only the columns they
+    /// touch instead of striding over whole [`Entity`] records.
+    entities: EntityStore,
     next_id: u64,
     /// Roaming interaction hotspots (attract aggressive players).
     hotspots: Vec<Position>,
@@ -151,7 +154,7 @@ impl GameEmulator {
             cfg,
             grid,
             rng,
-            entities: Vec::new(),
+            entities: EntityStore::new(),
             next_id: 0,
             hotspots,
             team_anchors,
@@ -169,9 +172,10 @@ impl GameEmulator {
         Position::new(rng.range_f64(0.0, size), rng.range_f64(0.0, size))
     }
 
-    /// Current entities (for inspection and tests).
+    /// Current entities (for inspection and tests; hot loops read the
+    /// store's columns directly).
     #[must_use]
-    pub fn entities(&self) -> &[Entity] {
+    pub fn entities(&self) -> &EntityStore {
         &self.entities
     }
 
@@ -257,11 +261,7 @@ impl GameEmulator {
     /// the avatar count through `npc_ratio`.
     fn churn_population(&mut self, target: usize) {
         use crate::entity::EntityKind;
-        let mut avatars = self
-            .entities
-            .iter()
-            .filter(|e| e.kind == EntityKind::Avatar)
-            .count();
+        let mut avatars = self.entities.count_kind(EntityKind::Avatar);
         let mut npcs = self.entities.len() - avatars;
         while avatars < target {
             self.spawn();
@@ -270,7 +270,7 @@ impl GameEmulator {
         while avatars > target {
             // Evict a random avatar.
             let idx = self.rng.index(self.entities.len());
-            if self.entities[idx].kind == EntityKind::Avatar {
+            if self.entities.kind(idx) == EntityKind::Avatar {
                 self.entities.swap_remove(idx);
                 avatars -= 1;
             }
@@ -282,7 +282,7 @@ impl GameEmulator {
         }
         while npcs > npc_target {
             let idx = self.rng.index(self.entities.len());
-            if self.entities[idx].kind == EntityKind::Npc {
+            if self.entities.kind(idx) == EntityKind::Npc {
                 self.entities.swap_remove(idx);
                 npcs -= 1;
             }
@@ -341,13 +341,13 @@ impl GameEmulator {
         for i in 0..self.entities.len() {
             // Profile switching first (may change this tick's behaviour).
             let (preferred, active) = (
-                self.entities[i].preferred_profile,
-                self.entities[i].active_profile,
+                self.entities.preferred_profile(i),
+                self.entities.active_profile(i),
             );
             let next_profile = switching.step(preferred, active, &mut self.rng);
-            self.entities[i].active_profile = next_profile;
+            self.entities.set_active_profile(i, next_profile);
 
-            let pos = self.entities[i].pos;
+            let pos = self.entities.pos(i);
             let step = next_profile.base_speed() * speed_factor;
             let new_pos = match next_profile {
                 AiProfile::Aggressive => {
@@ -372,20 +372,20 @@ impl GameEmulator {
                     }
                 }
                 AiProfile::Scout => {
-                    let need_new = match self.entities[i].target {
+                    let need_new = match self.entities.target(i) {
                         None => true,
                         Some(t) => pos.distance(&t) < step.max(1.0),
                     };
                     if need_new {
                         let dest = self.scout_destination();
-                        self.entities[i].target = Some(dest);
+                        self.entities.set_target(i, dest);
                     }
-                    let t = self.entities[i].target.expect("just set");
+                    let t = self.entities.target(i).expect("just set");
                     pos.step_towards(&t, step)
                 }
                 AiProfile::TeamPlayer => {
                     let team =
-                        self.entities[i].team.unwrap_or(0) as usize % self.team_anchors.len();
+                        self.entities.team(i).unwrap_or(0) as usize % self.team_anchors.len();
                     let anchor = self.team_anchors[team];
                     // Hold a loose formation around the rally point.
                     let jitter = self.grid.cell_size() * 0.15;
@@ -398,15 +398,16 @@ impl GameEmulator {
                 AiProfile::Camper => {
                     // Rarely relocate; otherwise hold position.
                     if self.rng.chance(0.005) {
-                        self.entities[i].target = Some(Self::random_pos(&mut self.rng, size));
+                        let dest = Self::random_pos(&mut self.rng, size);
+                        self.entities.set_target(i, dest);
                     }
-                    match self.entities[i].target {
+                    match self.entities.target(i) {
                         Some(t) if pos.distance(&t) > step => pos.step_towards(&t, step),
                         _ => pos,
                     }
                 }
             };
-            self.entities[i].pos = new_pos.clamped(size);
+            self.entities.set_pos(i, new_pos.clamped(size));
         }
     }
 
@@ -422,11 +423,12 @@ impl GameEmulator {
             self.move_attractors();
             self.move_entities();
 
-            // Record visits and build the count map in one pass.
+            // Record visits and build the count map in one fused pass
+            // over the two coordinate columns (purely sequential reads).
             self.counts_scratch.clear();
             self.counts_scratch.resize(self.grid.sub_zone_count(), 0);
-            for e in &self.entities {
-                let z = self.grid.locate(&e.pos);
+            for (&x, &y) in self.entities.xs().iter().zip(self.entities.ys()) {
+                let z = self.grid.locate_xy(x, y);
                 self.counts_scratch[z.0 as usize] += 1;
                 self.visits[z.0 as usize] += 1;
             }
@@ -477,7 +479,11 @@ impl GameEmulator {
     #[must_use]
     pub fn run_cached(cfg: EmulatorConfig, seed: u64, ticks: usize) -> Arc<EmulatorOutput> {
         static RUNS: Memo<EmulatorOutput> = Memo::new();
-        RUNS.get_or_build(&format!("{seed}|{ticks}|{cfg:?}"), || {
+        // The key carries the generation mode (this path materialises
+        // every snapshot): a hit can never hand a materialized run to a
+        // caller expecting streamed output, or vice versa, even if a
+        // streaming emulator entry point shares this memo later.
+        RUNS.get_or_build(&format!("materialized|{seed}|{ticks}|{cfg:?}"), || {
             Self::run(cfg, seed, ticks)
         })
     }

@@ -145,6 +145,184 @@ impl Entity {
     }
 }
 
+/// Sentinel in the team column marking an entity without a team.
+const NO_TEAM: u32 = u32::MAX;
+
+/// Struct-of-arrays storage for the live entity population.
+///
+/// Each per-tick emulator loop touches only a slice of an entity's
+/// fields — the count map wants positions, profile switching wants the
+/// two profile columns, population churn wants kinds. Keeping every
+/// field in its own contiguous column turns those loops into linear
+/// scans over exactly the bytes they read, instead of striding over
+/// whole [`Entity`] records. The columns always have equal length; row
+/// `i` across all columns is one entity.
+#[derive(Debug, Clone, Default)]
+pub struct EntityStore {
+    ids: Vec<u64>,
+    kinds: Vec<EntityKind>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    preferred: Vec<AiProfile>,
+    active: Vec<AiProfile>,
+    target_xs: Vec<f64>,
+    target_ys: Vec<f64>,
+    has_target: Vec<bool>,
+    teams: Vec<u32>,
+}
+
+impl EntityStore {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored entities.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no entities are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Appends an entity, scattering its fields into the columns.
+    pub fn push(&mut self, e: Entity) {
+        self.ids.push(e.id.0);
+        self.kinds.push(e.kind);
+        self.xs.push(e.pos.x);
+        self.ys.push(e.pos.y);
+        self.preferred.push(e.preferred_profile);
+        self.active.push(e.active_profile);
+        let t = e.target.unwrap_or_default();
+        self.target_xs.push(t.x);
+        self.target_ys.push(t.y);
+        self.has_target.push(e.target.is_some());
+        self.teams.push(e.team.map_or(NO_TEAM, |t| t));
+    }
+
+    /// Reassembles row `i` into an [`Entity`] record.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Entity {
+        Entity {
+            id: EntityId(self.ids[i]),
+            kind: self.kinds[i],
+            pos: Position::new(self.xs[i], self.ys[i]),
+            preferred_profile: self.preferred[i],
+            active_profile: self.active[i],
+            target: self.target(i),
+            team: self.team(i),
+        }
+    }
+
+    /// Removes row `i` by swapping in the last row ([`Vec::swap_remove`]
+    /// semantics, applied to every column).
+    pub fn swap_remove(&mut self, i: usize) {
+        self.ids.swap_remove(i);
+        self.kinds.swap_remove(i);
+        self.xs.swap_remove(i);
+        self.ys.swap_remove(i);
+        self.preferred.swap_remove(i);
+        self.active.swap_remove(i);
+        self.target_xs.swap_remove(i);
+        self.target_ys.swap_remove(i);
+        self.has_target.swap_remove(i);
+        self.teams.swap_remove(i);
+    }
+
+    /// Taxonomy kind of row `i`.
+    #[must_use]
+    pub fn kind(&self, i: usize) -> EntityKind {
+        self.kinds[i]
+    }
+
+    /// Number of rows of the given kind (one linear scan of the kind
+    /// column).
+    #[must_use]
+    pub fn count_kind(&self, kind: EntityKind) -> usize {
+        self.kinds.iter().filter(|&&k| k == kind).count()
+    }
+
+    /// Position of row `i`.
+    #[must_use]
+    pub fn pos(&self, i: usize) -> Position {
+        Position::new(self.xs[i], self.ys[i])
+    }
+
+    /// Overwrites the position of row `i`.
+    pub fn set_pos(&mut self, i: usize, pos: Position) {
+        self.xs[i] = pos.x;
+        self.ys[i] = pos.y;
+    }
+
+    /// The x-coordinate column (paired elementwise with [`Self::ys`]).
+    #[must_use]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y-coordinate column (paired elementwise with [`Self::xs`]).
+    #[must_use]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Preferred AI profile of row `i`.
+    #[must_use]
+    pub fn preferred_profile(&self, i: usize) -> AiProfile {
+        self.preferred[i]
+    }
+
+    /// Currently active AI profile of row `i`.
+    #[must_use]
+    pub fn active_profile(&self, i: usize) -> AiProfile {
+        self.active[i]
+    }
+
+    /// Switches the active AI profile of row `i`.
+    pub fn set_active_profile(&mut self, i: usize, profile: AiProfile) {
+        self.active[i] = profile;
+    }
+
+    /// Movement target of row `i`, if any.
+    #[must_use]
+    pub fn target(&self, i: usize) -> Option<Position> {
+        self.has_target[i].then(|| Position::new(self.target_xs[i], self.target_ys[i]))
+    }
+
+    /// Sets the movement target of row `i`.
+    pub fn set_target(&mut self, i: usize, target: Position) {
+        self.target_xs[i] = target.x;
+        self.target_ys[i] = target.y;
+        self.has_target[i] = true;
+    }
+
+    /// Team index of row `i` (team players only).
+    #[must_use]
+    pub fn team(&self, i: usize) -> Option<u32> {
+        (self.teams[i] != NO_TEAM).then_some(self.teams[i])
+    }
+
+    /// Iterates over reassembled [`Entity`] records (for inspection and
+    /// tests; hot loops should read the columns directly).
+    pub fn iter(&self) -> impl Iterator<Item = Entity> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+impl<'a> IntoIterator for &'a EntityStore {
+    type Item = Entity;
+    type IntoIter = Box<dyn Iterator<Item = Entity> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +384,76 @@ mod tests {
         e.active_profile = AiProfile::Aggressive;
         e.revert_profile();
         assert_eq!(e.active_profile, AiProfile::Camper);
+    }
+
+    fn sample_entity(id: u64, team: Option<u32>) -> Entity {
+        let mut e = Entity::avatar(
+            EntityId(id),
+            Position::new(id as f64, 2.0 * id as f64),
+            AiProfile::Scout,
+        );
+        e.team = team;
+        e.target = (id % 2 == 0).then(|| Position::new(9.0, 9.0));
+        e
+    }
+
+    #[test]
+    fn store_round_trips_entities() {
+        let mut store = EntityStore::new();
+        store.push(sample_entity(0, None));
+        store.push(sample_entity(1, Some(3)));
+        assert_eq!(store.len(), 2);
+        for i in 0..store.len() {
+            let original = sample_entity(i as u64, if i == 1 { Some(3) } else { None });
+            let got = store.get(i);
+            assert_eq!(got.id, original.id);
+            assert_eq!(got.kind, original.kind);
+            assert_eq!(got.pos, original.pos);
+            assert_eq!(got.preferred_profile, original.preferred_profile);
+            assert_eq!(got.active_profile, original.active_profile);
+            assert_eq!(got.target, original.target);
+            assert_eq!(got.team, original.team);
+        }
+        assert_eq!(store.iter().count(), 2);
+    }
+
+    #[test]
+    fn store_swap_remove_matches_vec_semantics() {
+        let mut store = EntityStore::new();
+        let mut mirror: Vec<Entity> = Vec::new();
+        for id in 0..5 {
+            let e = sample_entity(id, (id == 2).then_some(1));
+            store.push(e.clone());
+            mirror.push(e);
+        }
+        store.swap_remove(1);
+        mirror.swap_remove(1);
+        store.swap_remove(2);
+        mirror.swap_remove(2);
+        assert_eq!(store.len(), mirror.len());
+        for (i, m) in mirror.iter().enumerate() {
+            assert_eq!(store.get(i).id, m.id);
+            assert_eq!(store.pos(i), m.pos);
+            assert_eq!(store.target(i), m.target);
+            assert_eq!(store.team(i), m.team);
+        }
+    }
+
+    #[test]
+    fn store_columns_stay_paired_through_mutation() {
+        let mut store = EntityStore::new();
+        for id in 0..4 {
+            store.push(sample_entity(id, None));
+        }
+        store.set_pos(2, Position::new(7.5, 8.5));
+        store.set_target(3, Position::new(1.0, 2.0));
+        store.set_active_profile(0, AiProfile::Camper);
+        assert_eq!(store.pos(2), Position::new(7.5, 8.5));
+        assert_eq!(store.target(3), Some(Position::new(1.0, 2.0)));
+        assert_eq!(store.active_profile(0), AiProfile::Camper);
+        assert_eq!(store.preferred_profile(0), AiProfile::Scout);
+        assert_eq!(store.xs().len(), store.ys().len());
+        assert_eq!(store.count_kind(EntityKind::Avatar), 4);
+        assert_eq!(store.count_kind(EntityKind::Npc), 0);
     }
 }

@@ -42,7 +42,7 @@ pub mod zone;
 
 pub use config::{DynamicsLevel, EmulatorConfig, TraceSet};
 pub use emulator::{EmulatorOutput, GameEmulator, WorldSnapshot};
-pub use entity::{Entity, EntityId, EntityKind};
+pub use entity::{Entity, EntityId, EntityKind, EntityStore};
 pub use profile::{AiProfile, ProfileMix};
 pub use update::UpdateModel;
 pub use zone::{SubZoneId, ZoneGrid};

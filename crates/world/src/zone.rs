@@ -73,6 +73,17 @@ impl ZoneGrid {
         SubZoneId(gy * self.grid + gx)
     }
 
+    /// Sub-zone containing the point `(x, y)` — the coordinate variant
+    /// of [`Self::locate`] for struct-of-arrays callers that keep x and
+    /// y in separate columns.
+    #[must_use]
+    pub fn locate_xy(&self, x: f64, y: f64) -> SubZoneId {
+        let cs = self.cell_size();
+        let gx = ((x / cs) as i64).clamp(0, i64::from(self.grid) - 1) as u32;
+        let gy = ((y / cs) as i64).clamp(0, i64::from(self.grid) - 1) as u32;
+        SubZoneId(gy * self.grid + gx)
+    }
+
     /// Grid coordinates `(col, row)` of a sub-zone.
     #[must_use]
     pub fn coords(&self, z: SubZoneId) -> (u32, u32) {
@@ -145,6 +156,22 @@ impl ZoneGrid {
             counts[self.locate(p).0 as usize] += 1;
         }
         counts
+    }
+
+    /// Accumulates the count map from paired coordinate columns into a
+    /// reusable buffer (cleared and resized first), so struct-of-arrays
+    /// hot loops build the Sec. IV-B map with no allocation and two
+    /// purely sequential column scans.
+    ///
+    /// # Panics
+    /// Panics if the columns differ in length.
+    pub fn count_into(&self, xs: &[f64], ys: &[f64], counts: &mut Vec<u32>) {
+        assert_eq!(xs.len(), ys.len(), "coordinate columns must pair up");
+        counts.clear();
+        counts.resize(self.sub_zone_count(), 0);
+        for (&x, &y) in xs.iter().zip(ys) {
+            counts[self.locate_xy(x, y).0 as usize] += 1;
+        }
     }
 }
 
@@ -223,6 +250,36 @@ mod tests {
         let mut seen: Vec<usize> = buckets.into_iter().flatten().collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn locate_xy_agrees_with_locate() {
+        let g = ZoneGrid::new(100.0, 7);
+        for i in 0..60 {
+            let p = Position::new((i * 13 % 110) as f64 - 5.0, (i * 29 % 110) as f64 - 5.0);
+            assert_eq!(g.locate_xy(p.x, p.y), g.locate(&p));
+        }
+    }
+
+    #[test]
+    fn count_into_matches_count_map() {
+        let g = ZoneGrid::new(100.0, 9);
+        let positions: Vec<Position> = (0..70)
+            .map(|i| Position::new((i * 19 % 100) as f64, (i * 23 % 100) as f64))
+            .collect();
+        let xs: Vec<f64> = positions.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = positions.iter().map(|p| p.y).collect();
+        let mut counts = vec![99; 3]; // stale buffer must be reset
+        g.count_into(&xs, &ys, &mut counts);
+        assert_eq!(counts, g.count_map(&positions));
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn count_into_rejects_mismatched_columns() {
+        let g = ZoneGrid::new(10.0, 2);
+        let mut counts = Vec::new();
+        g.count_into(&[1.0, 2.0], &[1.0], &mut counts);
     }
 
     #[test]

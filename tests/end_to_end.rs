@@ -145,7 +145,7 @@ fn multi_game_traces_partition_cleanly_through_engine() {
         g.predictor = PredictorKind::LastValue;
     }
     cfg.train_ticks = 0;
-    let total_groups: usize = cfg.games.iter().map(|g| g.trace.total_groups()).sum();
+    let total_groups: usize = cfg.games.iter().map(|g| g.workload.group_count()).sum();
     assert_eq!(total_groups, standard_trace(&tiny_opts(13)).total_groups());
     let report = Simulation::new(cfg).run();
     assert!(report.metrics.samples() > 0);

@@ -159,6 +159,9 @@ fn main() {
         Err(e) => eprintln!("== event trace write failed: {e}"),
     }
     if opts.metrics {
+        // Give the summary the suite wall time so the `obs/self`
+        // section can report the recorder's overhead as a percentage.
+        mmog_obs::note_wall_seconds(wall_seconds);
         let summary_path = out_dir.join("OBS_summary.json");
         fs::write(&summary_path, mmog_obs::summary_json()).expect("cannot write OBS summary");
         println!("== metrics summary -> {}\n", summary_path.display());

@@ -7,12 +7,21 @@
 //!
 //! Usage: `obs_check <OBS_summary.json> [trace.jsonl]`
 //!        `obs_check --scale <BENCH_scale.json>`
+//!        `obs_check --flight <FLIGHT_run.jsonl>`
 //!
 //! `--scale` validates a `scale_bench` document instead: the
-//! `mmog-scale-bench/v1` schema tag, the gate-compatible timing shape
-//! (`jobs`, `logical_cpus`, `stages[{path, total_ms}]`,
-//! `wall_seconds`), the per-stage throughput fields, and the
-//! deterministic `semantic` section.
+//! `mmog-scale-bench/v1` or `/v2` schema tag, the gate-compatible
+//! timing shape (`jobs`, `logical_cpus`, `stages[{path, total_ms}]`,
+//! `wall_seconds`), the per-stage throughput fields, the v2 per-stage
+//! `latency` sections (well-formed snapshots with monotone
+//! percentiles), and the deterministic `semantic` section. Unknown
+//! schema versions are rejected outright.
+//!
+//! `--flight` validates a flight-recorder dump: a `flight_meta` first
+//! line, the standard trace envelope and per-kind field sets on every
+//! record, ticks monotone within the window the meta line declares,
+//! and no more distinct ticks than `retain_ticks` — the recorder's
+//! bounded-window guarantee, checked from the artifact alone.
 //!
 //! Exits non-zero with a diagnostic on the first violation — the CI
 //! observability smoke job runs this against a quick-scale
@@ -73,11 +82,14 @@ fn check_scale(path: &str) -> Result<(), String> {
 
 fn check_scale_text(text: &str) -> Result<(), String> {
     let doc = mmog_obs::json::parse(text).map_err(|e| e.to_string())?;
-    match doc.get("schema").and_then(Value::as_str) {
-        Some("mmog-scale-bench/v1") => {}
+    // v1: pre-latency documents, still accepted (committed baselines
+    // age slowly). v2: per-stage latency sections become mandatory.
+    let latency_required = match doc.get("schema").and_then(Value::as_str) {
+        Some("mmog-scale-bench/v1") => false,
+        Some("mmog-scale-bench/v2") => true,
         Some(other) => return Err(format!("unknown schema {other:?}")),
         None => return Err("missing schema field".into()),
-    }
+    };
     for field in ["jobs", "logical_cpus", "ticks", "seed"] {
         doc.get(field)
             .and_then(Value::as_u64)
@@ -119,6 +131,15 @@ fn check_scale_text(text: &str) -> Result<(), String> {
         if rss.as_u64().is_none() && !matches!(rss, Value::Null) {
             return Err(format!("stages[{i}]: peak_rss_kb must be integer or null"));
         }
+        match s.get("latency") {
+            Some(latency) => check_stage_latency(latency, i)?,
+            None if latency_required => {
+                return Err(format!(
+                    "stages[{i}]: v2 documents require a latency section"
+                ))
+            }
+            None => {}
+        }
     }
     let points = doc
         .get("semantic")
@@ -144,16 +165,136 @@ fn check_scale_text(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates one stage's `latency` object: every entry must parse as a
+/// `LatencySnapshot` (which re-checks that bucket counts sum to the
+/// recorded count) and report monotone percentiles.
+fn check_stage_latency(latency: &Value, stage: usize) -> Result<(), String> {
+    let entries = latency
+        .as_obj()
+        .ok_or_else(|| format!("stages[{stage}]: latency must be an object"))?;
+    if entries.is_empty() {
+        return Err(format!("stages[{stage}]: latency object is empty"));
+    }
+    for (path, value) in entries {
+        let snap = mmog_obs::LatencySnapshot::from_value(value)
+            .map_err(|e| format!("stages[{stage}]: latency {path}: {e}"))?;
+        if snap.count == 0 {
+            return Err(format!("stages[{stage}]: latency {path}: empty snapshot"));
+        }
+        let quantiles: Vec<u64> = [0.5, 0.9, 0.99, 0.999]
+            .iter()
+            .filter_map(|&p| snap.quantile(p))
+            .collect();
+        if quantiles.windows(2).any(|w| w[0] > w[1]) {
+            return Err(format!(
+                "stages[{stage}]: latency {path}: percentiles not monotone: {quantiles:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `FLIGHT_<run>.jsonl` dump (the testable core is
+/// [`check_flight_text`]; this wrapper adds file I/O).
+fn check_flight(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (records, ticks) = check_flight_text(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("OK flight {path} ({records} records over {ticks} ticks, window bounded)");
+    Ok(())
+}
+
+fn check_flight_text(text: &str) -> Result<(u64, u64), String> {
+    let mut lines = text.lines().enumerate();
+    let (_, meta_line) = lines.next().ok_or("dump is empty")?;
+    let (seq, _scope, kind, meta) =
+        mmog_obs::parse_trace_line(meta_line).map_err(|e| format!("line 1: {e}"))?;
+    if seq != 0 || kind != "flight_meta" {
+        return Err(format!(
+            "line 1: expected flight_meta at seq 0, found {kind:?} at seq {seq}"
+        ));
+    }
+    mmog_obs::validate_event_fields(&kind, &meta).map_err(|e| format!("line 1: {e}"))?;
+    let meta_u64 = |field: &str| {
+        meta.get(field)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("line 1: flight_meta missing {field}"))
+    };
+    let retain_ticks = meta_u64("retain_ticks")?;
+    let tick_from = meta_u64("tick_from")?;
+    let tick_to = meta_u64("tick_to")?;
+    let declared_records = meta_u64("records")?;
+    match meta.get("trigger").and_then(Value::as_str) {
+        Some("fault" | "deadline_overrun" | "gate_breach" | "explicit") => {}
+        Some(other) => return Err(format!("line 1: unknown trigger {other:?}")),
+        None => return Err("line 1: flight_meta missing trigger".into()),
+    }
+    if tick_from > tick_to {
+        return Err(format!(
+            "line 1: window [{tick_from}, {tick_to}] is inverted"
+        ));
+    }
+    let mut records = 0u64;
+    let mut distinct_ticks = 0u64;
+    let mut last_tick: Option<u64> = None;
+    for (i, line) in lines {
+        let n = i + 1;
+        let (seq, _scope, kind, value) =
+            mmog_obs::parse_trace_line(line).map_err(|e| format!("line {n}: {e}"))?;
+        if seq != i as u64 {
+            return Err(format!("line {n}: sequence number {seq}, expected {i}"));
+        }
+        mmog_obs::validate_event_fields(&kind, &value).map_err(|e| format!("line {n}: {e}"))?;
+        let tick = value
+            .get("tick")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("line {n}: record without a tick"))?;
+        if !(tick_from..=tick_to).contains(&tick) {
+            return Err(format!(
+                "line {n}: tick {tick} outside the declared window [{tick_from}, {tick_to}]"
+            ));
+        }
+        if last_tick.is_some_and(|last| tick < last) {
+            return Err(format!("line {n}: tick {tick} is not monotone"));
+        }
+        if last_tick != Some(tick) {
+            distinct_ticks += 1;
+            last_tick = Some(tick);
+        }
+        records += 1;
+    }
+    if records != declared_records {
+        return Err(format!(
+            "flight_meta declares {declared_records} records, dump has {records}"
+        ));
+    }
+    // The recorder's contract: the retained window never exceeds the
+    // configured tick span, no matter how long the run was.
+    if distinct_ticks > retain_ticks {
+        return Err(format!(
+            "{distinct_ticks} distinct ticks exceed retain_ticks {retain_ticks}"
+        ));
+    }
+    Ok((records, distinct_ticks))
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let Some(first) = args.next() else {
-        eprintln!("usage: obs_check <OBS_summary.json> [trace.jsonl] | obs_check --scale <BENCH_scale.json>");
+        eprintln!(
+            "usage: obs_check <OBS_summary.json> [trace.jsonl] | obs_check --scale \
+             <BENCH_scale.json> | obs_check --flight <FLIGHT_run.jsonl>"
+        );
         return ExitCode::FAILURE;
     };
     let result = if first == "--scale" {
         match args.next() {
             Some(path) => check_scale(&path),
             None => Err("--scale needs a path".into()),
+        }
+    } else if first == "--flight" {
+        match args.next() {
+            Some(path) => check_flight(&path),
+            None => Err("--flight needs a path".into()),
         }
     } else {
         check_summary(&first).and_then(|()| match args.next() {
@@ -167,5 +308,96 @@ fn main() -> ExitCode {
             eprintln!("INVALID: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmog_obs::{FlightConfig, FlightRecorder, FlightTrigger};
+
+    fn snapshot_json(values: &[u64]) -> String {
+        let h = mmog_obs::LatencyHisto::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot().to_value().render()
+    }
+
+    fn scale_doc(schema: &str, latency: Option<&str>) -> String {
+        let latency = latency.map_or(String::new(), |l| format!(r#", "latency": {l}"#));
+        format!(
+            r#"{{"schema":"{schema}","jobs":1,"logical_cpus":1,"ticks":30,"seed":7,
+  "stages":[{{"path":"scale/10k","players":10000,"worlds":1,"groups":5,"total_ms":5.0,
+    "players_per_sec":1.0,"ticks_per_sec":1.0,"peak_rss_kb":null{latency}}}],
+  "semantic":{{"points":[{{"label":"10k","players":10000,"worlds":[{{"world":0}}]}}]}},
+  "wall_seconds":0.005}}"#
+        )
+    }
+
+    #[test]
+    fn scale_schema_versions() {
+        let snap = snapshot_json(&[1_000, 2_000, 3_000]);
+        let latency = format!(r#"{{"sim/run/tick":{snap}}}"#);
+        // v2 with a well-formed latency section passes.
+        check_scale_text(&scale_doc("mmog-scale-bench/v2", Some(&latency))).unwrap();
+        // v2 without latency fails; v1 without it passes.
+        let err = check_scale_text(&scale_doc("mmog-scale-bench/v2", None)).unwrap_err();
+        assert!(err.contains("latency"), "{err}");
+        check_scale_text(&scale_doc("mmog-scale-bench/v1", None)).unwrap();
+        // Unknown schema versions are rejected with a clear message.
+        let err = check_scale_text(&scale_doc("mmog-scale-bench/v3", None)).unwrap_err();
+        assert!(err.contains("unknown schema"), "{err}");
+        // A latency section whose bucket counts disagree with `count`
+        // is malformed.
+        let lying = latency.replace(r#""count":3"#, r#""count":4"#);
+        assert!(check_scale_text(&scale_doc("mmog-scale-bench/v2", Some(&lying))).is_err());
+    }
+
+    fn dump_text(retain: u64, push_ticks: std::ops::Range<u64>) -> String {
+        let dir = std::env::temp_dir().join(format!("obs_check_flight_{retain}"));
+        let mut cfg = FlightConfig::new(retain);
+        cfg.dump_dir.clone_from(&dir);
+        let mut rec = FlightRecorder::new(cfg);
+        for t in push_ticks {
+            rec.begin_tick(t);
+            rec.push("tick", t, &[1.0, 2.0, 0.0]);
+            rec.push("tick_latency", t, &[10.0, 5.0, 0.0, 20.0]);
+        }
+        let path = rec
+            .trigger(FlightTrigger::Explicit, 99, "check-test")
+            .unwrap()
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        text
+    }
+
+    #[test]
+    fn flight_dump_round_trips_and_tampering_fails() {
+        let text = dump_text(8, 0..100);
+        let (records, ticks) = check_flight_text(&text).unwrap();
+        assert_eq!(ticks, 8, "eviction keeps exactly retain_ticks ticks");
+        assert_eq!(records, 16);
+
+        // A record tick outside the declared window fails.
+        let outside = text.replace(r#""tick":99,"#, r#""tick":3,"#);
+        let err = check_flight_text(&outside).unwrap_err();
+        assert!(err.contains("monotone") || err.contains("outside"), "{err}");
+
+        // A lying record count fails.
+        let lying = text.replace(r#""records":16"#, r#""records":7"#);
+        assert!(check_flight_text(&lying).unwrap_err().contains("records"));
+
+        // More distinct ticks than retain_ticks fails.
+        let narrow = text.replace(r#""retain_ticks":8"#, r#""retain_ticks":4"#);
+        let err = check_flight_text(&narrow).unwrap_err();
+        assert!(err.contains("retain_ticks"), "{err}");
+
+        // The meta line must come first.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.rotate_left(1);
+        assert!(check_flight_text(&lines.join("\n")).is_err());
+        assert!(check_flight_text("").is_err());
     }
 }

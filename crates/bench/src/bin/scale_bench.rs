@@ -9,11 +9,16 @@
 //!
 //! ```text
 //! scale_bench [--quick] [--full] [--ticks N] [--jobs N] [--seed N]
+//!             [--flight N] [--flight-dump] [--tick-deadline-ms N]
 //! ```
 //!
 //! `--quick` stops the ladder at 100k (the CI smoke scale), the default
 //! runs 10k → 1M, `--full` adds the 10M point. `--ticks` sets the
-//! per-world tick count (default one day, 720).
+//! per-world tick count (default one day, 720). The flight flags
+//! install the per-run flight recorder exactly as the experiment
+//! binaries do (see `mmog_bench::cli`): each world keeps a bounded
+//! window of full-detail events and dumps `FLIGHT_<run>.jsonl` only on
+//! a trigger.
 
 use mmog_bench::scale;
 use mmog_util::time::TICKS_PER_DAY;
@@ -35,7 +40,6 @@ fn parse_args() -> Opts {
         seed: 2008,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut jobs = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -49,15 +53,15 @@ fn parse_args() -> Opts {
                 opts.seed = args[i + 1].parse().unwrap_or(opts.seed);
                 i += 1;
             }
-            "--jobs" if i + 1 < args.len() => {
-                jobs = args[i + 1].parse().unwrap_or(jobs);
-                i += 1;
-            }
             _ => {}
         }
         i += 1;
     }
-    mmog_par::set_jobs(jobs);
+    // --jobs and the flight flags share the experiment binaries'
+    // parser, so every binary spells them identically.
+    let run = mmog_bench::cli::RunOpts::parse(args);
+    run.apply_jobs();
+    mmog_obs::set_flight_config(run.flight_config());
     opts
 }
 

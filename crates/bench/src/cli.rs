@@ -27,6 +27,18 @@ pub struct RunOpts {
     /// them. Malformed specs abort rather than silently running
     /// unfaulted.
     pub faults: Option<FaultSpec>,
+    /// Flight-recorder window (`--flight N`): retain the last N ticks
+    /// of full-detail events per run, dumped to `FLIGHT_<run>.jsonl`
+    /// only when a trigger fires. `None` disables the recorder (the
+    /// default — runs stay byte-identical to pre-flight builds).
+    pub flight: Option<u64>,
+    /// `--flight-dump`: dump the final window at run end even without
+    /// a trigger (implies `--flight` with the default window).
+    pub flight_dump: bool,
+    /// Per-tick deadline in milliseconds (`--tick-deadline-ms N`): a
+    /// tick exceeding it fires the flight recorder's deadline-overrun
+    /// trigger. Wall-clock — for interactive diagnosis, never CI gates.
+    pub tick_deadline_ms: Option<u64>,
 }
 
 impl Default for RunOpts {
@@ -39,6 +51,9 @@ impl Default for RunOpts {
             trace: None,
             metrics: false,
             faults: None,
+            flight: None,
+            flight_dump: false,
+            tick_deadline_ms: None,
         }
     }
 }
@@ -107,6 +122,17 @@ impl RunOpts {
                     opts.faults = Some(parse_fault_spec(&args[i + 1]));
                     i += 1;
                 }
+                "--flight" if i + 1 < args.len() => {
+                    opts.flight = args[i + 1].parse().ok();
+                    i += 1;
+                }
+                "--flight-dump" => {
+                    opts.flight_dump = true;
+                }
+                "--tick-deadline-ms" if i + 1 < args.len() => {
+                    opts.tick_deadline_ms = args[i + 1].parse().ok();
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
@@ -121,12 +147,28 @@ impl RunOpts {
     }
 
     /// Installs the trace destination: `--trace` wins, otherwise the
-    /// `MMOG_TRACE` environment variable applies.
+    /// `MMOG_TRACE` environment variable applies. Also installs the
+    /// flight-recorder configuration when `--flight`/`--flight-dump`
+    /// asked for one.
     pub fn apply_obs(&self) {
         match &self.trace {
             Some(path) => mmog_obs::set_trace_path(Some(path)),
             None => mmog_obs::apply_trace_env(),
         }
+        mmog_obs::set_flight_config(self.flight_config());
+    }
+
+    /// The flight-recorder configuration this run asked for, if any.
+    #[must_use]
+    pub fn flight_config(&self) -> Option<mmog_obs::FlightConfig> {
+        const DEFAULT_RETAIN_TICKS: u64 = 64;
+        if self.flight.is_none() && !self.flight_dump && self.tick_deadline_ms.is_none() {
+            return None;
+        }
+        let mut cfg = mmog_obs::FlightConfig::new(self.flight.unwrap_or(DEFAULT_RETAIN_TICKS));
+        cfg.dump_at_end = self.flight_dump;
+        cfg.deadline_ns = self.tick_deadline_ms.map(|ms| ms.saturating_mul(1_000_000));
+        Some(cfg)
     }
 
     /// The equivalent scenario options.
@@ -223,5 +265,26 @@ mod tests {
         // --trace without a value is ignored like any malformed flag.
         let o = RunOpts::parse(args(&["--trace"]));
         assert_eq!(o.trace, None);
+    }
+
+    #[test]
+    fn flight_flags_parse_and_configure() {
+        // Off by default: no recorder, runs stay byte-identical.
+        assert!(RunOpts::parse(args(&[])).flight_config().is_none());
+        let o = RunOpts::parse(args(&["--flight", "32"]));
+        assert_eq!(o.flight, Some(32));
+        let cfg = o.flight_config().expect("configured");
+        assert_eq!(cfg.retain_ticks, 32);
+        assert!(!cfg.dump_at_end);
+        assert_eq!(cfg.deadline_ns, None);
+        // --flight-dump alone implies the default window.
+        let o = RunOpts::parse(args(&["--flight-dump"]));
+        let cfg = o.flight_config().expect("configured");
+        assert_eq!(cfg.retain_ticks, 64);
+        assert!(cfg.dump_at_end);
+        // The deadline converts ms → ns and implies a recorder too.
+        let o = RunOpts::parse(args(&["--tick-deadline-ms", "5"]));
+        let cfg = o.flight_config().expect("configured");
+        assert_eq!(cfg.deadline_ns, Some(5_000_000));
     }
 }

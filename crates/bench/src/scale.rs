@@ -120,6 +120,10 @@ pub struct PointResult {
     pub peak_rss_kb: Option<u64>,
     /// One summary per world, in world order.
     pub worlds: Vec<WorldSummary>,
+    /// Per-stage latency distributions over every world of this point
+    /// (path → merged snapshot), captured from the engine's log-bucketed
+    /// histograms. Wall-clock data — never part of the semantic section.
+    pub latency: Vec<(String, mmog_obs::LatencySnapshot)>,
 }
 
 impl PointResult {
@@ -187,14 +191,23 @@ fn peak_rss_kb() -> Option<u64> {
 /// Runs one sweep point: builds every world's streaming configuration
 /// and fans the runs across the parallel layer. World order (and so the
 /// semantic section) is independent of `--jobs`.
+///
+/// Resets the process-global latency registry first so each point's
+/// snapshot covers exactly its own worlds — callers interleaving other
+/// instrumented work with a sweep should snapshot before calling.
 #[must_use]
 pub fn run_point(point: &SweepPoint, ticks: usize, master_seed: u64) -> PointResult {
     let worlds: Vec<usize> = (0..point.worlds).collect();
+    mmog_obs::reset_latency();
     let start = std::time::Instant::now();
     let reports = mmog_par::par_map(&worlds, |&w| {
         Simulation::new(world_config(point, w, ticks, master_seed)).run()
     });
     let seconds = start.elapsed().as_secs_f64();
+    let latency = mmog_obs::snapshot_latency()
+        .into_iter()
+        .filter(|(path, snap)| path.starts_with("sim/run/") && snap.count > 0)
+        .collect();
     let worlds = reports
         .iter()
         .enumerate()
@@ -206,6 +219,7 @@ pub fn run_point(point: &SweepPoint, ticks: usize, master_seed: u64) -> PointRes
         seconds,
         peak_rss_kb: peak_rss_kb(),
         worlds,
+        latency,
     }
 }
 
@@ -258,17 +272,19 @@ pub fn render_semantic(results: &[PointResult]) -> String {
     out
 }
 
-/// Renders the full `BENCH_scale.json` document. The `stages` array
-/// matches the shape `obs_gate`'s bench comparison reads (`path`,
-/// `total_ms`), with throughput fields alongside; `semantic` embeds
-/// [`render_semantic`].
+/// Renders the full `BENCH_scale.json` document
+/// (`mmog-scale-bench/v2`). The `stages` array matches the shape
+/// `obs_gate`'s bench comparison reads (`path`, `total_ms`), with
+/// throughput fields alongside; v2 adds a per-stage `latency` object
+/// (engine path → log-bucketed snapshot with percentiles) feeding the
+/// p99 gate and `latency_report`; `semantic` embeds [`render_semantic`].
 #[must_use]
 pub fn render_json(results: &[PointResult], ticks: usize, seed: u64) -> String {
     let jobs = mmog_par::jobs();
     let cpus = mmog_par::available_jobs();
     let wall: f64 = results.iter().map(|r| r.seconds).sum();
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"mmog-scale-bench/v1\",\n");
+    out.push_str("  \"schema\": \"mmog-scale-bench/v2\",\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"logical_cpus\": {cpus},\n"));
     out.push_str(&format!("  \"ticks\": {ticks},\n"));
@@ -279,10 +295,17 @@ pub fn render_json(results: &[PointResult], ticks: usize, seed: u64) -> String {
         let rss = r
             .peak_rss_kb
             .map_or("null".to_string(), |kb| kb.to_string());
+        let latency = mmog_obs::json::Value::Obj(
+            r.latency
+                .iter()
+                .map(|(path, snap)| (path.clone(), snap.to_value()))
+                .collect(),
+        )
+        .render();
         out.push_str(&format!(
             "    {{\"path\": \"scale/{}\", \"players\": {}, \"worlds\": {}, \"groups\": {}, \
              \"total_ms\": {:.3}, \"players_per_sec\": {:.0}, \"ticks_per_sec\": {:.2}, \
-             \"peak_rss_kb\": {rss}}}{comma}\n",
+             \"peak_rss_kb\": {rss}, \"latency\": {latency}}}{comma}\n",
             r.point.label,
             r.point.players(),
             r.point.worlds,
@@ -357,17 +380,32 @@ mod tests {
         assert_eq!(results[0].worlds.len(), 2);
         assert!(results[0].worlds.iter().all(|w| w.samples == 30));
         let json = render_json(&results, 30, 7);
-        // The bench-gate reader must accept this document as-is.
+        // The bench-gate reader must accept this document as-is, and an
+        // identical run must pass the p99 gate it feeds.
         let baseline = mmog_obs_analyze::gate::make_bench_baseline(&json).unwrap();
-        let outcome = mmog_obs_analyze::gate::check_bench(&baseline, &json, 25.0, 50.0).unwrap();
+        let thresholds = mmog_obs_analyze::gate::BenchThresholds::default();
+        let outcome = mmog_obs_analyze::gate::check_bench(&baseline, &json, &thresholds).unwrap();
         assert!(outcome.pass(), "{:?}", outcome.failures);
-        // And the document itself parses as JSON.
+        // And the document itself parses as JSON with the v2 latency
+        // section carrying the engine's per-tick distribution.
         let doc = mmog_obs::json::parse(&json).unwrap();
         assert_eq!(
             doc.get("schema").and_then(mmog_obs::json::Value::as_str),
-            Some("mmog-scale-bench/v1")
+            Some("mmog-scale-bench/v2")
         );
         assert!(doc.get("semantic").is_some());
+        let stage = &doc
+            .get("stages")
+            .and_then(mmog_obs::json::Value::as_arr)
+            .unwrap()[0];
+        let tick = stage
+            .get("latency")
+            .and_then(|l| l.get("sim/run/tick"))
+            .expect("v2 stages carry sim/run/tick latency");
+        let count = tick.get("count").and_then(mmog_obs::json::Value::as_u64);
+        assert_eq!(count, Some(2 * 30), "one tick record per world-tick");
+        let snap = mmog_obs::LatencySnapshot::from_value(tick).unwrap();
+        assert!(snap.quantile(0.99).is_some());
     }
 
     #[test]

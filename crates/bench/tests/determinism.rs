@@ -189,7 +189,72 @@ fn reports_identical_for_any_job_count() {
         &parallel_sweep,
     );
 
+    // Flight recorder: trigger decisions are semantic (driven by the
+    // deterministic fault schedule), so the dump report — trigger kind,
+    // trigger tick, retained window, record count — must be identical
+    // across job counts and repeats, with the recorder running.
+    flight_trigger_decisions_are_deterministic();
+
     mmog_par::set_jobs(baseline_jobs);
+}
+
+/// A faulted run with the flight recorder installed: the first fault
+/// fires the dump, and everything the dump reports about itself is a
+/// pure function of the configuration.
+fn flight_trigger_decisions_are_deterministic() {
+    use mmog_faults::FaultSpec;
+    let dir = std::env::temp_dir().join("mmog_determinism_flight");
+    let mut flight_cfg = mmog_obs::FlightConfig::new(12);
+    flight_cfg.dump_dir.clone_from(&dir);
+    mmog_obs::set_flight_config(Some(flight_cfg));
+    let run = || {
+        let spec = FaultSpec {
+            seed: 5,
+            ..FaultSpec::paper_default()
+        };
+        let cfg = scenario::fault_injection(&spec, AllocationMode::Dynamic, &tiny());
+        let report = Simulation::new(cfg).run();
+        report
+            .flight_dump
+            .expect("a faulted run with the recorder on must dump")
+    };
+    mmog_par::set_jobs(1);
+    let serial = run();
+    mmog_par::set_jobs(4);
+    let parallel = run();
+    let repeat = run();
+    mmog_obs::set_flight_config(None);
+    assert_eq!(serial.trigger, "fault");
+    assert_eq!(
+        serial, parallel,
+        "flight dump report must be identical between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(parallel, repeat, "same-seed flight dumps must agree");
+    assert!(
+        serial.tick_to - serial.tick_from < 12,
+        "retained window must respect retain_ticks: {serial:?}"
+    );
+    // The artifact itself is well-formed: standard envelope, known
+    // field sets, ticks inside the declared window.
+    let text = fs::read_to_string(&serial.path).expect("dump exists");
+    let mut lines = text.lines();
+    let (_, _, kind, meta) =
+        mmog_obs::parse_trace_line(lines.next().expect("meta line")).expect("meta parses");
+    assert_eq!(kind, "flight_meta");
+    mmog_obs::validate_event_fields(&kind, &meta).expect("meta fields");
+    let mut records = 0u64;
+    for line in lines {
+        let (_, _, kind, value) = mmog_obs::parse_trace_line(line).expect("record parses");
+        mmog_obs::validate_event_fields(&kind, &value).expect("record fields");
+        let tick = value
+            .get("tick")
+            .and_then(mmog_obs::json::Value::as_u64)
+            .expect("record tick");
+        assert!((serial.tick_from..=serial.tick_to).contains(&tick));
+        records += 1;
+    }
+    assert_eq!(records, serial.records);
+    let _ = fs::remove_dir_all(&dir);
 }
 
 /// The streaming generator replays the materialized generator's RNG

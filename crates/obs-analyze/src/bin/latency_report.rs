@@ -1,0 +1,42 @@
+//! `latency_report` — percentile tables and ASCII distribution
+//! sketches from any artifact carrying log-bucketed latency snapshots:
+//! a `mmog-scale-bench/v2` `BENCH_scale.json` (per-stage `latency`
+//! sections) or an `OBS_summary.json` (`timing.latency`).
+//!
+//! ```text
+//! latency_report results/BENCH_scale.json [more.json ...]
+//! ```
+
+use mmog_obs_analyze::{collect_snapshots, render_report};
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        return Err("usage: latency_report ARTIFACT.json [more.json ...]".into());
+    }
+    let mut snapshots = Vec::new();
+    for path in &paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let doc = mmog_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let mut found = collect_snapshots(&doc).map_err(|e| format!("{path}: {e}"))?;
+        if paths.len() > 1 {
+            for s in &mut found {
+                s.name = format!("{path}: {}", s.name);
+            }
+        }
+        snapshots.extend(found);
+    }
+    print!("{}", render_report(&snapshots));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("latency_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //!          --obs-baseline results/BASELINE_obs.json
 //!          --bench-baseline results/BASELINE_bench.json
 //!          [--max-slowdown-pct 25] [--min-stage-ms 50]
+//!          [--max-p99-slowdown-pct 100] [--min-p99-us 20]
 //!          [--update] [--suite quick]
 //! ```
 //!
@@ -25,8 +26,7 @@
 //! ```
 
 use mmog_obs_analyze::gate::{
-    check_bench, check_obs, make_bench_baseline, make_obs_baseline, GateOutcome,
-    DEFAULT_MAX_SLOWDOWN_PCT, DEFAULT_MIN_STAGE_MS,
+    check_bench, check_obs, make_bench_baseline, make_obs_baseline, BenchThresholds, GateOutcome,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -37,8 +37,7 @@ struct Opts {
     bench: PathBuf,
     obs_baseline: Option<PathBuf>,
     bench_baseline: PathBuf,
-    max_slowdown_pct: f64,
-    min_stage_ms: f64,
+    thresholds: BenchThresholds,
     update: bool,
     suite: String,
 }
@@ -49,8 +48,7 @@ fn parse_args() -> Result<Opts, String> {
     let mut bench = None;
     let mut obs_baseline = None;
     let mut bench_baseline = None;
-    let mut max_slowdown_pct = DEFAULT_MAX_SLOWDOWN_PCT;
-    let mut min_stage_ms = DEFAULT_MIN_STAGE_MS;
+    let mut thresholds = BenchThresholds::default();
     let mut update = false;
     let mut suite = "quick".to_string();
     while let Some(arg) = args.next() {
@@ -61,14 +59,24 @@ fn parse_args() -> Result<Opts, String> {
             "--obs-baseline" => obs_baseline = Some(PathBuf::from(value("--obs-baseline")?)),
             "--bench-baseline" => bench_baseline = Some(PathBuf::from(value("--bench-baseline")?)),
             "--max-slowdown-pct" => {
-                max_slowdown_pct = value("--max-slowdown-pct")?
+                thresholds.max_slowdown_pct = value("--max-slowdown-pct")?
                     .parse()
                     .map_err(|e| format!("--max-slowdown-pct: {e}"))?;
             }
             "--min-stage-ms" => {
-                min_stage_ms = value("--min-stage-ms")?
+                thresholds.min_stage_ms = value("--min-stage-ms")?
                     .parse()
                     .map_err(|e| format!("--min-stage-ms: {e}"))?;
+            }
+            "--max-p99-slowdown-pct" => {
+                thresholds.max_p99_slowdown_pct = value("--max-p99-slowdown-pct")?
+                    .parse()
+                    .map_err(|e| format!("--max-p99-slowdown-pct: {e}"))?;
+            }
+            "--min-p99-us" => {
+                thresholds.min_p99_us = value("--min-p99-us")?
+                    .parse()
+                    .map_err(|e| format!("--min-p99-us: {e}"))?;
             }
             "--update" => update = true,
             "--suite" => suite = value("--suite")?,
@@ -86,8 +94,7 @@ fn parse_args() -> Result<Opts, String> {
         bench: bench.ok_or("missing --bench")?,
         obs_baseline,
         bench_baseline: bench_baseline.ok_or("missing --bench-baseline")?,
-        max_slowdown_pct,
-        min_stage_ms,
+        thresholds,
         update,
         suite,
     })
@@ -122,8 +129,7 @@ fn run(opts: &Opts) -> Result<bool, String> {
     outcome.merge(check_bench(
         &read(&opts.bench_baseline)?,
         &bench,
-        opts.max_slowdown_pct,
-        opts.min_stage_ms,
+        &opts.thresholds,
     )?);
     print!("{}", outcome.render("obs_gate"));
     Ok(outcome.pass())

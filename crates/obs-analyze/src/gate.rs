@@ -30,6 +30,42 @@ pub const DEFAULT_MAX_SLOWDOWN_PCT: f64 = 25.0;
 /// never judged.
 pub const DEFAULT_MIN_STAGE_MS: f64 = 50.0;
 
+/// Default p99 tail-latency slowdown threshold, percent. Wider than the
+/// total-time threshold: the latency histogram quantizes to sub-octave
+/// buckets (≤ 1.5× between adjacent bounds), so a genuine regression
+/// must clear two bucket steps before it is distinguishable from
+/// bucket-boundary jitter.
+pub const DEFAULT_MAX_P99_SLOWDOWN_PCT: f64 = 100.0;
+
+/// Default p99 noise floor, microseconds: baseline tails faster than
+/// this are scheduler noise, never judged.
+pub const DEFAULT_MIN_P99_US: f64 = 20.0;
+
+/// Tunable thresholds for [`check_bench`]. `..Default::default()` keeps
+/// call sites stable as gates grow new knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchThresholds {
+    /// Stage/wall slowdown that fails the gate, percent.
+    pub max_slowdown_pct: f64,
+    /// Stages faster than this in the baseline are never judged, ms.
+    pub min_stage_ms: f64,
+    /// p99 tail slowdown that fails the gate, percent.
+    pub max_p99_slowdown_pct: f64,
+    /// Baseline p99 tails faster than this are never judged, µs.
+    pub min_p99_us: f64,
+}
+
+impl Default for BenchThresholds {
+    fn default() -> Self {
+        Self {
+            max_slowdown_pct: DEFAULT_MAX_SLOWDOWN_PCT,
+            min_stage_ms: DEFAULT_MIN_STAGE_MS,
+            max_p99_slowdown_pct: DEFAULT_MAX_P99_SLOWDOWN_PCT,
+            min_p99_us: DEFAULT_MIN_P99_US,
+        }
+    }
+}
+
 /// The gate's verdict: hard failures, advisory warnings, and notes.
 #[derive(Debug, Clone, Default)]
 pub struct GateOutcome {
@@ -144,6 +180,33 @@ pub fn check_obs(baseline_text: &str, summary_text: &str) -> Result<GateOutcome,
 struct Stage {
     path: String,
     total_ms: f64,
+    /// Per-path p99 latency (µs) from the stage's optional `latency`
+    /// section (`mmog-scale-bench/v2`), plus the raw section for
+    /// baseline regeneration. Empty for v1 documents — p99 gating is
+    /// skipped where the data doesn't exist.
+    p99_us: Vec<(String, f64)>,
+    latency_raw: Option<Value>,
+}
+
+/// Per-path p99 values (µs) plus the raw `latency` object of one stage.
+type StageLatency = (Vec<(String, f64)>, Option<Value>);
+
+fn stage_latency(s: &Value, what: &str) -> Result<StageLatency, String> {
+    let Some(latency) = s.get("latency") else {
+        return Ok((Vec::new(), None));
+    };
+    let entries = latency
+        .as_obj()
+        .ok_or_else(|| format!("{what}: stage latency must be an object"))?;
+    let mut p99 = Vec::with_capacity(entries.len());
+    for (path, snap) in entries {
+        let p99_ns = snap
+            .get("p99_ns")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{what}: stage latency entry `{path}` missing p99_ns"))?;
+        p99.push((path.clone(), p99_ns / 1e3));
+    }
+    Ok((p99, Some(latency.clone())))
 }
 
 fn bench_stages(doc: &Value, what: &str) -> Result<Vec<Stage>, String> {
@@ -154,6 +217,7 @@ fn bench_stages(doc: &Value, what: &str) -> Result<Vec<Stage>, String> {
     stages
         .iter()
         .map(|s| {
+            let (p99_us, latency_raw) = stage_latency(s, what)?;
             Ok(Stage {
                 path: s
                     .get("path")
@@ -164,6 +228,8 @@ fn bench_stages(doc: &Value, what: &str) -> Result<Vec<Stage>, String> {
                     .get("total_ms")
                     .and_then(Value::as_f64)
                     .ok_or_else(|| format!("{what}: stage without total_ms"))?,
+                p99_us,
+                latency_raw,
             })
         })
         .collect()
@@ -195,10 +261,16 @@ pub fn make_bench_baseline(bench_text: &str) -> Result<String, String> {
     let stage_values: Vec<Value> = stages
         .iter()
         .map(|s| {
-            Value::Obj(vec![
+            let mut members = vec![
                 ("path".to_string(), Value::Str(s.path.clone())),
                 ("total_ms".to_string(), Value::Num(s.total_ms)),
-            ])
+            ];
+            // v2 latency sections travel into the baseline so the p99
+            // gate has something to compare against.
+            if let Some(latency) = &s.latency_raw {
+                members.push(("latency".to_string(), latency.clone()));
+            }
+            Value::Obj(members)
         })
         .collect();
     let baseline = Value::Obj(vec![
@@ -216,19 +288,23 @@ pub fn make_bench_baseline(bench_text: &str) -> Result<String, String> {
 }
 
 /// Compares a `BENCH_parallel.json` against the committed timing
-/// baseline: stages above `min_stage_ms` in the baseline that slowed
-/// down more than `max_slowdown_pct` fail the gate — unless the
-/// environment (`jobs`, `logical_cpus`) differs from the baseline's, in
-/// which case every timing verdict is a warning.
+/// baseline: stages above [`BenchThresholds::min_stage_ms`] in the
+/// baseline that slowed down more than
+/// [`BenchThresholds::max_slowdown_pct`] fail the gate, and per-path
+/// p99 tails (when both documents carry the v2 `latency` section) that
+/// slowed past [`BenchThresholds::max_p99_slowdown_pct`] do too —
+/// unless the environment (`jobs`, `logical_cpus`) differs from the
+/// baseline's, in which case every timing verdict is a warning.
 ///
 /// # Errors
 /// Returns a message when either document is malformed.
 pub fn check_bench(
     baseline_text: &str,
     bench_text: &str,
-    max_slowdown_pct: f64,
-    min_stage_ms: f64,
+    thresholds: &BenchThresholds,
 ) -> Result<GateOutcome, String> {
+    let max_slowdown_pct = thresholds.max_slowdown_pct;
+    let min_stage_ms = thresholds.min_stage_ms;
     let baseline = parse_doc(baseline_text, "BASELINE_bench.json")?;
     check_gate_schema(&baseline, "BASELINE_bench.json")?;
     let bench = parse_doc(bench_text, "BENCH_parallel.json")?;
@@ -253,9 +329,6 @@ pub fn check_bench(
         }
     }
     for base in &base_stages {
-        if base.total_ms < min_stage_ms {
-            continue;
-        }
         let Some(cur) = cur_stages.iter().find(|s| s.path == base.path) else {
             outcome.warnings.push(format!(
                 "stage `{}` missing from the current run",
@@ -263,21 +336,53 @@ pub fn check_bench(
             ));
             continue;
         };
-        let slowdown_pct = (cur.total_ms / base.total_ms - 1.0) * 100.0;
-        if slowdown_pct > max_slowdown_pct {
-            verdict(
-                &mut outcome,
-                comparable,
-                format!(
-                    "stage `{}` slowed down {slowdown_pct:.1}% ({:.1} ms → {:.1} ms, threshold {max_slowdown_pct:.0}%)",
-                    base.path, base.total_ms, cur.total_ms
-                ),
-            );
-        } else if slowdown_pct < -max_slowdown_pct {
-            outcome.notes.push(format!(
-                "stage `{}` sped up {:.1}% ({:.1} ms → {:.1} ms) — consider refreshing the baseline",
-                base.path, -slowdown_pct, base.total_ms, cur.total_ms
-            ));
+        // Stage wall-clock gate, floored by min_stage_ms. The p99 gate
+        // below runs regardless — a short stage can still carry a
+        // meaningful tail (many fast ticks, a few pathological ones).
+        if base.total_ms >= min_stage_ms {
+            let slowdown_pct = (cur.total_ms / base.total_ms - 1.0) * 100.0;
+            if slowdown_pct > max_slowdown_pct {
+                verdict(
+                    &mut outcome,
+                    comparable,
+                    format!(
+                        "stage `{}` slowed down {slowdown_pct:.1}% ({:.1} ms → {:.1} ms, threshold {max_slowdown_pct:.0}%)",
+                        base.path, base.total_ms, cur.total_ms
+                    ),
+                );
+            } else if slowdown_pct < -max_slowdown_pct {
+                outcome.notes.push(format!(
+                    "stage `{}` sped up {:.1}% ({:.1} ms → {:.1} ms) — consider refreshing the baseline",
+                    base.path, -slowdown_pct, base.total_ms, cur.total_ms
+                ));
+            }
+        }
+        // Tail-latency gate: per-path p99, only where the baseline has
+        // the v2 latency section (v1 baselines skip silently — refresh
+        // with --update to opt in) and the tail clears the noise floor.
+        for (lat_path, base_p99) in &base.p99_us {
+            if *base_p99 < thresholds.min_p99_us {
+                continue;
+            }
+            let Some((_, cur_p99)) = cur.p99_us.iter().find(|(p, _)| p == lat_path) else {
+                outcome.warnings.push(format!(
+                    "stage `{}`: latency path `{lat_path}` missing from the current run",
+                    base.path
+                ));
+                continue;
+            };
+            let slowdown_pct = (cur_p99 / base_p99 - 1.0) * 100.0;
+            if slowdown_pct > thresholds.max_p99_slowdown_pct {
+                verdict(
+                    &mut outcome,
+                    comparable,
+                    format!(
+                        "stage `{}`: p99 of `{lat_path}` regressed {slowdown_pct:.0}% \
+                         ({base_p99:.1} µs → {cur_p99:.1} µs, threshold {:.0}%)",
+                        base.path, thresholds.max_p99_slowdown_pct
+                    ),
+                );
+            }
         }
     }
     if let (Some(base_wall), Some(cur_wall)) = (
@@ -326,29 +431,85 @@ mod tests {
 
     #[test]
     fn bench_gate_thresholds_and_environment_honesty() {
+        let t = BenchThresholds::default();
         let baseline = make_bench_baseline(&bench(1, 1, 1000.0)).unwrap();
         // Within threshold: pass.
-        let ok = check_bench(&baseline, &bench(1, 1, 1200.0), 25.0, 50.0).unwrap();
+        let ok = check_bench(&baseline, &bench(1, 1, 1200.0), &t).unwrap();
         assert!(ok.pass(), "{:?}", ok.failures);
         // Past threshold on the same environment: fail.
-        let slow = check_bench(&baseline, &bench(1, 1, 1500.0), 25.0, 50.0).unwrap();
+        let slow = check_bench(&baseline, &bench(1, 1, 1500.0), &t).unwrap();
         assert!(!slow.pass());
         assert!(slow.failures[0].contains("sim/run"), "{:?}", slow.failures);
         // Same slowdown on different hardware: warning, not failure.
-        let other = check_bench(&baseline, &bench(4, 4, 1500.0), 25.0, 50.0).unwrap();
+        let other = check_bench(&baseline, &bench(4, 4, 1500.0), &t).unwrap();
         assert!(other.pass());
         assert_eq!(other.warnings.len(), 1);
         // Stages under the noise floor are never judged: `tiny` grows
         // 100x without tripping anything.
         let noisy = bench(1, 1, 1000.0).replace(r#""total_ms":1,"#, r#""total_ms":100,"#);
-        let out = check_bench(&baseline, &noisy, 25.0, 50.0).unwrap();
+        let out = check_bench(&baseline, &noisy, &t).unwrap();
         assert!(out.pass(), "{:?}", out.failures);
+    }
+
+    fn bench_v2(jobs: u64, cpus: u64, p99_ns: u64) -> String {
+        format!(
+            r#"{{"jobs":{jobs},"logical_cpus":{cpus},"stages":[{{"path":"scale/10k","total_ms":100,"latency":{{"sim/run/tick":{{"count":60,"p99_ns":{p99_ns}}},"sim/run/reduce":{{"count":60,"p99_ns":500}}}}}}],"wall_seconds":1}}"#
+        )
+    }
+
+    #[test]
+    fn p99_gate_catches_injected_tail_regressions() {
+        let t = BenchThresholds::default();
+        let baseline = make_bench_baseline(&bench_v2(1, 1, 80_000)).unwrap();
+        assert!(
+            baseline.contains("latency"),
+            "baseline must carry the latency section: {baseline}"
+        );
+        // Identical tail: pass.
+        let ok = check_bench(&baseline, &bench_v2(1, 1, 80_000), &t).unwrap();
+        assert!(ok.pass(), "{:?}", ok.failures);
+        // 10x p99 on the same environment: hard failure naming the path.
+        let slow = check_bench(&baseline, &bench_v2(1, 1, 800_000), &t).unwrap();
+        assert!(!slow.pass());
+        assert!(
+            slow.failures[0].contains("sim/run/tick") && slow.failures[0].contains("p99"),
+            "{:?}",
+            slow.failures
+        );
+        // Same regression on different hardware: warning only.
+        let other = check_bench(&baseline, &bench_v2(2, 2, 800_000), &t).unwrap();
+        assert!(other.pass(), "{:?}", other.failures);
+        assert!(!other.warnings.is_empty());
+        // Tails under the µs noise floor are never judged: the 0.5 µs
+        // `sim/run/reduce` entry grows 100x without tripping anything.
+        let noisy = bench_v2(1, 1, 80_000).replace(r#""p99_ns":500"#, r#""p99_ns":50000"#);
+        let out = check_bench(&baseline, &noisy, &t).unwrap();
+        assert!(out.pass(), "{:?}", out.failures);
+        // The p99 gate is independent of the stage wall-clock floor: a
+        // stage too short for total_ms gating (quick-suite scale) still
+        // fails on a regressed tail.
+        let short = bench_v2(1, 1, 80_000).replace(r#""total_ms":100,"#, r#""total_ms":1,"#);
+        let short_baseline = make_bench_baseline(&short).unwrap();
+        let short_slow = bench_v2(1, 1, 800_000).replace(r#""total_ms":100,"#, r#""total_ms":1,"#);
+        let out = check_bench(&short_baseline, &short_slow, &t).unwrap();
+        assert!(
+            !out.pass() && out.failures[0].contains("p99"),
+            "sub-floor stages must still be p99-gated: {out:?}"
+        );
+        // A v1 baseline (no latency section) skips p99 gating entirely.
+        let v1_baseline = make_bench_baseline(&bench(1, 1, 100.0)).unwrap();
+        let against_v1 = check_bench(&v1_baseline, &bench(1, 1, 100.0), &t).unwrap();
+        assert!(against_v1.pass(), "{:?}", against_v1.failures);
     }
 
     #[test]
     fn malformed_baselines_are_errors_not_failures() {
+        let t = BenchThresholds::default();
         assert!(check_obs("{}", SUMMARY).is_err());
-        assert!(check_bench("{}", &bench(1, 1, 1.0), 25.0, 50.0).is_err());
+        assert!(check_bench("{}", &bench(1, 1, 1.0), &t).is_err());
         assert!(make_obs_baseline("{}", "quick").is_err());
+        // A latency section without p99 is malformed, not ignorable.
+        let bad = bench_v2(1, 1, 1).replace(r#""p99_ns":1"#, r#""q":1"#);
+        assert!(make_bench_baseline(&bad).is_err());
     }
 }

@@ -23,7 +23,10 @@
 //!   one field instead of a byte offset.
 //! - [`gate`] — the baseline regression gate CI runs: exact match on
 //!   the semantic metrics section, threshold-tolerant comparison on
-//!   hot-path stage timings.
+//!   hot-path stage timings and per-stage p99 tail latency.
+//! - [`latency`] — percentile tables and ASCII distribution sketches
+//!   over the log-bucketed latency snapshots in `BENCH_scale.json`
+//!   (v2) and `OBS_summary.json` (the `latency_report` binary).
 //!
 //! Everything here is offline analysis of already-deterministic
 //! artifacts, so the same determinism rule applies transitively: any
@@ -36,12 +39,16 @@
 
 pub mod diff;
 pub mod gate;
+pub mod latency;
 pub mod profile;
 pub mod reader;
 pub mod timeline;
 
 pub use diff::{first_text_divergence, trace_diff, Divergence, TextDivergence};
-pub use gate::{check_bench, check_obs, make_bench_baseline, make_obs_baseline, GateOutcome};
+pub use gate::{
+    check_bench, check_obs, make_bench_baseline, make_obs_baseline, BenchThresholds, GateOutcome,
+};
+pub use latency::{collect_snapshots, render_report, render_sketch, render_table, NamedSnapshot};
 pub use profile::{profile_from_spans, profile_from_summary, render_profile, ProfileNode};
 pub use reader::{read_trace, Query, TraceEvent};
 pub use timeline::{analyze_trace, render_timelines, timelines_value, RunTimeline};

@@ -48,6 +48,9 @@ pub const KNOWN_EVENT_KINDS: &[&str] = &[
     "reprovision",
     "fault_recovery",
     "fault_summary",
+    // Flight recorder (only present in `FLIGHT_*.jsonl` dumps).
+    "flight_meta",
+    "tick_latency",
 ];
 
 /// The type an event field must carry.
@@ -222,6 +225,32 @@ pub const EVENT_FIELDS: &[(&str, &[(&str, FieldType)])] = &[
             ("unserved_player_ticks", FieldType::Num),
             ("recovered", FieldType::U64),
             ("unrecovered", FieldType::U64),
+        ],
+    ),
+    (
+        // First line of every flight dump: the retention window and the
+        // trigger that fired it.
+        "flight_meta",
+        &[
+            ("run", FieldType::Str),
+            ("trigger", FieldType::Str),
+            ("trigger_tick", FieldType::U64),
+            ("retain_ticks", FieldType::U64),
+            ("tick_from", FieldType::U64),
+            ("tick_to", FieldType::U64),
+            ("records", FieldType::U64),
+        ],
+    ),
+    (
+        // Per-tick stage timings in the flight ring (wall-clock — these
+        // never appear in the semantic trace, only in flight dumps).
+        "tick_latency",
+        &[
+            ("tick", FieldType::U64),
+            ("predict_ns", FieldType::U64),
+            ("reduce_ns", FieldType::U64),
+            ("settle_ns", FieldType::U64),
+            ("tick_ns", FieldType::U64),
         ],
     ),
 ];

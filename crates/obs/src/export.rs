@@ -9,7 +9,9 @@
 //!   registered under [`Domain::Timing`]. Varies run to run;
 //!   determinism tests drop this key before comparing.
 
+use crate::flight::{FlightConfig, FlightRecorder};
 use crate::json::Value;
+use crate::latency::{snapshot_latency, LatencyHisto, LatencySnapshot};
 use crate::registry::{snapshot_metrics, Domain, HistogramSnapshot, MetricsSnapshot};
 use crate::span::snapshot_spans;
 use std::fmt::Write as _;
@@ -83,6 +85,12 @@ pub fn summary_value() -> Value {
         .collect();
     let mut timing = section(&snap, Domain::Timing);
     timing.push(("spans".to_string(), Value::Arr(spans)));
+    let latency: Vec<(String, Value)> = snapshot_latency()
+        .into_iter()
+        .map(|(path, s)| (path, s.to_value()))
+        .collect();
+    timing.push(("latency".to_string(), Value::Obj(latency)));
+    timing.push(("obs/self".to_string(), obs_self_value()));
     Value::Obj(vec![
         ("schema".to_string(), Value::Str(SUMMARY_SCHEMA.to_string())),
         (
@@ -97,6 +105,80 @@ pub fn summary_value() -> Value {
 #[must_use]
 pub fn summary_json() -> String {
     summary_value().render_pretty()
+}
+
+/// Records the suite's wall-clock duration so [`summary_value`] can
+/// report the observability plane's overhead as a percentage. Runners
+/// (e.g. `all_experiments`) call this right before writing the summary.
+pub fn note_wall_seconds(seconds: f64) {
+    crate::registry::gauge("obs.wall_ms", Domain::Timing).set((seconds * 1e3).round() as i64);
+}
+
+/// Times `op()` repeated `n` times, returning mean nanoseconds per
+/// iteration.
+fn per_op_ns(n: u64, mut op: impl FnMut(u64)) -> f64 {
+    let start = std::time::Instant::now();
+    for i in 0..n {
+        op(i);
+    }
+    start.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// The `obs/self` report: what the latency plane itself costs. Record
+/// and push counts come from the live instruments; per-operation cost
+/// is measured by a short calibration loop at export time (scratch
+/// instruments, so the calibration never pollutes the report), and the
+/// product is the estimated overhead. `overhead_pct` is reported
+/// against the wall-clock installed via [`note_wall_seconds`] (`null`
+/// until a runner installs one).
+fn obs_self_value() -> Value {
+    let _span = crate::span::span("obs/self/export");
+    let latency_records: u64 = snapshot_latency().iter().map(|(_, s)| s.count).sum();
+    let flight = |name: &str| crate::registry::counter(name, Domain::Timing).get();
+    let flight_pushes = flight("obs.self.flight_pushes");
+    let flight_dropped = flight("obs.self.flight_dropped");
+    let flight_dumps = flight("obs.self.flight_dumps");
+    let flight_suppressed = flight("obs.self.flight_suppressed");
+
+    const CAL_ITERS: u64 = 16_384;
+    let scratch = LatencyHisto::new();
+    let per_record_ns = per_op_ns(CAL_ITERS, |i| scratch.record(i.wrapping_mul(2654435761)));
+    std::hint::black_box(scratch.snapshot().count);
+    let mut cfg = FlightConfig::new(64);
+    cfg.records_capacity = 1024;
+    let mut ring = FlightRecorder::new(cfg);
+    let per_push_ns = per_op_ns(CAL_ITERS, |i| {
+        ring.begin_tick(i);
+        ring.push("tick_latency", i, &[1.0, 2.0, 3.0, 6.0]);
+    });
+    std::hint::black_box(ring.retained());
+
+    let overhead_ms =
+        (latency_records as f64 * per_record_ns + flight_pushes as f64 * per_push_ns) / 1e6;
+    let wall_ms = crate::registry::gauge("obs.wall_ms", Domain::Timing).get();
+    let overhead_pct = (wall_ms > 0).then(|| overhead_ms / wall_ms as f64 * 100.0);
+    Value::Obj(vec![
+        ("latency_records".into(), Value::UInt(latency_records)),
+        ("flight_pushes".into(), Value::UInt(flight_pushes)),
+        ("flight_dropped".into(), Value::UInt(flight_dropped)),
+        ("flight_dumps".into(), Value::UInt(flight_dumps)),
+        ("flight_suppressed".into(), Value::UInt(flight_suppressed)),
+        ("per_record_ns".into(), Value::Num(per_record_ns)),
+        ("per_push_ns".into(), Value::Num(per_push_ns)),
+        ("estimated_overhead_ms".into(), Value::Num(overhead_ms)),
+        (
+            "wall_ms".into(),
+            if wall_ms > 0 {
+                Value::Int(wall_ms)
+            } else {
+                Value::Null
+            },
+        ),
+        (
+            "overhead_pct".into(),
+            overhead_pct.map_or(Value::Null, Value::Num),
+        ),
+    ])
 }
 
 /// The `semantic` section of a parsed summary, re-rendered compactly —
@@ -162,6 +244,27 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
         span.get("path")
             .and_then(Value::as_str)
             .ok_or("span field path must be a string")?;
+    }
+    // Latency and self-instrumentation sections are additive (absent in
+    // summaries written before the latency plane existed) but must be
+    // well-formed when present.
+    let timing = doc.get("timing").expect("checked above");
+    if let Some(latency) = timing.get("latency") {
+        let entries = latency.as_obj().ok_or("timing.latency must be an object")?;
+        for (path, entry) in entries {
+            LatencySnapshot::from_value(entry)
+                .map_err(|e| format!("timing.latency.{path}: {e}"))?;
+        }
+    }
+    if let Some(own) = timing.get("obs/self") {
+        for field in ["latency_records", "flight_pushes", "flight_dumps"] {
+            own.get(field)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("timing.obs/self.{field} must be a u64"))?;
+        }
+        own.get("estimated_overhead_ms")
+            .and_then(Value::as_f64)
+            .ok_or("timing.obs/self.estimated_overhead_ms must be numeric")?;
     }
     Ok(())
 }
@@ -303,6 +406,30 @@ mod tests {
         assert!(validate_summary(bad_counter).is_err());
         let bad_hist = r#"{"schema":"mmog-obs/v1","semantic":{"counters":{},"gauges":{},"histograms":{"h":{"bounds":[1],"counts":[1],"count":1,"sum_micros":0,"min_micros":null,"max_micros":null}}},"timing":{"counters":{},"gauges":{},"histograms":{},"spans":[]}}"#;
         assert!(validate_summary(bad_hist).is_err());
+        let bad_latency = r#"{"schema":"mmog-obs/v1","semantic":{"counters":{},"gauges":{},"histograms":{}},"timing":{"counters":{},"gauges":{},"histograms":{},"spans":[],"latency":{"p":{"count":2,"mean_ns":1,"p50_ns":1,"p90_ns":1,"p99_ns":1,"p999_ns":1,"min_ns":1,"max_ns":1,"buckets":[[1,1]]}}}}"#;
+        let err = validate_summary(bad_latency).unwrap_err();
+        assert!(err.contains("timing.latency.p"), "{err}");
+    }
+
+    #[test]
+    fn summary_reports_latency_and_self_overhead() {
+        let h = crate::latency::latency("test.export.latency");
+        for v in [100u64, 200, 50_000] {
+            h.record(v);
+        }
+        note_wall_seconds(1.5);
+        let doc = summary_value();
+        let timing = doc.get("timing").unwrap();
+        let lat = timing
+            .get("latency")
+            .and_then(|l| l.get("test.export.latency"))
+            .expect("latency section carries interned histograms");
+        assert!(lat.get("count").unwrap().as_u64().unwrap() >= 3);
+        let own = timing.get("obs/self").expect("obs/self section");
+        assert!(own.get("latency_records").unwrap().as_u64().unwrap() >= 3);
+        assert!(own.get("per_record_ns").unwrap().as_f64().unwrap() > 0.0);
+        assert!(own.get("overhead_pct").unwrap().as_f64().is_some());
+        validate_summary(&summary_json()).expect("extended summary must validate");
     }
 
     #[test]

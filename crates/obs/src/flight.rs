@@ -1,0 +1,567 @@
+//! The flight recorder: a bounded ring buffer of full-detail per-tick
+//! records that only materialises a `FLIGHT_<run>.jsonl` artifact when
+//! something goes wrong.
+//!
+//! Always-on JSONL tracing is unusable at 1M/10M-player scale (PR 6's
+//! streaming path), but *post-hoc* detail is exactly what a tail-latency
+//! incident needs. The recorder squares that: the engine pushes
+//! fixed-size [`FlightRecord`]s (no allocation, no formatting) into a
+//! preallocated ring retaining the last N ticks, and only a **trigger**
+//! — a fault event, a tick-deadline overrun, a gate breach, or an
+//! explicit `--flight-dump` — renders the ring to disk. The first
+//! trigger per run wins; later triggers are counted and suppressed so a
+//! fault storm cannot write the same window a thousand times.
+//!
+//! Dumped lines reuse the trace event schema ([`crate::event`]): the
+//! first line is a `flight_meta` event describing the window and
+//! trigger, every following line is a regular event (`tick`,
+//! `tick_latency`, `provision`) with the standard `seq`/`scope`
+//! envelope, so `obs_check` and the trace tooling parse flight dumps
+//! with the machinery they already have.
+//!
+//! # Determinism
+//!
+//! The recorder is configured process-globally (like the trace path)
+//! and disabled by default, so runs without a flight config are
+//! byte-for-byte unaffected. Fault and explicit triggers depend only on
+//! the seed-driven schedule — *which* tick range dumps is deterministic
+//! for a fixed seed. Deadline triggers are wall-clock by nature and are
+//! opt-in via [`FlightConfig::deadline_ns`]. All recorder accounting
+//! exports under `obs.self.*` in the timing section.
+
+use crate::event::{event_fields, FieldType};
+use crate::json::Value;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+/// Maximum number of numeric payload fields (after `tick`) a flight
+/// record can carry — sized for the widest recorded kind (`provision`).
+pub const FLIGHT_MAX_VALUES: usize = 6;
+
+/// One fixed-size ring entry: an event kind, its tick, and up to
+/// [`FLIGHT_MAX_VALUES`] numeric field values in schema order. Strings
+/// are excluded by construction (kinds with string fields cannot be
+/// recorded), which is what keeps the push path allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct FlightRecord {
+    /// Simulation tick the record belongs to.
+    pub tick: u64,
+    /// Event kind (must be in [`crate::event::KNOWN_EVENT_KINDS`]).
+    pub kind: &'static str,
+    /// Field values after `tick`, in the kind's schema order.
+    pub values: [f64; FLIGHT_MAX_VALUES],
+    /// How many of `values` are in use.
+    pub len: u8,
+}
+
+const EMPTY_RECORD: FlightRecord = FlightRecord {
+    tick: 0,
+    kind: "",
+    values: [0.0; FLIGHT_MAX_VALUES],
+    len: 0,
+};
+
+/// Why a flight dump fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightTrigger {
+    /// A fault-plane event was applied this tick (seed-deterministic).
+    Fault,
+    /// The whole-tick wall-clock exceeded [`FlightConfig::deadline_ns`].
+    DeadlineOverrun,
+    /// A regression gate reported a breach (wired by gate harnesses).
+    GateBreach,
+    /// `--flight-dump`: dump the final window unconditionally.
+    Explicit,
+}
+
+impl FlightTrigger {
+    /// Stable label used in `flight_meta` and file reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightTrigger::Fault => "fault",
+            FlightTrigger::DeadlineOverrun => "deadline_overrun",
+            FlightTrigger::GateBreach => "gate_breach",
+            FlightTrigger::Explicit => "explicit",
+        }
+    }
+}
+
+/// Flight recorder configuration, installed process-globally with
+/// [`set_flight_config`].
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// How many most-recent ticks the ring retains.
+    pub retain_ticks: u64,
+    /// Ring capacity in records; pushes beyond it evict the oldest
+    /// record regardless of tick age.
+    pub records_capacity: usize,
+    /// Whole-tick wall-clock deadline; exceeding it triggers a dump.
+    /// `None` disables deadline triggering (the deterministic default).
+    pub deadline_ns: Option<u64>,
+    /// Directory `FLIGHT_<run>.jsonl` artifacts are written to.
+    pub dump_dir: PathBuf,
+    /// Dump at run end even without a trigger (`--flight-dump`).
+    pub dump_at_end: bool,
+}
+
+impl FlightConfig {
+    /// A config retaining `retain_ticks` ticks with a capacity of 64
+    /// records per retained tick (clamped to `[256, 1 << 20]`), no
+    /// deadline, dumping into `results/`.
+    #[must_use]
+    pub fn new(retain_ticks: u64) -> Self {
+        let cap = usize::try_from(retain_ticks.saturating_mul(64))
+            .unwrap_or(usize::MAX)
+            .clamp(256, 1 << 20);
+        Self {
+            retain_ticks,
+            records_capacity: cap,
+            deadline_ns: None,
+            dump_dir: PathBuf::from("results"),
+            dump_at_end: false,
+        }
+    }
+}
+
+/// Description of a dump that happened (also mirrored into the
+/// simulation report so harnesses can assert on trigger decisions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDumpInfo {
+    /// Trigger label ([`FlightTrigger::label`]).
+    pub trigger: &'static str,
+    /// Tick the trigger fired on.
+    pub trigger_tick: u64,
+    /// Oldest tick in the dumped window.
+    pub tick_from: u64,
+    /// Newest tick in the dumped window.
+    pub tick_to: u64,
+    /// Number of event records dumped (excluding the meta line).
+    pub records: u64,
+    /// Artifact path.
+    pub path: PathBuf,
+}
+
+/// A per-run flight recorder. Build one via [`flight_recorder`] at run
+/// start; it is single-owner mutable state, pushed to from the engine's
+/// serial sections only.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cfg: FlightConfig,
+    ring: Vec<FlightRecord>,
+    head: usize,
+    len: usize,
+    pushed: u64,
+    dropped: u64,
+    suppressed: u64,
+    dump: Option<FlightDumpInfo>,
+}
+
+impl FlightRecorder {
+    /// A recorder with its ring fully preallocated (steady-state pushes
+    /// never allocate).
+    #[must_use]
+    pub fn new(cfg: FlightConfig) -> Self {
+        let cap = cfg.records_capacity.max(1);
+        Self {
+            cfg,
+            ring: vec![EMPTY_RECORD; cap],
+            head: 0,
+            len: 0,
+            pushed: 0,
+            dropped: 0,
+            suppressed: 0,
+            dump: None,
+        }
+    }
+
+    /// The configured tick-deadline, if any.
+    #[must_use]
+    pub fn deadline_ns(&self) -> Option<u64> {
+        self.cfg.deadline_ns
+    }
+
+    /// Records pushed over the recorder's lifetime.
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Records evicted before their tick aged out (capacity pressure).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Triggers suppressed because a dump already happened.
+    #[must_use]
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Number of records currently retained.
+    #[must_use]
+    pub fn retained(&self) -> usize {
+        self.len
+    }
+
+    /// The dump that happened this run, if any.
+    #[must_use]
+    pub fn dump_info(&self) -> Option<&FlightDumpInfo> {
+        self.dump.as_ref()
+    }
+
+    /// Consumes the recorder, returning its dump info.
+    #[must_use]
+    pub fn into_dump_info(self) -> Option<FlightDumpInfo> {
+        self.dump
+    }
+
+    /// Advances the retention window to tick `t`, evicting records older
+    /// than `retain_ticks`. Allocation-free.
+    pub fn begin_tick(&mut self, t: u64) {
+        let cutoff = t.saturating_sub(self.cfg.retain_ticks.saturating_sub(1));
+        while self.len > 0 && self.ring[self.head].tick < cutoff {
+            self.head = (self.head + 1) % self.ring.len();
+            self.len -= 1;
+        }
+    }
+
+    /// Pushes one record. Allocation-free: when the ring is full the
+    /// oldest record is evicted. `values` beyond [`FLIGHT_MAX_VALUES`]
+    /// are truncated (debug builds assert instead).
+    pub fn push(&mut self, kind: &'static str, tick: u64, values: &[f64]) {
+        debug_assert!(values.len() <= FLIGHT_MAX_VALUES, "flight record too wide");
+        debug_assert!(
+            event_fields(kind).is_some_and(|f| f.first().is_some_and(|(n, _)| *n == "tick")),
+            "flight records must use a known tick-first event kind"
+        );
+        let cap = self.ring.len();
+        if self.len == cap {
+            self.head = (self.head + 1) % cap;
+            self.len -= 1;
+            self.dropped += 1;
+        }
+        let slot = (self.head + self.len) % cap;
+        let rec = &mut self.ring[slot];
+        rec.tick = tick;
+        rec.kind = kind;
+        rec.len = values.len().min(FLIGHT_MAX_VALUES) as u8;
+        rec.values[..usize::from(rec.len)].copy_from_slice(&values[..usize::from(rec.len)]);
+        self.len += 1;
+        self.pushed += 1;
+    }
+
+    /// The `(oldest, newest)` tick currently retained.
+    #[must_use]
+    pub fn window(&self) -> Option<(u64, u64)> {
+        (self.len > 0).then(|| {
+            let newest = (self.head + self.len - 1) % self.ring.len();
+            (self.ring[self.head].tick, self.ring[newest].tick)
+        })
+    }
+
+    /// Fires a trigger: dumps the retained window to
+    /// `FLIGHT_<run>.jsonl` unless a dump already happened this run (the
+    /// first trigger wins; later ones are counted as suppressed).
+    /// Returns the artifact path when a dump was written.
+    ///
+    /// # Errors
+    /// Propagates the file-write error (the engine reports and
+    /// continues — a failed dump must never fail the run).
+    pub fn trigger(
+        &mut self,
+        trigger: FlightTrigger,
+        tick: u64,
+        run_label: &str,
+    ) -> std::io::Result<Option<PathBuf>> {
+        if self.dump.is_some() {
+            self.suppressed += 1;
+            return Ok(None);
+        }
+        let (tick_from, tick_to) = self.window().unwrap_or((tick, tick));
+        let path = self
+            .cfg
+            .dump_dir
+            .join(format!("FLIGHT_{}.jsonl", sanitize_label(run_label)));
+        let body = self.render_dump(trigger, tick, run_label, tick_from, tick_to);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, body)?;
+        self.dump = Some(FlightDumpInfo {
+            trigger: trigger.label(),
+            trigger_tick: tick,
+            tick_from,
+            tick_to,
+            records: self.len as u64,
+            path: path.clone(),
+        });
+        Ok(Some(path))
+    }
+
+    /// Run-end hook: dumps the final window when
+    /// [`FlightConfig::dump_at_end`] is set and nothing triggered yet.
+    ///
+    /// # Errors
+    /// Propagates the file-write error.
+    pub fn finish(&mut self, final_tick: u64, run_label: &str) -> std::io::Result<Option<PathBuf>> {
+        if self.cfg.dump_at_end && self.dump.is_none() {
+            return self.trigger(FlightTrigger::Explicit, final_tick, run_label);
+        }
+        Ok(None)
+    }
+
+    /// Renders the dump body: a `flight_meta` line followed by every
+    /// retained record, all carrying the standard trace envelope. The
+    /// output is bounded by the ring capacity — dumping never grows with
+    /// run length.
+    fn render_dump(
+        &self,
+        trigger: FlightTrigger,
+        trigger_tick: u64,
+        run_label: &str,
+        tick_from: u64,
+        tick_to: u64,
+    ) -> String {
+        let scope = Value::Str(run_label.to_string()).render();
+        // ~96 bytes per line is a comfortable upper estimate; one
+        // reservation keeps the dump path to a handful of allocations.
+        let mut out = String::with_capacity(128 * (self.len + 1));
+        let meta = Value::Obj(vec![
+            ("kind".into(), Value::Str("flight_meta".into())),
+            ("run".into(), Value::Str(run_label.to_string())),
+            ("trigger".into(), Value::Str(trigger.label().into())),
+            ("trigger_tick".into(), Value::UInt(trigger_tick)),
+            ("retain_ticks".into(), Value::UInt(self.cfg.retain_ticks)),
+            ("tick_from".into(), Value::UInt(tick_from)),
+            ("tick_to".into(), Value::UInt(tick_to)),
+            ("records".into(), Value::UInt(self.len as u64)),
+        ]);
+        push_line(&mut out, 0, &scope, &meta.render());
+        for i in 0..self.len {
+            let rec = &self.ring[(self.head + i) % self.ring.len()];
+            push_line(&mut out, (i + 1) as u64, &scope, &render_record(rec));
+        }
+        out
+    }
+}
+
+/// Splices the flush-style `seq`/`scope` envelope in front of a
+/// rendered `{"kind":...}` object, mirroring `render_trace`.
+fn push_line(out: &mut String, seq: u64, scope: &str, body: &str) {
+    use std::fmt::Write as _;
+    let body = body.strip_prefix('{').expect("rendered line is an object");
+    let _ = writeln!(out, "{{\"seq\":{seq},\"scope\":{scope},{body}");
+}
+
+/// Renders one ring record against its kind's schema: field names come
+/// from [`crate::event::EVENT_FIELDS`], values from the record, typed
+/// per the schema (`U64` casts, `Bool` is non-zero, `Num` stays float).
+fn render_record(rec: &FlightRecord) -> String {
+    let fields = event_fields(rec.kind).expect("flight records use known kinds");
+    let mut members = Vec::with_capacity(fields.len() + 1);
+    members.push(("kind".to_string(), Value::Str(rec.kind.to_string())));
+    members.push(("tick".to_string(), Value::UInt(rec.tick)));
+    for (i, (name, ty)) in fields.iter().skip(1).enumerate() {
+        let v = rec
+            .values
+            .get(i)
+            .copied()
+            .filter(|_| i < usize::from(rec.len));
+        let value = match (v, ty) {
+            (Some(v), FieldType::U64) => Value::UInt(v.max(0.0) as u64),
+            (Some(v), FieldType::Bool) => Value::Bool(v != 0.0),
+            (Some(v), _) => Value::Num(v),
+            (None, _) => Value::Null,
+        };
+        members.push(((*name).to_string(), value));
+    }
+    Value::Obj(members).render()
+}
+
+/// Maps a run label to a filesystem-safe artifact stem: alphanumerics,
+/// `.`, `_` and `-` pass through, everything else becomes `-`, bounded
+/// to 96 characters with a stable hash suffix so distinct labels never
+/// collide after truncation.
+#[must_use]
+pub fn sanitize_label(label: &str) -> String {
+    // FNV-1a: tiny, deterministic, good enough to disambiguate stems.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in label.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut stem: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    stem.truncate(96);
+    let tag = (hash ^ (hash >> 32)) as u32;
+    format!("{stem}-{tag:08x}")
+}
+
+fn config_cell() -> &'static Mutex<Option<FlightConfig>> {
+    static CONFIG: OnceLock<Mutex<Option<FlightConfig>>> = OnceLock::new();
+    CONFIG.get_or_init(|| Mutex::new(None))
+}
+
+fn config_lock() -> std::sync::MutexGuard<'static, Option<FlightConfig>> {
+    config_cell()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Installs (or removes, with `None`) the process-global flight
+/// configuration. Like the trace path, this gates the recorder: with no
+/// config installed [`flight_recorder`] returns `None` and runs are
+/// byte-for-byte unaffected.
+pub fn set_flight_config(cfg: Option<FlightConfig>) {
+    *config_lock() = cfg;
+}
+
+/// The installed flight configuration, if any.
+#[must_use]
+pub fn flight_config() -> Option<FlightConfig> {
+    config_lock().clone()
+}
+
+/// A fresh per-run recorder when flight recording is configured.
+#[must_use]
+pub fn flight_recorder() -> Option<FlightRecorder> {
+    flight_config().map(FlightRecorder::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{parse_trace_line, validate_event_fields};
+    use std::path::Path;
+
+    fn test_cfg(retain: u64, cap: usize, dir: &Path) -> FlightConfig {
+        FlightConfig {
+            retain_ticks: retain,
+            records_capacity: cap,
+            deadline_ns: None,
+            dump_dir: dir.to_path_buf(),
+            dump_at_end: false,
+        }
+    }
+
+    #[test]
+    fn ring_retains_last_n_ticks() {
+        let mut rec = FlightRecorder::new(test_cfg(3, 64, Path::new("unused")));
+        for t in 0..10u64 {
+            rec.begin_tick(t);
+            rec.push("tick", t, &[1.0, 2.0, 0.0]);
+            rec.push("tick_latency", t, &[5.0, 6.0, 7.0, 20.0]);
+        }
+        assert_eq!(rec.window(), Some((7, 9)));
+        assert_eq!(rec.retained(), 6, "3 ticks x 2 records");
+        assert_eq!(rec.pushed(), 20);
+        assert_eq!(rec.dropped(), 0, "eviction by age is not a drop");
+    }
+
+    #[test]
+    fn capacity_pressure_evicts_oldest() {
+        let mut rec = FlightRecorder::new(test_cfg(100, 4, Path::new("unused")));
+        for t in 0..6u64 {
+            rec.begin_tick(t);
+            rec.push("tick", t, &[0.0, 0.0, 0.0]);
+        }
+        assert_eq!(rec.retained(), 4);
+        assert_eq!(rec.dropped(), 2);
+        assert_eq!(rec.window(), Some((2, 5)));
+    }
+
+    #[test]
+    fn dump_reuses_trace_schema_and_first_trigger_wins() {
+        let dir = std::env::temp_dir().join("mmog_flight_test");
+        let mut rec = FlightRecorder::new(test_cfg(4, 64, &dir));
+        for t in 0..8u64 {
+            rec.begin_tick(t);
+            rec.push("tick", t, &[3.0, 2.5, 0.5]);
+            rec.push("tick_latency", t, &[100.0, 200.0, 300.0, 700.0]);
+            rec.push("provision", t, &[1.0, 2.0, 0.0, 1.0, 4.5, 4.0]);
+        }
+        let path = rec
+            .trigger(FlightTrigger::Fault, 7, "unit/flight run")
+            .expect("dump io")
+            .expect("first trigger dumps");
+        let body = std::fs::read_to_string(&path).expect("read dump");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 1 + 12, "meta line + 4 ticks x 3 records");
+        let mut last_tick = 0u64;
+        for (i, line) in lines.iter().enumerate() {
+            let (seq, scope, kind, value) = parse_trace_line(line).expect("parseable");
+            assert_eq!(seq, i as u64, "seq must be contiguous");
+            assert_eq!(scope, "unit/flight run");
+            validate_event_fields(&kind, &value).expect("schema reuse");
+            if i == 0 {
+                assert_eq!(kind, "flight_meta");
+                assert_eq!(value.get("trigger").unwrap().as_str(), Some("fault"));
+                assert_eq!(value.get("tick_from").unwrap().as_u64(), Some(4));
+                assert_eq!(value.get("tick_to").unwrap().as_u64(), Some(7));
+            } else {
+                let t = value.get("tick").unwrap().as_u64().unwrap();
+                assert!(t >= last_tick, "ticks must be monotone");
+                last_tick = t;
+            }
+        }
+        // Second trigger is suppressed.
+        let again = rec
+            .trigger(FlightTrigger::DeadlineOverrun, 7, "unit/flight run")
+            .expect("dump io");
+        assert!(again.is_none());
+        assert_eq!(rec.suppressed(), 1);
+        let info = rec.dump_info().expect("recorded");
+        assert_eq!(info.trigger, "fault");
+        assert_eq!(info.records, 12);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn finish_dumps_only_when_configured() {
+        let dir = std::env::temp_dir().join("mmog_flight_test_end");
+        let mut cfg = test_cfg(4, 64, &dir);
+        let mut rec = FlightRecorder::new(cfg.clone());
+        rec.push("tick", 0, &[0.0, 0.0, 0.0]);
+        assert!(rec.finish(0, "no-dump").expect("io").is_none());
+        cfg.dump_at_end = true;
+        let mut rec = FlightRecorder::new(cfg);
+        rec.push("tick", 0, &[0.0, 0.0, 0.0]);
+        let path = rec.finish(0, "end-dump").expect("io").expect("dumps");
+        assert_eq!(rec.dump_info().unwrap().trigger, "explicit");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sanitize_label_is_safe_and_collision_resistant() {
+        let a = sanitize_label("scale/10k seed=7");
+        assert!(a
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')));
+        assert_ne!(
+            sanitize_label("a/b"),
+            sanitize_label("a b"),
+            "distinct labels keep distinct stems via the hash suffix"
+        );
+        let long = "x".repeat(200);
+        assert!(sanitize_label(&long).len() <= 96 + 9);
+    }
+
+    #[test]
+    fn global_config_gates_recorder_construction() {
+        // Default state: no config, no recorder. (Process-global, so
+        // only assert when unset — parallel tests may install one.)
+        if flight_config().is_none() {
+            assert!(flight_recorder().is_none());
+        }
+    }
+}

@@ -14,6 +14,13 @@
 //!   worker pool.
 //! - [`span`] — a hierarchical wall-clock timing tree for the
 //!   predict → demand → request → match → settle pipeline stages.
+//! - [`latency`] — log-bucketed (HDR-style) latency histograms with
+//!   0-alloc recording and p50/p90/p99/p999 estimation, the tail-latency
+//!   layer span totals cannot provide.
+//! - [`flight`] — a bounded ring-buffer flight recorder that dumps the
+//!   last N ticks of full-detail events (`FLIGHT_<run>.jsonl`) only when
+//!   a trigger fires, so detail survives scales where always-on tracing
+//!   cannot.
 //! - [`event`] — a structured JSONL event log (provisioning decisions,
 //!   match accept/reject with reason, prediction error per group, bulk
 //!   waste per center), gated behind `--trace` / `MMOG_TRACE`.
@@ -42,7 +49,9 @@
 
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod json;
+pub mod latency;
 pub mod registry;
 pub mod span;
 
@@ -52,8 +61,15 @@ pub use event::{
     KNOWN_EVENT_KINDS,
 };
 pub use export::{
-    render_summary_table, semantic_section, summary_json, summary_value, validate_summary,
-    SUMMARY_SCHEMA,
+    note_wall_seconds, render_summary_table, semantic_section, summary_json, summary_value,
+    validate_summary, SUMMARY_SCHEMA,
+};
+pub use flight::{
+    flight_config, flight_recorder, sanitize_label, set_flight_config, FlightConfig,
+    FlightDumpInfo, FlightRecord, FlightRecorder, FlightTrigger, FLIGHT_MAX_VALUES,
+};
+pub use latency::{
+    latency, reset_latency, snapshot_latency, LatencyHisto, LatencySnapshot, LATENCY_BUCKETS,
 };
 pub use registry::{
     counter, gauge, histogram, reset_metrics, snapshot_metrics, Counter, Domain, Gauge, Histogram,
@@ -134,12 +150,13 @@ pub fn mask_timing(text: &str) -> Result<String, String> {
     Ok(out)
 }
 
-/// Resets every process-global accumulator (metrics and spans) while
-/// keeping registrations and cached handles valid. The trace
-/// destination and its buffered chunks are untouched.
+/// Resets every process-global accumulator (metrics, spans and latency
+/// histograms) while keeping registrations and cached handles valid.
+/// The trace destination and its buffered chunks are untouched.
 pub fn reset() {
     reset_metrics();
     reset_spans();
+    reset_latency();
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use mmog_datacenter::matching::RejectionTotals;
 use mmog_datacenter::request::OperatorId;
 use mmog_datacenter::resource::ResourceVector;
 use mmog_faults::{FaultKind, FaultSchedule};
-use mmog_obs::{Domain, EventSink};
+use mmog_obs::{Domain, EventSink, FlightRecorder, FlightTrigger};
 use mmog_predict::eval::PredictorKind;
 use mmog_util::geo::{DistanceClass, GeoPoint};
 use mmog_util::series::TimeSeries;
@@ -196,6 +196,30 @@ pub struct SimReport {
     pub leases_revoked: u64,
     /// Leases granted while re-acquiring fault-lost capacity.
     pub reprovisions: u64,
+    /// The flight-recorder dump this run produced, if flight recording
+    /// was configured and a trigger fired. `None` on every un-configured
+    /// run, so baseline reports are unaffected.
+    pub flight_dump: Option<FlightDumpReport>,
+}
+
+/// Mirror of [`mmog_obs::FlightDumpInfo`] carried in the report so
+/// harnesses can assert on trigger decisions without re-reading the
+/// artifact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightDumpReport {
+    /// What fired the dump (`fault`, `deadline_overrun`, `gate_breach`,
+    /// `explicit`).
+    pub trigger: String,
+    /// Tick the trigger fired on.
+    pub trigger_tick: u64,
+    /// Oldest tick in the dumped window.
+    pub tick_from: u64,
+    /// Newest tick in the dumped window.
+    pub tick_to: u64,
+    /// Event records dumped (excluding the meta line).
+    pub records: u64,
+    /// Artifact path.
+    pub path: String,
 }
 
 /// A group's hot per-tick state, split struct-of-arrays style out of
@@ -265,18 +289,36 @@ const PARALLEL_GROUP_THRESHOLD: usize = 8;
 
 /// Emits the `provision` event for one adjustment step that changed
 /// anything, plus one `match_reject` event per center the matcher
-/// considered and rejected when part of the request went unmet.
+/// considered and rejected when part of the request went unmet. The
+/// same step also lands in the flight ring (when a recorder is active)
+/// so a triggered dump carries provisioning detail even when the full
+/// trace is off.
 fn emit_adjust_events(
     sink: Option<&mut EventSink>,
+    flight: Option<&mut FlightRecorder>,
     tick: usize,
     provisioner: &GroupProvisioner,
     target: &ResourceVector,
     out: &crate::provision::AdjustOutcome,
 ) {
-    let Some(sink) = sink else { return };
     if out.granted == 0 && out.released == 0 && !out.unmet {
         return;
     }
+    if let Some(flight) = flight {
+        flight.push(
+            "provision",
+            tick as u64,
+            &[
+                f64::from(provisioner.operator.0),
+                out.granted as f64,
+                out.released as f64,
+                if out.unmet { 1.0 } else { 0.0 },
+                target.cpu,
+                provisioner.allocated().cpu,
+            ],
+        );
+    }
+    let Some(sink) = sink else { return };
     sink.emit(
         "provision",
         &[
@@ -633,6 +675,11 @@ impl Simulation {
         // the configuration so it is jobs-independent.
         let center_tick_stride = (self.ticks / 96).max(1);
 
+        // Flight recorder: per-run ring, fed from the serial sections
+        // only; `None` (no process-global config) costs one branch per
+        // push site and changes nothing else.
+        let mut flight = mmog_obs::flight_recorder();
+
         // Static mode: one up-front allocation per group.
         if self.mode == AllocationMode::Static {
             for (gi, group) in self.groups.iter_mut().enumerate() {
@@ -646,7 +693,14 @@ impl Simulation {
                 if out.unmet {
                     unmet_steps += 1;
                 }
-                emit_adjust_events(sink.as_mut(), 0, &group.provisioner, &target, &out);
+                emit_adjust_events(
+                    sink.as_mut(),
+                    flight.as_mut(),
+                    0,
+                    &group.provisioner,
+                    &target,
+                    &out,
+                );
             }
         }
 
@@ -666,7 +720,16 @@ impl Simulation {
         let t_predict = mmog_obs::timer("sim/run/predict_score");
         let t_reduce = mmog_obs::timer("sim/run/reduce");
         let t_settle = mmog_obs::timer("sim/run/match_settle");
-
+        // Per-stage latency distributions (log-bucketed): span totals
+        // give means, these give the tail. Same paths as the timers so
+        // reports line up. All of it is timing-domain data.
+        let l_predict = mmog_obs::latency("sim/run/predict_score");
+        let l_reduce = mmog_obs::latency("sim/run/reduce");
+        let l_settle = mmog_obs::latency("sim/run/match_settle");
+        let l_tick = mmog_obs::latency("sim/run/tick");
+        let ns_since = |start: std::time::Instant| {
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        };
         // Per-game reduction scratch, recycled tick to tick.
         let mut per_game = vec![
             (
@@ -678,6 +741,11 @@ impl Simulation {
         ];
 
         for t in 0..self.ticks {
+            let tick_start = std::time::Instant::now();
+            if let Some(rec) = flight.as_mut() {
+                rec.begin_tick(t as u64);
+            }
+            let fired_before = fault_cursor;
             let now = SimTime(t as u64);
             let dynamic = self.mode == AllocationMode::Dynamic;
             // Fault application: serial, before the fan-out, so revoked
@@ -819,7 +887,8 @@ impl Simulation {
                     ResourceVector::ZERO
                 };
             };
-            mmog_obs::time_stat(&t_predict, || match &pool {
+            let predict_start = std::time::Instant::now();
+            match &pool {
                 Some(pool) => pool.for_each_mut2(&mut self.groups, &mut self.hot, step),
                 None => {
                     for (i, (group, hot)) in
@@ -828,7 +897,10 @@ impl Simulation {
                         step(i, group, hot);
                     }
                 }
-            });
+            }
+            let predict_ns = ns_since(predict_start);
+            t_predict.record_ns(predict_ns);
+            l_predict.record(predict_ns);
             let reduce_start = std::time::Instant::now();
             // Ordered reduction (Eq. 2's min is per server group so one
             // group's surplus never hides another's deficit): fold the
@@ -895,14 +967,17 @@ impl Simulation {
                     }
                 }
             }
-            t_reduce
-                .record_ns(u64::try_from(reduce_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            let reduce_ns = ns_since(reduce_start);
+            t_reduce.record_ns(reduce_ns);
+            l_reduce.record(reduce_ns);
             // Serial stage: adjust allocations for the next tick, in
             // priority order — higher-priority games lease (and keep)
             // capacity first. Matching contends on the shared centers,
             // so this ordering IS the semantics and cannot fan out.
+            let mut settle_ns = None;
             if dynamic {
-                mmog_obs::time_stat(&t_settle, || {
+                let settle_start = std::time::Instant::now();
+                {
                     for gi in 0..self.processing_order.len() {
                         let idx = self.processing_order[gi];
                         let target = self.hot[idx].target;
@@ -938,15 +1013,24 @@ impl Simulation {
                                 }
                             }
                         }
-                        emit_adjust_events(sink.as_mut(), t, &group.provisioner, &target, &out);
+                        emit_adjust_events(
+                            sink.as_mut(),
+                            flight.as_mut(),
+                            t,
+                            &group.provisioner,
+                            &target,
+                            &out,
+                        );
                     }
-                });
+                }
+                settle_ns = Some(ns_since(settle_start));
             } else if faults_active {
                 // Static mode under faults: the operator re-buys its
                 // fixed peak allocation after losing capacity (it never
                 // otherwise adjusts). Without a schedule this loop body
                 // is unreachable — static stays allocate-once.
-                mmog_obs::time_stat(&t_settle, || {
+                let settle_start = std::time::Instant::now();
+                {
                     for gi in 0..self.processing_order.len() {
                         let idx = self.processing_order[gi];
                         let lost = self.groups[idx].provisioner.lost_capacity();
@@ -979,9 +1063,21 @@ impl Simulation {
                         if !out.unmet && !out.deferred {
                             group.provisioner.clear_lost_capacity();
                         }
-                        emit_adjust_events(sink.as_mut(), t, &group.provisioner, &target, &out);
+                        emit_adjust_events(
+                            sink.as_mut(),
+                            flight.as_mut(),
+                            t,
+                            &group.provisioner,
+                            &target,
+                            &out,
+                        );
                     }
-                });
+                }
+                settle_ns = Some(ns_since(settle_start));
+            }
+            if let Some(ns) = settle_ns {
+                t_settle.record_ns(ns);
+                l_settle.record(ns);
             }
             if faults_active {
                 // Unserved player-ticks: each group's players scaled by
@@ -1022,6 +1118,42 @@ impl Simulation {
                                 ],
                             );
                         }
+                    }
+                }
+            }
+            let tick_ns = ns_since(tick_start);
+            l_tick.record(tick_ns);
+            if let Some(rec) = flight.as_mut() {
+                let tick = t as u64;
+                rec.push(
+                    "tick",
+                    tick,
+                    &[total_demand.cpu, total_alloc.cpu, shortfall.cpu],
+                );
+                // Stage latencies travel with the window so a dump shows
+                // both what the engine decided and how long it took.
+                rec.push(
+                    "tick_latency",
+                    tick,
+                    &[
+                        predict_ns as f64,
+                        reduce_ns as f64,
+                        settle_ns.unwrap_or(0) as f64,
+                        tick_ns as f64,
+                    ],
+                );
+                // Trigger decisions, in fixed priority order: faults are
+                // semantic (deterministic for a fixed schedule), the
+                // deadline is wall-clock (opt-in via the config).
+                if fault_cursor > fired_before {
+                    if let Err(err) = rec.trigger(FlightTrigger::Fault, tick, &self.trace_label) {
+                        eprintln!("warning: flight dump failed: {err}");
+                    }
+                } else if rec.deadline_ns().is_some_and(|d| tick_ns > d) {
+                    if let Err(err) =
+                        rec.trigger(FlightTrigger::DeadlineOverrun, tick, &self.trace_label)
+                    {
+                        eprintln!("warning: flight dump failed: {err}");
                     }
                 }
             }
@@ -1119,6 +1251,29 @@ impl Simulation {
             sink.submit(&self.trace_label);
         }
 
+        // Flight recorder teardown: the end-of-run explicit dump (when
+        // `--flight-dump` asked for one), the recorder's own cost
+        // counters (timing domain — the registration must not perturb
+        // semantic summaries), and the dump report for harnesses.
+        let flight_dump = flight.and_then(|mut rec| {
+            if let Err(err) = rec.finish(self.ticks.saturating_sub(1) as u64, &self.trace_label) {
+                eprintln!("warning: flight dump failed: {err}");
+            }
+            mmog_obs::counter("obs.self.flight_pushes", Domain::Timing).add(rec.pushed());
+            mmog_obs::counter("obs.self.flight_dropped", Domain::Timing).add(rec.dropped());
+            mmog_obs::counter("obs.self.flight_suppressed", Domain::Timing).add(rec.suppressed());
+            mmog_obs::counter("obs.self.flight_dumps", Domain::Timing)
+                .add(u64::from(rec.dump_info().is_some()));
+            rec.into_dump_info().map(|info| FlightDumpReport {
+                trigger: info.trigger.to_string(),
+                trigger_tick: info.trigger_tick,
+                tick_from: info.tick_from,
+                tick_to: info.tick_to,
+                records: info.records,
+                path: info.path.display().to_string(),
+            })
+        });
+
         SimReport {
             metrics,
             per_game: self
@@ -1143,6 +1298,7 @@ impl Simulation {
             fault_events: fault_event_count,
             leases_revoked,
             reprovisions,
+            flight_dump,
         }
     }
 }

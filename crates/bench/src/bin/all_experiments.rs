@@ -6,7 +6,7 @@
 //! the experiment index). Pass `--quick` for a smoke-scale run or
 //! `--days N --cap N` for custom scales.
 //!
-//! The 19 experiments are independent (each builds its workload through
+//! The 20 experiments are independent (each builds its workload through
 //! the shared process-wide cache), so they fan out across `--jobs N`
 //! worker threads (default: all logical CPUs; `--jobs 1` reproduces the
 //! serial path). Reports are collected in suite order and printed and
@@ -119,6 +119,7 @@ fn main() {
         ("ablation_aoi", exp::ablation_aoi),
         ("ablation_priority", exp::ablation_priority),
         ("fig_faults", exp::fig_faults),
+        ("fig_scenarios", exp::fig_scenarios),
     ];
 
     // Fan the suite out; results come back in suite order regardless of

@@ -1,0 +1,31 @@
+//! Regenerates the scenario-engine figure (mutation intensity × mode).
+//!
+//! Standalone entry point for the scenario plane: writes the rendered
+//! table to `results/fig_scenarios.txt`, flushes the event trace when
+//! one is configured (`--trace` / `MMOG_TRACE`), and exports the
+//! metrics summary under `--metrics` — the artifacts the
+//! `scenario-smoke` CI job validates.
+
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let opts = mmog_bench::RunOpts::from_args();
+    let report = mmog_bench::experiments::fig_scenarios(&opts);
+    print!("{report}");
+    let out_dir = Path::new("results");
+    fs::create_dir_all(out_dir).expect("cannot create results/");
+    let path = out_dir.join("fig_scenarios.txt");
+    fs::write(&path, &report).expect("cannot write report");
+    println!("== fig_scenarios -> {}", path.display());
+    match mmog_obs::flush_trace() {
+        Ok(Some(path)) => println!("== event trace -> {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("== event trace write failed: {e}"),
+    }
+    if opts.metrics {
+        let summary_path = out_dir.join("OBS_summary.json");
+        fs::write(&summary_path, mmog_obs::summary_json()).expect("cannot write OBS summary");
+        println!("== metrics summary -> {}", summary_path.display());
+    }
+}

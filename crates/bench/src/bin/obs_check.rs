@@ -224,7 +224,9 @@ fn check_flight_text(text: &str) -> Result<(u64, u64), String> {
     let tick_to = meta_u64("tick_to")?;
     let declared_records = meta_u64("records")?;
     match meta.get("trigger").and_then(Value::as_str) {
-        Some("fault" | "deadline_overrun" | "gate_breach" | "explicit") => {}
+        Some(
+            "fault" | "partition" | "migration" | "deadline_overrun" | "gate_breach" | "explicit",
+        ) => {}
         Some(other) => return Err(format!("line 1: unknown trigger {other:?}")),
         None => return Err("line 1: flight_meta missing trigger".into()),
     }
@@ -399,5 +401,30 @@ mod tests {
         lines.rotate_left(1);
         assert!(check_flight_text(&lines.join("\n")).is_err());
         assert!(check_flight_text("").is_err());
+    }
+
+    #[test]
+    fn flight_triggers_whitelist_scenario_kinds() {
+        let text = dump_text(4, 0..10);
+        assert!(text.contains(r#""trigger":"explicit""#), "fixture shape");
+        // Every trigger the engine can fire validates, including the
+        // scenario plane's partition and migration dumps.
+        for trigger in [
+            "fault",
+            "partition",
+            "migration",
+            "deadline_overrun",
+            "gate_breach",
+        ] {
+            let swapped = text.replace(
+                r#""trigger":"explicit""#,
+                &format!(r#""trigger":"{trigger}""#),
+            );
+            check_flight_text(&swapped).unwrap_or_else(|e| panic!("trigger {trigger}: {e}"));
+        }
+        // Unknown triggers still fail loudly.
+        let bogus = text.replace(r#""trigger":"explicit""#, r#""trigger":"gremlin""#);
+        let err = check_flight_text(&bogus).unwrap_err();
+        assert!(err.contains("unknown trigger"), "{err}");
     }
 }

@@ -1,8 +1,49 @@
 //! Minimal argument parsing shared by the experiment binaries.
 
-use mmog_faults::FaultSpec;
+use mmog_faults::{FaultSpec, ScenarioSpec};
 use mmog_sim::scenario::ScenarioOpts;
 use std::path::PathBuf;
+
+/// `--help` text shared by the experiment binaries: every flag plus the
+/// full `--faults` and `--scenario` grammars.
+pub const HELP: &str = "\
+Usage: <experiment> [FLAGS]
+
+Scale:
+  --quick                3-day, 6-groups-per-region smoke run
+  --days N               trace length in days (default 14)
+  --cap N                cap server groups per region (default: none)
+  --seed N               deterministic master seed (default 2008)
+  --jobs N               worker threads (0 = all CPUs, 1 = serial)
+
+Observability:
+  --trace PATH           write the JSONL event log to PATH
+                         (fallback: MMOG_TRACE environment variable)
+  --metrics              export the metrics summary (OBS_summary.json)
+  --flight N             flight recorder: retain the last N ticks,
+                         dumped to FLIGHT_<run>.jsonl on a trigger
+  --flight-dump          dump the final window at run end regardless
+  --tick-deadline-ms N   fire the flight recorder when a tick exceeds
+                         N wall-clock milliseconds (diagnosis only)
+
+Fault injection (--faults SPEC | MMOG_FAULTS):
+  SPEC is `paper` or comma-separated key=value pairs; whitespace
+  around `=` and `,` is ignored.
+    outages=F   expected outages per center-day     repair=N   mean repair minutes
+    degrade=F   expected degradations per center-day  dfrac=F  surviving fraction
+    dmins=N     mean degradation minutes            revoke=F   lease revocations/day
+    dropout=F   predictor dropout probability per tick          seed=N
+
+Scenario engine (--scenario SPEC | MMOG_SCENARIO):
+  SPEC is `paper` or comma-separated key=value pairs; whitespace
+  around `=` and `,` is ignored.
+    partition=F  expected network partitions/day    pmins=N    mean partition minutes
+    migrate=F    expected zone migrations/day       mcost=N    ticks charged per player
+    flash=F      expected flash crowds/day          fpeak=F    demand multiplier (>= 1)
+    fmins=N      mean flash-crowd minutes           failover=F center drains/day
+    link=F       link degradations/day              lfactor=F  distance multiplier (>= 1)
+    lmins=N      mean link-degradation minutes      seed=N
+";
 
 /// Scale options for an experiment run.
 #[derive(Debug, Clone)]
@@ -27,6 +68,12 @@ pub struct RunOpts {
     /// them. Malformed specs abort rather than silently running
     /// unfaulted.
     pub faults: Option<FaultSpec>,
+    /// Scenario-engine spec (`--scenario SPEC`; the `MMOG_SCENARIO`
+    /// environment variable is the fallback). `--scenario paper`
+    /// selects the default rates; `--scenario "partition=1,migrate=4"`
+    /// tunes them. Malformed specs abort rather than silently running
+    /// scenario-free.
+    pub scenario_spec: Option<ScenarioSpec>,
     /// Flight-recorder window (`--flight N`): retain the last N ticks
     /// of full-detail events per run, dumped to `FLIGHT_<run>.jsonl`
     /// only when a trigger fires. `None` disables the recorder (the
@@ -51,6 +98,7 @@ impl Default for RunOpts {
             trace: None,
             metrics: false,
             faults: None,
+            scenario_spec: None,
             flight: None,
             flight_dump: false,
             tick_deadline_ms: None,
@@ -67,11 +115,22 @@ impl RunOpts {
     /// ignored so binaries stay composable.
     #[must_use]
     pub fn from_args() -> Self {
+        if std::env::args().skip(1).any(|a| a == "--help" || a == "-h") {
+            print!("{HELP}");
+            std::process::exit(0);
+        }
         let mut opts = Self::parse(std::env::args().skip(1));
         if opts.faults.is_none() {
             if let Ok(spec) = std::env::var("MMOG_FAULTS") {
                 if !spec.is_empty() {
                     opts.faults = Some(parse_fault_spec(&spec));
+                }
+            }
+        }
+        if opts.scenario_spec.is_none() {
+            if let Ok(spec) = std::env::var("MMOG_SCENARIO") {
+                if !spec.is_empty() {
+                    opts.scenario_spec = Some(parse_scenario_spec(&spec));
                 }
             }
         }
@@ -120,6 +179,10 @@ impl RunOpts {
                 }
                 "--faults" if i + 1 < args.len() => {
                     opts.faults = Some(parse_fault_spec(&args[i + 1]));
+                    i += 1;
+                }
+                "--scenario" if i + 1 < args.len() => {
+                    opts.scenario_spec = Some(parse_scenario_spec(&args[i + 1]));
                     i += 1;
                 }
                 "--flight" if i + 1 < args.len() => {
@@ -200,6 +263,24 @@ pub fn parse_fault_spec(spec: &str) -> FaultSpec {
     }
 }
 
+/// Resolves a `--scenario` / `MMOG_SCENARIO` value: the keyword `paper`
+/// selects [`ScenarioSpec::paper_default`]; anything else must parse as
+/// a `key=value` list.
+///
+/// # Panics
+/// Panics on a malformed spec — a typo must abort the run, not
+/// silently disable the scenario engine.
+#[must_use]
+pub fn parse_scenario_spec(spec: &str) -> ScenarioSpec {
+    if spec == "paper" {
+        return ScenarioSpec::paper_default();
+    }
+    match ScenarioSpec::parse(spec) {
+        Ok(parsed) => parsed,
+        Err(err) => panic!("invalid scenario spec {spec:?}: {err}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +336,52 @@ mod tests {
     #[should_panic(expected = "invalid fault spec")]
     fn malformed_fault_spec_aborts() {
         let _ = RunOpts::parse(args(&["--faults", "bogus_key=1"]));
+    }
+
+    #[test]
+    fn scenario_flag_parses() {
+        let o = RunOpts::parse(args(&["--scenario", "paper"]));
+        assert_eq!(o.scenario_spec, Some(ScenarioSpec::paper_default()));
+        let o = RunOpts::parse(args(&["--scenario", "partition=1.5, migrate = 4, mcost=3"]));
+        let spec = o.scenario_spec.expect("spec parsed");
+        assert_eq!(spec.partitions_per_day, 1.5);
+        assert_eq!(spec.migrations_per_day, 4.0);
+        assert_eq!(spec.migration_cost_ticks, 3);
+        // Absent by default, and --scenario without a value is ignored
+        // like any malformed flag.
+        assert_eq!(RunOpts::parse(args(&[])).scenario_spec, None);
+        assert_eq!(RunOpts::parse(args(&["--scenario"])).scenario_spec, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario spec")]
+    fn malformed_scenario_spec_aborts() {
+        let _ = RunOpts::parse(args(&["--scenario", "partitions=1"]));
+    }
+
+    #[test]
+    fn help_documents_both_spec_grammars() {
+        for key in [
+            "--faults",
+            "outages=",
+            "repair=",
+            "dropout=",
+            "--scenario",
+            "partition=",
+            "pmins=",
+            "migrate=",
+            "mcost=",
+            "flash=",
+            "fpeak=",
+            "fmins=",
+            "failover=",
+            "link=",
+            "lfactor=",
+            "lmins=",
+            "seed=",
+        ] {
+            assert!(HELP.contains(key), "help text missing {key}");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 pub mod faults;
 pub mod prediction;
 pub mod provisioning;
+pub mod scenarios;
 pub mod workload;
 
 pub use faults::fig_faults;
@@ -16,6 +17,7 @@ pub use provisioning::{
     fig09_10_table6_interaction, fig11_resource_bulk, fig12_time_bulk, fig13_latency_tolerance,
     fig14_allocation_by_center, table5_prediction_impact, table7_multi_mmog,
 };
+pub use scenarios::fig_scenarios;
 pub use workload::{
     fig01_growth, fig02_global_population, fig03_regional_patterns, fig04_packet_cdfs,
     table1_emulator_sets,

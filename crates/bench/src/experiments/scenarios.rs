@@ -1,0 +1,151 @@
+//! The scenario-engine experiment: provisioning under a mutable
+//! network topology.
+//!
+//! Sweeps the scenario intensity (a multiplier on the base spec's
+//! event rates) against the allocation mode. Where `fig_faults`
+//! destroys capacity, this figure mutates the *fabric around* it:
+//! center↔center partitions make cross-partition offers unreachable,
+//! link degradations stretch effective distances, zone migrations and
+//! region failovers move live server groups between centers (charging
+//! a player-visible migration cost), and flash crowds multiply
+//! regional demand. Dynamic allocation re-provisions around every
+//! mutation; static allocation re-buys its peak block and eats the
+//! migration cost without adapting.
+
+use crate::cli::RunOpts;
+use mmog_datacenter::resource::ResourceType;
+use mmog_faults::ScenarioSpec;
+use mmog_sim::engine::{AllocationMode, SimReport, Simulation};
+use mmog_sim::report::render_table;
+use mmog_sim::scenario;
+use std::fmt::Write as _;
+
+/// The sweep's scenario-intensity multipliers: the undisturbed
+/// baseline, the base spec, and a 4× storm.
+pub const SCENARIO_MULTIPLIERS: [f64; 3] = [0.0, 1.0, 4.0];
+
+fn mode_label(mode: AllocationMode) -> &'static str {
+    match mode {
+        AllocationMode::Dynamic => "dynamic",
+        AllocationMode::Static => "static",
+    }
+}
+
+fn scenario_row(label: &str, report: &SimReport) -> Vec<String> {
+    let recovered = report.recovery_ticks.len();
+    let mean_recovery = if recovered == 0 {
+        "-".to_string()
+    } else {
+        let sum: u64 = report.recovery_ticks.iter().sum();
+        format!("{:.1}", sum as f64 / recovered as f64)
+    };
+    vec![
+        label.to_string(),
+        report.scenario_events.to_string(),
+        report.migrations.to_string(),
+        format!("{:.0}", report.migration_player_ticks),
+        format!("{:.0}", report.unserved_player_ticks),
+        report.reprovisions.to_string(),
+        recovered.to_string(),
+        mean_recovery,
+        report.unrecovered_outages.to_string(),
+        report.rejections.total().to_string(),
+        format!("{:.2}", report.metrics.avg_over(ResourceType::Cpu)),
+        format!("{:.2}", report.metrics.avg_under(ResourceType::Cpu)),
+    ]
+}
+
+const SCENARIO_HEADERS: [&str; 12] = [
+    "Setup",
+    "Events",
+    "Migrations",
+    "Migration p-t",
+    "Unserved p-t",
+    "Reprov",
+    "Healed",
+    "Mean heal [ticks]",
+    "Unhealed",
+    "Rejections",
+    "Over CPU [%]",
+    "Under CPU [%]",
+];
+
+/// The scenario figure: topology-mutation intensity × allocation mode.
+/// The base spec comes from `--scenario` (default: the paper-default
+/// rates), scaled by [`SCENARIO_MULTIPLIERS`].
+#[must_use]
+pub fn fig_scenarios(opts: &RunOpts) -> String {
+    let sopts = opts.scenario();
+    let base = opts
+        .scenario_spec
+        .clone()
+        .unwrap_or_else(ScenarioSpec::paper_default);
+    let cells: Vec<(AllocationMode, f64)> = [AllocationMode::Dynamic, AllocationMode::Static]
+        .iter()
+        .flat_map(|&mode| SCENARIO_MULTIPLIERS.iter().map(move |&m| (mode, m)))
+        .collect();
+    let reports = mmog_par::par_map(&cells, |&(mode, mult)| {
+        Simulation::new(scenario::scenario_injection(
+            &base.scaled(mult),
+            mode,
+            &sopts,
+        ))
+        .run()
+    });
+    let mut out = String::from(
+        "Scenario engine: partitions, link degradations, zone migrations, flash crowds\n\n",
+    );
+    let _ = writeln!(out, "base spec: {}\n", base.label());
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .zip(&reports)
+        .map(|(&(mode, mult), report)| {
+            scenario_row(&format!("{} x{mult:.1}", mode_label(mode)), report)
+        })
+        .collect();
+    out.push_str(&render_table(&SCENARIO_HEADERS, &rows));
+    out.push_str(
+        "\nExpected shape: migrations charge both modes the same player-tick \
+         cost, and most episodes re-provision within a few ticks. Partitions \
+         invert the fault-plane story, though: they never revoke a lease, so \
+         static allocation's pre-bought peak block rides them out untouched, \
+         while dynamic allocation — which re-buys capacity every tick — must \
+         match through the partitioned topology and can starve until the heal. \
+         Static pays for that robustness all day, with over-allocation an \
+         order of magnitude above dynamic's at every intensity.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> RunOpts {
+        RunOpts {
+            days: 1,
+            cap: Some(2),
+            seed: 11,
+            ..RunOpts::default()
+        }
+    }
+
+    #[test]
+    fn fig_scenarios_renders_all_cells() {
+        let out = fig_scenarios(&quick_opts());
+        assert!(out.contains("dynamic x0.0"));
+        assert!(out.contains("dynamic x4.0"));
+        assert!(out.contains("static x1.0"));
+        assert!(out.contains("base spec:"));
+        // Deterministic: the same opts render the same bytes.
+        assert_eq!(out, fig_scenarios(&quick_opts()));
+    }
+
+    #[test]
+    fn custom_spec_overrides_base() {
+        let mut opts = quick_opts();
+        opts.scenario_spec = Some(ScenarioSpec::parse("partition=0.1,seed=3").expect("valid spec"));
+        let out = fig_scenarios(&opts);
+        assert!(out.contains("seed=3"), "label reflects the custom spec");
+    }
+}

@@ -4,19 +4,24 @@
 //! applied and emitted only from the engine's serial sections, so the
 //! fan-out width can never reorder or drop them.
 //!
-//! One test function: the jobs setting and the trace destination are
-//! process-global, so separate `#[test]`s would race under the
-//! parallel test harness.
+//! The jobs setting and the trace destination are process-global, so
+//! the fault and scenario suites serialize on one shared mutex instead
+//! of racing under the parallel test harness.
 //!
 //! Mismatches route through `mmog-obs-analyze`'s first-divergence
 //! helpers, so a failure names the first diverging event or line.
 
-use mmog_faults::FaultSpec;
+use mmog_faults::{FaultSpec, ScenarioEvent, ScenarioEventKind, ScenarioSpec, ScenarioTimeline};
 use mmog_obs_analyze::{first_text_divergence, trace_diff};
 use mmog_sim::engine::{AllocationMode, Simulation};
 use mmog_sim::scenario::{self, ScenarioOpts};
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Guards the process-global jobs / trace-path / obs state shared by
+/// every test in this file.
+static PROCESS_GLOBALS: Mutex<()> = Mutex::new(());
 
 fn tiny() -> ScenarioOpts {
     ScenarioOpts {
@@ -46,6 +51,9 @@ fn faulted_pass(path: &PathBuf) -> (String, String) {
 
 #[test]
 fn faulted_runs_identical_across_jobs_and_repeats() {
+    let _guard = PROCESS_GLOBALS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let baseline_jobs = mmog_par::jobs();
     let dir = std::env::temp_dir();
     let pid = std::process::id();
@@ -100,4 +108,164 @@ fn faulted_runs_identical_across_jobs_and_repeats() {
             "trace must contain a `{required}` event; saw kinds {kinds:?}"
         );
     }
+}
+
+/// A composed scenario spec that fires every topology-mutation
+/// primitive inside a 1-day run: partitions that heal, zone
+/// migrations, a flash crowd, link degradations and a region failover.
+fn busy_scenario_spec() -> ScenarioSpec {
+    ScenarioSpec::parse(
+        "partition=3,pmins=120,migrate=8,mcost=2,flash=3,fpeak=2.5,fmins=180,\
+         failover=2,link=3,lfactor=4,lmins=90,seed=9",
+    )
+    .expect("valid spec")
+}
+
+/// Runs one scenario simulation (dynamic allocation) with tracing into
+/// `path` and returns `(report debug fingerprint, trace bytes)`.
+fn scenario_pass(path: &PathBuf) -> (String, String) {
+    mmog_obs::reset();
+    mmog_obs::set_trace_path(Some(path));
+    let cfg = scenario::scenario_injection(&busy_scenario_spec(), AllocationMode::Dynamic, &tiny());
+    assert!(cfg.scenario.is_some(), "busy spec must produce a timeline");
+    let report = Simulation::new(cfg).run();
+    mmog_obs::flush_trace().expect("flush succeeds");
+    mmog_obs::set_trace_path(None);
+    let trace = fs::read_to_string(path).expect("trace file exists");
+    (format!("{report:?}"), trace)
+}
+
+/// Compares `actual` to the committed fixture in `tests/golden/`; set
+/// `MMOG_UPDATE_GOLDEN=1` to regenerate after a deliberate
+/// output-changing commit.
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("MMOG_UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        fs::write(&path, actual).expect("write golden fixture");
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}; run once with MMOG_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    if let Some(d) = first_text_divergence(&expected, actual) {
+        panic!(
+            "{name} must stay byte-identical to the committed fixture: {}",
+            d.message()
+        );
+    }
+}
+
+#[test]
+fn scenario_determinism() {
+    let _guard = PROCESS_GLOBALS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let baseline_jobs = mmog_par::jobs();
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let p1 = dir.join(format!("mmog_scenario_det_j1_{pid}.jsonl"));
+    let p4 = dir.join(format!("mmog_scenario_det_j4_{pid}.jsonl"));
+    let p4b = dir.join(format!("mmog_scenario_det_j4b_{pid}.jsonl"));
+
+    mmog_par::set_jobs(1);
+    let (report_serial, trace_serial) = scenario_pass(&p1);
+    mmog_par::set_jobs(4);
+    let (report_parallel, trace_parallel) = scenario_pass(&p4);
+    let (report_again, trace_again) = scenario_pass(&p4b);
+    mmog_par::set_jobs(baseline_jobs);
+    let _ = fs::remove_file(&p1);
+    let _ = fs::remove_file(&p4);
+    let _ = fs::remove_file(&p4b);
+
+    if let Some(d) = first_text_divergence(&report_serial, &report_parallel) {
+        panic!(
+            "scenario SimReport must be bit-identical between --jobs 1 and --jobs 4: {}",
+            d.message()
+        );
+    }
+    if let Some(d) = trace_diff(&trace_serial, &trace_parallel) {
+        panic!(
+            "scenario event trace must be byte-identical between --jobs 1 and --jobs 4: {}",
+            d.message()
+        );
+    }
+    assert_eq!(report_parallel, report_again, "same-seed runs must agree");
+    if let Some(d) = trace_diff(&trace_parallel, &trace_again) {
+        panic!("same-seed traces must agree: {}", d.message());
+    }
+
+    // The run exercised the whole scenario plane: migrations charged a
+    // player-visible cost, episodes recovered, and every new event kind
+    // landed in the trace with a valid field set.
+    assert!(
+        report_serial.contains("migration_player_ticks: 0.0") == false
+            && report_serial.contains("migrations: 0,") == false,
+        "busy scenario must migrate and charge cost: {report_serial}"
+    );
+    assert!(
+        report_serial.contains("recovery_ticks: []") == false,
+        "scenario episodes must open and recover: {report_serial}"
+    );
+    let mut kinds: Vec<String> = Vec::new();
+    for (i, line) in trace_serial.lines().enumerate() {
+        let (seq, _scope, kind, value) = mmog_obs::parse_trace_line(line).expect("line parses");
+        assert_eq!(seq, i as u64, "sequence numbers are contiguous");
+        mmog_obs::validate_event_fields(&kind, &value)
+            .unwrap_or_else(|e| panic!("line {}: {e}", i + 1));
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    for required in [
+        "partition",
+        "heal",
+        "migration",
+        "flash_crowd",
+        "topology_change",
+    ] {
+        assert!(
+            kinds.iter().any(|k| k == required),
+            "trace must contain a `{required}` event; saw kinds {kinds:?}"
+        );
+    }
+
+    // Golden fixture: an explicit partition + heal + migration timeline
+    // pins the scenario plane's report to committed bytes.
+    let mut cfg = scenario::prediction_impact(
+        mmog_predict::eval::PredictorKind::LastValue,
+        AllocationMode::Dynamic,
+        &tiny(),
+    );
+    cfg.train_ticks = 0;
+    cfg.scenario = Some(
+        ScenarioTimeline::from_events(
+            "golden partition+heal+migrate",
+            vec![
+                ScenarioEvent {
+                    tick: 100,
+                    kind: ScenarioEventKind::Partition { mask: 0b0011 },
+                },
+                ScenarioEvent {
+                    tick: 160,
+                    kind: ScenarioEventKind::Heal,
+                },
+                ScenarioEvent {
+                    tick: 200,
+                    kind: ScenarioEventKind::Migrate { pick: 1 },
+                },
+            ],
+        )
+        .with_migration_cost(2),
+    );
+    let golden_report = Simulation::new(cfg).run();
+    check_golden(
+        "scenario_partition_migrate_tiny.txt",
+        &format!("{golden_report:?}\n"),
+    );
 }

@@ -27,7 +27,7 @@
 
 use mmog_datacenter::center::DataCenter;
 use mmog_datacenter::locations::table3_hp12;
-use mmog_faults::FaultSchedule;
+use mmog_faults::{FaultSchedule, ScenarioTimeline};
 use mmog_predict::eval::PredictorKind;
 use mmog_sim::engine::{AllocationMode, GameSpec, SimReport, Simulation, SimulationConfig};
 use mmog_util::geo::DistanceClass;
@@ -41,7 +41,10 @@ pub mod prelude {
     pub use mmog_datacenter::locations::{table3_centers, table3_hp12};
     pub use mmog_datacenter::policy::HostingPolicy;
     pub use mmog_datacenter::resource::{ResourceType, ResourceVector};
-    pub use mmog_faults::{FaultEvent, FaultKind, FaultSchedule, FaultSpec};
+    pub use mmog_faults::{
+        FaultEvent, FaultKind, FaultSchedule, FaultSpec, ScenarioEvent, ScenarioEventKind,
+        ScenarioSpec, ScenarioTimeline,
+    };
     pub use mmog_predict::eval::PredictorKind;
     pub use mmog_predict::neural::{NeuralConfig, NeuralPredictor};
     pub use mmog_predict::traits::Predictor;
@@ -93,6 +96,7 @@ pub struct EcosystemBuilder {
     train_ticks: usize,
     master_seed: u64,
     faults: Option<FaultSchedule>,
+    scenario: Option<ScenarioTimeline>,
 }
 
 impl Default for EcosystemBuilder {
@@ -106,6 +110,7 @@ impl Default for EcosystemBuilder {
             train_ticks: 720,
             master_seed: 0x5EED,
             faults: None,
+            scenario: None,
         }
     }
 }
@@ -184,6 +189,16 @@ impl EcosystemBuilder {
         self
     }
 
+    /// Installs a deterministic scenario timeline: network partitions,
+    /// link degradations, zone migrations, region failovers and flash
+    /// crowds. Without this call the run is byte-identical to a
+    /// scenario-free build. Composes with [`faults`](Self::faults).
+    #[must_use]
+    pub fn scenario(mut self, timeline: ScenarioTimeline) -> Self {
+        self.scenario = Some(timeline);
+        self
+    }
+
     /// Finalises the configuration without running (for inspection or
     /// custom drivers).
     #[must_use]
@@ -197,6 +212,7 @@ impl EcosystemBuilder {
             train_ticks: self.train_ticks,
             master_seed: self.master_seed,
             faults: self.faults,
+            scenario: self.scenario,
         }
     }
 

@@ -24,6 +24,9 @@
 //! - [`matching`] — the request–offer matching mechanism with the three
 //!   criteria of Sec. II-C: sufficient amounts, closest admissible
 //!   location, finest-grained/shortest-lease policies first.
+//! - [`topology`] — the scenario engine's mutable network view:
+//!   center↔center partitions and per-link distance inflation layered
+//!   on top of the static geometry (PR 8).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -34,6 +37,7 @@ pub mod matching;
 pub mod policy;
 pub mod request;
 pub mod resource;
+pub mod topology;
 
 pub use center::{Availability, DataCenter, DataCenterId, DataCenterSpec, Lease, LeaseId};
 pub use locations::table3_centers;
@@ -41,3 +45,4 @@ pub use matching::{match_request, MatchOutcome, RejectReason, Rejection, Rejecti
 pub use policy::HostingPolicy;
 pub use request::{OperatorId, ResourceRequest};
 pub use resource::{ResourceType, ResourceVector};
+pub use topology::Topology;

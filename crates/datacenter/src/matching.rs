@@ -21,6 +21,7 @@
 use crate::center::{availability_epoch, Availability, DataCenter, LeaseId};
 use crate::request::ResourceRequest;
 use crate::resource::ResourceVector;
+use crate::topology::Topology;
 use mmog_util::geo::{DistanceClass, GeoPoint};
 use mmog_util::time::SimTime;
 use serde::{Deserialize, Serialize};
@@ -52,6 +53,9 @@ pub enum RejectReason {
     GrantFailed,
     /// The center is `Down` (full outage) and was not considered.
     Unavailable,
+    /// The center sits on the far side of a network partition from the
+    /// request's home region (scenario topology) and was unreachable.
+    Partitioned,
 }
 
 impl RejectReason {
@@ -63,6 +67,7 @@ impl RejectReason {
             Self::Exhausted => "exhausted",
             Self::GrantFailed => "grant_failed",
             Self::Unavailable => "unavailable",
+            Self::Partitioned => "partitioned",
         }
     }
 }
@@ -80,6 +85,8 @@ pub struct RejectionTotals {
     pub grant_failed: u64,
     /// Centers down due to a fault-plane outage.
     pub unavailable: u64,
+    /// Centers cut off by a scenario network partition.
+    pub partitioned: u64,
 }
 
 impl RejectionTotals {
@@ -90,6 +97,7 @@ impl RejectionTotals {
             RejectReason::Exhausted => self.exhausted += 1,
             RejectReason::GrantFailed => self.grant_failed += 1,
             RejectReason::Unavailable => self.unavailable += 1,
+            RejectReason::Partitioned => self.partitioned += 1,
         }
     }
 
@@ -99,12 +107,13 @@ impl RejectionTotals {
         self.exhausted += other.exhausted;
         self.grant_failed += other.grant_failed;
         self.unavailable += other.unavailable;
+        self.partitioned += other.partitioned;
     }
 
     /// Grand total across all reasons.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.distance + self.exhausted + self.grant_failed + self.unavailable
+        self.distance + self.exhausted + self.grant_failed + self.unavailable + self.partitioned
     }
 }
 
@@ -172,6 +181,7 @@ mod obs {
         static REJ_EXHAUSTED: OnceLock<Arc<Counter>> = OnceLock::new();
         static REJ_GRANT_FAILED: OnceLock<Arc<Counter>> = OnceLock::new();
         static REJ_UNAVAILABLE: OnceLock<Arc<Counter>> = OnceLock::new();
+        static REJ_PARTITIONED: OnceLock<Arc<Counter>> = OnceLock::new();
         static PER_REQUEST: OnceLock<Arc<Histogram>> = OnceLock::new();
         stat(&REQUESTS, "match.requests").incr();
         stat(&GRANTS, "match.grants").add(grants as u64);
@@ -189,6 +199,9 @@ mod obs {
                 }
                 super::RejectReason::Unavailable => {
                     stat(&REJ_UNAVAILABLE, "match.rejections.unavailable")
+                }
+                super::RejectReason::Partitioned => {
+                    stat(&REJ_PARTITIONED, "match.rejections.partitioned")
                 }
             };
             cell.incr();
@@ -290,6 +303,23 @@ fn fill_ranked(
     }
 }
 
+/// The request's backbone ingress: the center nearest its origin by
+/// raw great-circle distance (lowest index breaks ties). Partition
+/// reachability and link factors are evaluated from this center's
+/// vantage point. Returns 0 for an empty platform.
+fn home_center(centers: &[DataCenter], origin: &GeoPoint) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, c) in centers.iter().enumerate() {
+        let d = c.distance_km(origin);
+        if d < best_d {
+            best = i;
+            best_d = d;
+        }
+    }
+    best
+}
+
 /// Matches one request against a set of data centers, mutating their
 /// lease ledgers. See the module docs for the criteria ordering.
 ///
@@ -303,10 +333,28 @@ pub fn match_request(
     request: &ResourceRequest,
     now: SimTime,
 ) -> MatchOutcome {
+    match_request_via(None, centers, request, now)
+}
+
+/// [`match_request`] under a scenario [`Topology`]. With
+/// `topology: None` this is the identical pre-topology code path; with
+/// a topology, candidates on the far side of a partition (relative to
+/// the request's [`home_center`]) are rejected as
+/// [`RejectReason::Partitioned`], and distances are inflated by the
+/// per-link factor before the tolerance check and the preference
+/// ranking ([`Grant::distance_km`] then carries the effective
+/// distance).
+pub fn match_request_via(
+    topology: Option<&Topology>,
+    centers: &mut [DataCenter],
+    request: &ResourceRequest,
+    now: SimTime,
+) -> MatchOutcome {
     mmog_obs::time_stat(obs::match_timer(), || {
         // Rank admissible centers: finer granularity, shorter time bulk,
         // then closest (the Sec. II-C criteria, operator-favouring order).
         let mut rejections = Vec::new();
+        let home = topology.map(|_| home_center(centers, &request.origin));
         let mut ranked: Vec<(usize, f64)> = centers
             .iter()
             .enumerate()
@@ -318,7 +366,19 @@ pub fn match_request(
                     });
                     return None;
                 }
-                let d = c.distance_km(&request.origin);
+                if let (Some(topo), Some(home)) = (topology, home) {
+                    if !topo.reachable(home, i) {
+                        rejections.push(Rejection {
+                            center_index: i,
+                            reason: RejectReason::Partitioned,
+                        });
+                        return None;
+                    }
+                }
+                let mut d = c.distance_km(&request.origin);
+                if let (Some(topo), Some(home)) = (topology, home) {
+                    d = topo.effective_distance(home, i, d);
+                }
                 if request.tolerance.admits(d) {
                     Some((i, d))
                 } else {
@@ -357,6 +417,15 @@ pub struct CandidateIndex {
     built: bool,
     n_centers: usize,
     epoch: u64,
+    /// Topology version the tables were built against (`None` when the
+    /// index was built without a topology). A scenario topology
+    /// mutation changes effective distances, so a version mismatch
+    /// forces a full rebuild, not just a refresh.
+    topo_version: Option<u64>,
+    /// Per center, in center-index order: whether the center is
+    /// partition-unreachable from the requester's home center. Empty
+    /// (all reachable) when built without a topology.
+    unreachable: Vec<bool>,
     /// Per center, in center-index order: distance from the origin and
     /// whether the tolerance class admits it. Static once built.
     by_center: Vec<(f64, bool)>,
@@ -382,6 +451,8 @@ impl CandidateIndex {
             built: false,
             n_centers: 0,
             epoch: 0,
+            topo_version: None,
+            unreachable: Vec::new(),
             by_center: Vec::new(),
             preference: Vec::new(),
             rejections: Vec::new(),
@@ -390,14 +461,29 @@ impl CandidateIndex {
     }
 
     /// Computes the static part: distances, admissibility, preference
-    /// order over all centers.
-    fn build(&mut self, centers: &[DataCenter]) {
+    /// order over all centers. Under a topology, distances are the
+    /// effective (link-factor-inflated) distances from the requester's
+    /// home center, and partition-unreachable centers are flagged.
+    fn build(&mut self, centers: &[DataCenter], topology: Option<&Topology>) {
         self.n_centers = centers.len();
+        self.unreachable.clear();
         self.by_center.clear();
-        self.by_center.extend(centers.iter().map(|c| {
-            let d = c.distance_km(&self.origin);
-            (d, self.tolerance.admits(d))
-        }));
+        match topology {
+            None => self.by_center.extend(centers.iter().map(|c| {
+                let d = c.distance_km(&self.origin);
+                (d, self.tolerance.admits(d))
+            })),
+            Some(topo) => {
+                let home = home_center(centers, &self.origin);
+                self.unreachable
+                    .extend((0..centers.len()).map(|i| !topo.reachable(home, i)));
+                self.by_center
+                    .extend(centers.iter().enumerate().map(|(i, c)| {
+                        let d = topo.effective_distance(home, i, c.distance_km(&self.origin));
+                        (d, self.tolerance.admits(d))
+                    }));
+            }
+        }
         self.preference.clear();
         self.preference
             .extend(self.by_center.iter().enumerate().map(|(i, &(d, _))| (i, d)));
@@ -416,11 +502,17 @@ impl CandidateIndex {
     fn refresh(&mut self, centers: &[DataCenter]) {
         self.rejections.clear();
         self.ranked.clear();
+        let cut = |i: usize| self.unreachable.get(i).copied().unwrap_or(false);
         for (i, c) in centers.iter().enumerate() {
             if c.availability() == Availability::Down {
                 self.rejections.push(Rejection {
                     center_index: i,
                     reason: RejectReason::Unavailable,
+                });
+            } else if cut(i) {
+                self.rejections.push(Rejection {
+                    center_index: i,
+                    reason: RejectReason::Partitioned,
                 });
             } else if !self.by_center[i].1 {
                 self.rejections.push(Rejection {
@@ -430,7 +522,7 @@ impl CandidateIndex {
             }
         }
         for &(i, d) in &self.preference {
-            if self.by_center[i].1 && centers[i].availability() != Availability::Down {
+            if self.by_center[i].1 && !cut(i) && centers[i].availability() != Availability::Down {
                 self.ranked.push((i, d));
             }
         }
@@ -447,16 +539,34 @@ pub fn match_request_indexed(
     request: &ResourceRequest,
     now: SimTime,
 ) -> MatchOutcome {
+    match_request_indexed_via(None, index, centers, request, now)
+}
+
+/// [`match_request_indexed`] under a scenario [`Topology`]: the indexed
+/// counterpart of [`match_request_via`], with byte-identical outcomes.
+/// A topology mutation (version bump) invalidates the cached distance
+/// tables and forces a full rebuild; availability-only changes keep
+/// using the cheap refresh path. With `topology: None` this is the
+/// identical pre-topology code path.
+pub fn match_request_indexed_via(
+    topology: Option<&Topology>,
+    index: &mut CandidateIndex,
+    centers: &mut [DataCenter],
+    request: &ResourceRequest,
+    now: SimTime,
+) -> MatchOutcome {
     debug_assert!(
         request.origin == index.origin && request.tolerance == index.tolerance,
         "a CandidateIndex serves one (origin, tolerance) requester"
     );
     mmog_obs::time_stat(obs::match_timer(), || {
         let epoch = availability_epoch();
-        if !index.built || index.n_centers != centers.len() {
-            index.build(centers);
+        let topo_version = topology.map(Topology::version);
+        if !index.built || index.n_centers != centers.len() || index.topo_version != topo_version {
+            index.build(centers, topology);
             index.refresh(centers);
             index.epoch = epoch;
+            index.topo_version = topo_version;
         } else if index.epoch != epoch {
             index.refresh(centers);
             index.epoch = epoch;
@@ -749,6 +859,141 @@ mod tests {
         centers.push(center(1, 50.0, 10.0, 4, HostingPolicy::hp(3)));
         let out = match_request_indexed(&mut index, &mut centers, &req, SimTime::ZERO);
         assert_eq!(out.grants[0].center_index, 1, "new finest center wins");
+    }
+
+    #[test]
+    fn partitioned_centers_rejected_until_heal() {
+        // Origin sits on center 0; center 1 is cut off by a partition.
+        let mut centers = vec![
+            center(0, 50.0, 10.0, 1, HostingPolicy::hp(5)), // home, tiny
+            center(1, 50.0, 11.0, 10, HostingPolicy::hp(3)), // finest, far side
+        ];
+        let mut topo = Topology::new(2);
+        topo.partition(0b10); // {0} | {1}
+        let req = cpu_req(5.0, DistanceClass::VeryFar);
+        let out = match_request_via(Some(&topo), &mut centers, &req, SimTime::ZERO);
+        assert!(out.grants.iter().all(|g| g.center_index == 0));
+        assert!(!out.fully_met(), "home center alone cannot cover 5 CPU");
+        assert!(out
+            .rejections
+            .iter()
+            .any(|r| r.center_index == 1 && r.reason == RejectReason::Partitioned));
+        let mut totals = RejectionTotals::default();
+        for r in &out.rejections {
+            totals.add(r.reason);
+        }
+        assert_eq!(totals.partitioned, 1);
+        assert_eq!(totals.total(), out.rejections.len() as u64);
+        // Heal: the far side becomes reachable and covers the request.
+        topo.heal();
+        let out = match_request_via(Some(&topo), &mut centers, &req, SimTime::ZERO);
+        assert!(out.fully_met());
+        assert!(out.grants.iter().any(|g| g.center_index == 1));
+    }
+
+    #[test]
+    fn link_degradation_inflates_effective_distance() {
+        // Both centers inside Close (<2000 km) nominally; a 4× link
+        // factor pushes center 1 beyond the tolerance.
+        let mut centers = vec![
+            center(0, 50.0, 10.0, 10, HostingPolicy::hp(5)), // home
+            center(1, 50.0, 20.0, 10, HostingPolicy::hp(3)), // ~714 km, finest
+        ];
+        let nominal = Topology::new(2);
+        let req = cpu_req(0.4, DistanceClass::Close);
+        let out = match_request_via(Some(&nominal), &mut centers.clone(), &req, SimTime::ZERO);
+        assert_eq!(
+            out.grants[0].center_index, 1,
+            "finest center wins nominally"
+        );
+        let mut topo = Topology::new(2);
+        topo.set_link_factor(0, 1, 4.0); // 714 km → ~2857 km effective
+        let out = match_request_via(Some(&topo), &mut centers, &req, SimTime::ZERO);
+        assert!(out.grants.iter().all(|g| g.center_index == 0));
+        assert!(out
+            .rejections
+            .iter()
+            .any(|r| r.center_index == 1 && r.reason == RejectReason::Distance));
+    }
+
+    #[test]
+    fn nominal_topology_matches_no_topology_exactly() {
+        let centers = vec![
+            center(0, 50.0, 10.0, 3, HostingPolicy::hp(7)),
+            center(1, 50.0, 40.0, 2, HostingPolicy::hp(3)),
+            center(2, 50.0, 10.5, 2, HostingPolicy::hp(5)),
+        ];
+        let topo = Topology::new(3);
+        for amt in [0.4, 1.3, 5.0] {
+            let req = cpu_req(amt, DistanceClass::Far);
+            let mut a = centers.clone();
+            let mut b = centers.clone();
+            let out_a = match_request(&mut a, &req, SimTime::ZERO);
+            let out_b = match_request_via(Some(&topo), &mut b, &req, SimTime::ZERO);
+            assert_eq!(out_a, out_b, "nominal topology must be transparent");
+        }
+    }
+
+    /// Topology counterpart of [`assert_indexed_matches_oneshot`]: the
+    /// same request sequence through [`match_request_via`] and
+    /// [`match_request_indexed_via`] while `mutate` rewires the
+    /// topology (and possibly availability) between steps.
+    fn assert_indexed_matches_oneshot_via(
+        mut centers: Vec<DataCenter>,
+        requests: &[ResourceRequest],
+        mut topo: Topology,
+        mutate: impl Fn(&mut Topology, &mut [DataCenter], usize),
+    ) {
+        let mut indexed = centers.clone();
+        let mut index = CandidateIndex::new(requests[0].origin, requests[0].tolerance);
+        for (step, req) in requests.iter().enumerate() {
+            mutate(&mut topo, &mut centers, step);
+            // Replay availability mutations on the indexed clone with a
+            // throwaway topology so both platforms stay in lock-step.
+            let mut shadow = topo.clone();
+            mutate(&mut shadow, &mut indexed, step);
+            let now = SimTime::from_minutes(step as u64);
+            let a = match_request_via(Some(&topo), &mut centers, req, now);
+            let b = match_request_indexed_via(Some(&topo), &mut index, &mut indexed, req, now);
+            assert_eq!(a, b, "outcomes diverge at step {step}");
+            for (x, y) in centers.iter().zip(&indexed) {
+                assert_eq!(x.allocated(), y.allocated(), "ledgers diverge at {step}");
+                assert_eq!(x.leases(), y.leases());
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_tracks_topology_mutations() {
+        let centers = vec![
+            center(0, 50.0, 10.0, 4, HostingPolicy::hp(3)),
+            center(1, 50.0, 11.0, 4, HostingPolicy::hp(5)),
+            center(2, 50.0, 12.0, 4, HostingPolicy::hp(7)),
+        ];
+        let requests: Vec<ResourceRequest> = (0..8)
+            .map(|_| cpu_req(0.5, DistanceClass::VeryFar))
+            .collect();
+        // Partition, degrade a link, fail a center, heal, restore — the
+        // index must rebuild on every topology version bump and refresh
+        // on the availability change.
+        assert_indexed_matches_oneshot_via(
+            centers,
+            &requests,
+            Topology::new(3),
+            |topo, cs, step| match step {
+                1 => topo.partition(0b001),
+                2 => topo.set_link_factor(0, 1, 8.0),
+                3 => {
+                    let _ = cs[2].fail();
+                }
+                4 => topo.heal(),
+                5 => {
+                    cs[2].repair();
+                    topo.set_link_factor(0, 1, 1.0);
+                }
+                _ => {}
+            },
+        );
     }
 
     #[test]

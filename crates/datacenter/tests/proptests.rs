@@ -226,6 +226,44 @@ proptest! {
         }
     }
 
+    /// Scenario-plane invariant: after ANY sequence of partitions
+    /// (interleaved with link degradations), a single `heal` restores
+    /// full pairwise reachability — partitions are component labels,
+    /// not destroyed state. Link factors are orthogonal: they survive
+    /// the heal and stay symmetric and clamped ≥ 1.0 throughout.
+    #[test]
+    fn heal_restores_full_reachability_after_any_partition_sequence(
+        n in 1usize..12,
+        masks in prop::collection::vec(0u64..4096, 1..16),
+        links in prop::collection::vec((0usize..12, 0usize..12, 0.25f64..8.0), 0..8),
+    ) {
+        use mmog_datacenter::topology::Topology;
+        let mut topo = Topology::new(n);
+        for &mask in &masks {
+            topo.partition(mask);
+        }
+        for &(a, b, f) in &links {
+            topo.set_link_factor(a, b, f);
+        }
+        let components_before = topo.components();
+        prop_assert!(components_before >= 1 && components_before <= n);
+        let version_before = topo.version();
+        topo.heal();
+        prop_assert!(topo.version() > version_before);
+        prop_assert!(topo.fully_connected());
+        prop_assert_eq!(topo.components(), 1);
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert!(topo.reachable(a, b), "heal must reconnect {a}<->{b}");
+                // Degradations are not partitions: factors persist
+                // through heal, symmetric and never below nominal.
+                let f = topo.link_factor(a, b);
+                prop_assert!(f >= 1.0, "factor {f} below nominal");
+                prop_assert_eq!(f, topo.link_factor(b, a));
+            }
+        }
+    }
+
     #[test]
     fn matching_prefers_finer_granularity(
         fine_bulk in 0.05f64..0.3,

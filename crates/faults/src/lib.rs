@@ -20,6 +20,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod scenario;
+
+pub use scenario::{ScenarioEvent, ScenarioEventKind, ScenarioSpec, ScenarioTimeline};
+
 use mmog_util::rng::Rng64;
 use mmog_util::time::{TICKS_PER_DAY, TICK_MINUTES};
 use serde::{Deserialize, Serialize};
@@ -163,8 +167,9 @@ impl FaultSpec {
     }
 
     /// Parses a declarative spec string (see the type docs for the
-    /// grammar). Empty segments are allowed; unknown keys and malformed
-    /// values are errors.
+    /// grammar). Whitespace around `=` and `,` is ignored and empty
+    /// segments are allowed; unknown keys and malformed values are
+    /// errors that name the offending token.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut out = Self::default();
         for part in spec.split(',') {
@@ -175,22 +180,24 @@ impl FaultSpec {
             let (key, value) = part
                 .split_once('=')
                 .ok_or_else(|| format!("fault spec segment `{part}` is not key=value"))?;
-            let bad = |e: &dyn std::fmt::Display| format!("fault spec `{key}`: {e}");
-            match key.trim() {
-                "seed" => out.seed = value.trim().parse().map_err(|e| bad(&e))?,
+            let (key, value) = (key.trim(), value.trim());
+            let bad =
+                |e: &dyn std::fmt::Display| format!("fault spec `{key}`: bad value `{value}`: {e}");
+            match key {
+                "seed" => out.seed = value.parse().map_err(|e| bad(&e))?,
                 "outages" => {
-                    out.outages_per_center_day = value.trim().parse().map_err(|e| bad(&e))?;
+                    out.outages_per_center_day = value.parse().map_err(|e| bad(&e))?;
                 }
-                "repair" => out.repair_minutes = value.trim().parse().map_err(|e| bad(&e))?,
+                "repair" => out.repair_minutes = value.parse().map_err(|e| bad(&e))?,
                 "degrade" => {
-                    out.degrade_per_center_day = value.trim().parse().map_err(|e| bad(&e))?;
+                    out.degrade_per_center_day = value.parse().map_err(|e| bad(&e))?;
                 }
-                "dfrac" => out.degrade_fraction = value.trim().parse().map_err(|e| bad(&e))?,
-                "dmins" => out.degrade_minutes = value.trim().parse().map_err(|e| bad(&e))?,
+                "dfrac" => out.degrade_fraction = value.parse().map_err(|e| bad(&e))?,
+                "dmins" => out.degrade_minutes = value.parse().map_err(|e| bad(&e))?,
                 "revoke" => {
-                    out.revocations_per_center_day = value.trim().parse().map_err(|e| bad(&e))?;
+                    out.revocations_per_center_day = value.parse().map_err(|e| bad(&e))?;
                 }
-                "dropout" => out.dropout_per_tick = value.trim().parse().map_err(|e| bad(&e))?,
+                "dropout" => out.dropout_per_tick = value.parse().map_err(|e| bad(&e))?,
                 other => return Err(format!("unknown fault spec key `{other}`")),
             }
         }
@@ -417,6 +424,27 @@ mod tests {
         assert!(FaultSpec::parse("outages=abc").is_err());
         assert!(FaultSpec::parse("dfrac=1.5").is_err());
         assert!(FaultSpec::parse("dropout=-0.1").is_err());
+    }
+
+    #[test]
+    fn spec_accepts_whitespace_around_separators() {
+        let s = FaultSpec::parse("  outages = 0.5 ,\trepair =\t240 , seed= 7 ").unwrap();
+        assert_eq!(s.outages_per_center_day, 0.5);
+        assert_eq!(s.repair_minutes, 240);
+        assert_eq!(s.seed, 7);
+    }
+
+    #[test]
+    fn spec_errors_name_the_offending_token() {
+        let err = FaultSpec::parse("outages=abc").unwrap_err();
+        assert!(err.contains("`outages`"), "missing key in: {err}");
+        assert!(err.contains("`abc`"), "missing value token in: {err}");
+        let err = FaultSpec::parse("repair = 12x").unwrap_err();
+        assert!(err.contains("`12x`"), "missing value token in: {err}");
+        let err = FaultSpec::parse("bogus=1").unwrap_err();
+        assert!(err.contains("`bogus`"), "missing key token in: {err}");
+        let err = FaultSpec::parse("outages").unwrap_err();
+        assert!(err.contains("`outages`"), "missing segment token in: {err}");
     }
 
     #[test]

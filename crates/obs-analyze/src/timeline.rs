@@ -99,6 +99,14 @@ pub struct RunTimeline {
     pub centers: Vec<CenterSeries>,
     /// Rejection-reason waterfall: `(reason, count)` sorted by reason.
     pub rejections: Vec<(String, u64)>,
+    /// Scenario-event waterfall: `(kind, count)` sorted by kind, over
+    /// the five topology-mutation kinds (`partition`, `heal`,
+    /// `topology_change`, `migration`, `flash_crowd`). Empty for
+    /// scenario-free runs.
+    pub scenario: Vec<(String, u64)>,
+    /// Player-ticks charged by zone migrations (sum of `migration`
+    /// events' `cost` fields).
+    pub migration_cost: f64,
     /// Per-group prediction error, in group-event order.
     pub prediction: Vec<PredictionRow>,
     /// Integrated per-center usage, in platform order.
@@ -138,6 +146,18 @@ impl RunTimeline {
                 match self.rejections.binary_search_by(|(r, _)| r.cmp(&reason)) {
                     Ok(i) => self.rejections[i].1 += 1,
                     Err(i) => self.rejections.insert(i, (reason, 1)),
+                }
+            }
+            kind @ ("partition" | "heal" | "topology_change" | "migration" | "flash_crowd") => {
+                if kind == "migration" {
+                    self.migration_cost += event.f64("cost").unwrap_or(0.0);
+                }
+                match self
+                    .scenario
+                    .binary_search_by(|(k, _)| k.as_str().cmp(kind))
+                {
+                    Ok(i) => self.scenario[i].1 += 1,
+                    Err(i) => self.scenario.insert(i, (kind.to_string(), 1)),
                 }
             }
             "prediction_group" => self.prediction.push(PredictionRow {
@@ -242,6 +262,21 @@ pub fn render_timelines(runs: &[RunTimeline]) -> String {
                 .map(|(r, n)| format!("{r} {n}"))
                 .collect();
             let _ = writeln!(out, "  rejections: {}", waterfall.join(", "));
+        }
+        if !run.scenario.is_empty() {
+            let waterfall: Vec<String> = run
+                .scenario
+                .iter()
+                .map(|(k, n)| format!("{k} {n}"))
+                .collect();
+            let _ = writeln!(out, "  scenario events: {}", waterfall.join(", "));
+            if run.migration_cost > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "  migration cost: {:.3} player-ticks",
+                    run.migration_cost
+                );
+            }
         }
         if let Some((mean_e, _, n)) = mean(run.prediction.iter().map(|p| p.error_pct.abs())) {
             let worst = run
@@ -349,7 +384,7 @@ pub fn timelines_value(runs: &[RunTimeline]) -> Value {
                     ])
                 })
                 .collect();
-            Value::Obj(vec![
+            let mut fields = vec![
                 ("scope".to_string(), Value::Str(run.scope.clone())),
                 (
                     "mode".to_string(),
@@ -366,7 +401,20 @@ pub fn timelines_value(runs: &[RunTimeline]) -> Value {
                 ("rejections".to_string(), Value::Obj(rejections)),
                 ("prediction".to_string(), Value::Arr(prediction)),
                 ("usage".to_string(), Value::Arr(usage)),
-            ])
+            ];
+            // Scenario sections appear only for runs that saw scenario
+            // events, so scenario-free documents stay byte-identical to
+            // pre-scenario builds.
+            if !run.scenario.is_empty() {
+                let scenario: Vec<(String, Value)> = run
+                    .scenario
+                    .iter()
+                    .map(|(k, n)| (k.clone(), Value::UInt(*n)))
+                    .collect();
+                fields.push(("scenario".to_string(), Value::Obj(scenario)));
+                fields.push(("migration_cost".to_string(), num(run.migration_cost)));
+            }
+            Value::Obj(fields)
         })
         .collect();
     Value::Obj(vec![
@@ -440,6 +488,65 @@ mod tests {
             parsed.get("schema").and_then(Value::as_str),
             Some(TIMELINE_SCHEMA)
         );
+    }
+
+    #[test]
+    fn scenario_waterfall_folds_and_renders_only_when_present() {
+        let trace = [
+            r#"{"seq":0,"scope":"runS","kind":"partition","tick":5,"mask":9,"components":2}"#,
+            r#"{"seq":1,"scope":"runS","kind":"migration","tick":6,"group":2,"center":1,"leases":3,"cost":84.5}"#,
+            r#"{"seq":2,"scope":"runS","kind":"migration","tick":7,"group":0,"center":4,"leases":1,"cost":15.5}"#,
+            r#"{"seq":3,"scope":"runS","kind":"flash_crowd","tick":8,"region":1,"factor":2.5,"groups":4}"#,
+            r#"{"seq":4,"scope":"runS","kind":"topology_change","tick":8,"a":0,"b":3,"factor":3.5}"#,
+            r#"{"seq":5,"scope":"runS","kind":"heal","tick":9,"components":1}"#,
+        ]
+        .join("\n");
+        let runs = analyze_trace(&trace, &Query::default()).unwrap();
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(
+            run.scenario,
+            vec![
+                ("flash_crowd".to_string(), 1),
+                ("heal".to_string(), 1),
+                ("migration".to_string(), 2),
+                ("partition".to_string(), 1),
+                ("topology_change".to_string(), 1),
+            ]
+        );
+        assert!((run.migration_cost - 100.0).abs() < 1e-12);
+        let text = render_timelines(&runs);
+        assert!(
+            text.contains("scenario events: flash_crowd 1, heal 1, migration 2, partition 1, topology_change 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("migration cost: 100.000 player-ticks"),
+            "{text}"
+        );
+        let json = timelines_value(&runs).render_pretty();
+        let parsed = mmog_obs::json::parse(&json).unwrap();
+        let scope = &parsed.get("scopes").and_then(Value::as_arr).unwrap()[0];
+        assert_eq!(
+            scope
+                .get("scenario")
+                .and_then(|s| s.get("migration"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            scope.get("migration_cost").and_then(Value::as_f64),
+            Some(100.0)
+        );
+
+        // Scenario-free runs render and serialize without the section —
+        // byte-identical to pre-scenario builds.
+        let plain = analyze_trace(&sample_trace(), &Query::default()).unwrap();
+        let plain_text = render_timelines(&plain);
+        assert!(!plain_text.contains("scenario events"), "{plain_text}");
+        let plain_json = timelines_value(&plain).render_pretty();
+        assert!(!plain_json.contains("\"scenario\""), "{plain_json}");
+        assert!(!plain_json.contains("migration_cost"), "{plain_json}");
     }
 
     #[test]

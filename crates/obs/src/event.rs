@@ -51,6 +51,13 @@ pub const KNOWN_EVENT_KINDS: &[&str] = &[
     // Flight recorder (only present in `FLIGHT_*.jsonl` dumps).
     "flight_meta",
     "tick_latency",
+    // Scenario engine (only present when a scenario timeline is
+    // installed).
+    "topology_change",
+    "partition",
+    "heal",
+    "migration",
+    "flash_crowd",
 ];
 
 /// The type an event field must carry.
@@ -251,6 +258,55 @@ pub const EVENT_FIELDS: &[(&str, &[(&str, FieldType)])] = &[
             ("reduce_ns", FieldType::U64),
             ("settle_ns", FieldType::U64),
             ("tick_ns", FieldType::U64),
+        ],
+    ),
+    (
+        // A backbone link's distance factor changed (degrade or
+        // restore; restore carries factor 1).
+        "topology_change",
+        &[
+            ("tick", FieldType::U64),
+            ("a", FieldType::U64),
+            ("b", FieldType::U64),
+            ("factor", FieldType::Num),
+        ],
+    ),
+    (
+        // The federation split along `mask` into `components` parts.
+        "partition",
+        &[
+            ("tick", FieldType::U64),
+            ("mask", FieldType::U64),
+            ("components", FieldType::U64),
+        ],
+    ),
+    (
+        // All partitions healed; `components` is 1 again.
+        "heal",
+        &[("tick", FieldType::U64), ("components", FieldType::U64)],
+    ),
+    (
+        // One group migrated away from `center`, dropping `leases`
+        // leases and charging `cost` unserved player-ticks.
+        "migration",
+        &[
+            ("tick", FieldType::U64),
+            ("group", FieldType::U64),
+            ("center", FieldType::U64),
+            ("leases", FieldType::U64),
+            ("cost", FieldType::Num),
+        ],
+    ),
+    (
+        // A region's demand multiplier changed (begin carries the peak
+        // factor, end carries 1); `groups` is the number of groups
+        // homed in the region.
+        "flash_crowd",
+        &[
+            ("tick", FieldType::U64),
+            ("region", FieldType::U64),
+            ("factor", FieldType::Num),
+            ("groups", FieldType::U64),
         ],
     ),
 ];
@@ -667,6 +723,68 @@ mod tests {
         )
         .unwrap();
         let err = validate_event_fields("tick", &wrong_type).unwrap_err();
+        assert!(err.contains("wrong type"), "{err}");
+    }
+
+    #[test]
+    fn scenario_event_schemas_accept_canonical_lines() {
+        let lines = [
+            (
+                "topology_change",
+                r#"{"seq":0,"scope":"s","kind":"topology_change","tick":4,"a":0,"b":3,"factor":3.5}"#,
+            ),
+            (
+                "partition",
+                r#"{"seq":1,"scope":"s","kind":"partition","tick":5,"mask":9,"components":2}"#,
+            ),
+            (
+                "heal",
+                r#"{"seq":2,"scope":"s","kind":"heal","tick":9,"components":1}"#,
+            ),
+            (
+                "migration",
+                r#"{"seq":3,"scope":"s","kind":"migration","tick":6,"group":2,"center":1,"leases":3,"cost":84.5}"#,
+            ),
+            (
+                "flash_crowd",
+                r#"{"seq":4,"scope":"s","kind":"flash_crowd","tick":7,"region":1,"factor":2.5,"groups":4}"#,
+            ),
+        ];
+        for (kind, line) in lines {
+            let value = json::parse(line).unwrap();
+            validate_event_fields(kind, &value)
+                .unwrap_or_else(|e| panic!("canonical `{kind}` line rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn scenario_event_schemas_reject_tampering() {
+        // Dropped field.
+        let missing = json::parse(r#"{"kind":"partition","tick":5,"mask":9}"#).unwrap();
+        let err = validate_event_fields("partition", &missing).unwrap_err();
+        assert!(err.contains("components"), "{err}");
+        // Reordered fields.
+        let reordered = json::parse(
+            r#"{"kind":"migration","tick":6,"center":1,"group":2,"leases":3,"cost":84.5}"#,
+        )
+        .unwrap();
+        let err = validate_event_fields("migration", &reordered).unwrap_err();
+        assert!(err.contains("order skew"), "{err}");
+        // Wrong type.
+        let wrong_type =
+            json::parse(r#"{"kind":"flash_crowd","tick":7,"region":1,"factor":"big","groups":4}"#)
+                .unwrap();
+        let err = validate_event_fields("flash_crowd", &wrong_type).unwrap_err();
+        assert!(err.contains("wrong type"), "{err}");
+        // Extra field.
+        let extra = json::parse(r#"{"kind":"heal","tick":9,"components":1,"bonus":1}"#).unwrap();
+        let err = validate_event_fields("heal", &extra).unwrap_err();
+        assert!(err.contains("bonus") || err.contains("expected"), "{err}");
+        // Negative tick (U64 field must reject signed values).
+        let negative =
+            json::parse(r#"{"kind":"topology_change","tick":-1,"a":0,"b":3,"factor":3.5}"#)
+                .unwrap();
+        let err = validate_event_fields("topology_change", &negative).unwrap_err();
         assert!(err.contains("wrong type"), "{err}");
     }
 }

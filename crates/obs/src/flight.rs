@@ -66,6 +66,12 @@ const EMPTY_RECORD: FlightRecord = FlightRecord {
 pub enum FlightTrigger {
     /// A fault-plane event was applied this tick (seed-deterministic).
     Fault,
+    /// A scenario network partition was applied this tick
+    /// (seed-deterministic).
+    Partition,
+    /// A scenario zone migration (or region failover) was applied this
+    /// tick (seed-deterministic).
+    Migration,
     /// The whole-tick wall-clock exceeded [`FlightConfig::deadline_ns`].
     DeadlineOverrun,
     /// A regression gate reported a breach (wired by gate harnesses).
@@ -80,6 +86,8 @@ impl FlightTrigger {
     pub fn label(self) -> &'static str {
         match self {
             FlightTrigger::Fault => "fault",
+            FlightTrigger::Partition => "partition",
+            FlightTrigger::Migration => "migration",
             FlightTrigger::DeadlineOverrun => "deadline_overrun",
             FlightTrigger::GateBreach => "gate_breach",
             FlightTrigger::Explicit => "explicit",

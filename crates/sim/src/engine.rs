@@ -14,7 +14,8 @@ use mmog_datacenter::center::DataCenter;
 use mmog_datacenter::matching::RejectionTotals;
 use mmog_datacenter::request::OperatorId;
 use mmog_datacenter::resource::ResourceVector;
-use mmog_faults::{FaultKind, FaultSchedule};
+use mmog_datacenter::topology::Topology;
+use mmog_faults::{FaultKind, FaultSchedule, ScenarioEventKind, ScenarioTimeline};
 use mmog_obs::{Domain, EventSink, FlightRecorder, FlightTrigger};
 use mmog_predict::eval::PredictorKind;
 use mmog_util::geo::{DistanceClass, GeoPoint};
@@ -131,6 +132,14 @@ pub struct SimulationConfig {
     /// dropouts — from the engine's serial section at the start of each
     /// tick, so fault runs stay deterministic for any `--jobs`.
     pub faults: Option<FaultSchedule>,
+    /// Scenario timeline: topology mutations (partitions, link
+    /// degradation), zone migrations, region failovers and flash
+    /// crowds. `None` (the default everywhere) reproduces the
+    /// scenario-free simulation byte-for-byte — no topology is
+    /// installed and the matcher takes its original code path. `Some`
+    /// plays the timeline from the engine's serial sections, composing
+    /// freely with a fault schedule.
+    pub scenario: Option<ScenarioTimeline>,
 }
 
 /// Per-center usage integrated over the simulation (the Figures 13–14
@@ -196,6 +205,16 @@ pub struct SimReport {
     pub leases_revoked: u64,
     /// Leases granted while re-acquiring fault-lost capacity.
     pub reprovisions: u64,
+    /// Scenario events applied during the run (partitions, heals, link
+    /// changes, migrations, failover drains, flash crowds).
+    pub scenario_events: u64,
+    /// Zone migrations executed: explicit `Migrate` events that found
+    /// leases to move, plus one per group drained by a region failover.
+    pub migrations: u64,
+    /// Σ players × migration-cost ticks charged by migrations. Also
+    /// included in `unserved_player_ticks` (migration is player-visible
+    /// downtime); this field isolates the migration share.
+    pub migration_player_ticks: f64,
     /// The flight-recorder dump this run produced, if flight recording
     /// was configured and a trigger fired. `None` on every un-configured
     /// run, so baseline reports are unaffected.
@@ -207,8 +226,8 @@ pub struct SimReport {
 /// artifact.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FlightDumpReport {
-    /// What fired the dump (`fault`, `deadline_overrun`, `gate_breach`,
-    /// `explicit`).
+    /// What fired the dump (`fault`, `partition`, `migration`,
+    /// `deadline_overrun`, `gate_breach`, `explicit`).
     pub trigger: String,
     /// Tick the trigger fired on.
     pub trigger_tick: u64,
@@ -373,6 +392,13 @@ pub struct Simulation {
     trace_label: String,
     /// Fault schedule, consumed by [`run`](Self::run).
     faults: Option<FaultSchedule>,
+    /// Scenario timeline, consumed by [`run`](Self::run).
+    scenario: Option<ScenarioTimeline>,
+    /// Each group's region id (regions are enumerated in configuration
+    /// order across games); flash crowds resolve against this table.
+    region_ids: Vec<u32>,
+    /// Groups per region id, for the `flash_crowd` event payload.
+    region_group_counts: Vec<u64>,
 }
 
 impl Simulation {
@@ -404,6 +430,12 @@ impl Simulation {
         let mut operator_origins = BTreeMap::new();
         let mut static_targets = Vec::new();
         let mut min_len = usize::MAX;
+        // Region enumeration for the scenario plane: each (game, region)
+        // gets the next id, each group records its region's id. Pure
+        // configuration order, so flash-crowd targeting is
+        // jobs-independent.
+        let mut region_ids: Vec<u32> = Vec::new();
+        let mut next_region = 0u32;
         for (game_idx, game) in cfg.games.iter().enumerate() {
             let demand_model = DemandModel::paper(game.update_model);
             match &game.workload {
@@ -412,7 +444,10 @@ impl Simulation {
                         let operator = OperatorId(game.operator_base + u32::from(region.region.0));
                         let origin = crate::scenario::region_origin(&region.name);
                         operator_origins.insert(operator.0, (region.name.clone(), origin));
+                        let rid = next_region;
+                        next_region += 1;
                         for group in &region.groups {
+                            region_ids.push(rid);
                             assert!(!group.series.is_empty(), "empty trace for {}", region.name);
                             min_len = min_len.min(group.series.len());
                             static_targets.push(
@@ -443,7 +478,10 @@ impl Simulation {
                         let operator = OperatorId(game.operator_base + ri as u32);
                         let origin = crate::scenario::region_origin(&region.name);
                         operator_origins.insert(operator.0, (region.name.clone(), origin));
+                        let rid = next_region;
+                        next_region += 1;
                         for _ in 0..region.groups {
+                            region_ids.push(rid);
                             static_targets.push(
                                 demand_model.demand(game.static_peak_players) * game.headroom,
                             );
@@ -494,10 +532,10 @@ impl Simulation {
         // the fan-out is embarrassingly parallel and order-preserving.
         let train_span = mmog_obs::span("sim/build/train");
         let record_matches = mmog_obs::trace_enabled();
-        // Self-healing re-provisioning only backs off under fault
-        // injection; the unfaulted baseline keeps its
+        // Self-healing re-provisioning only backs off under fault or
+        // scenario injection; the undisturbed baseline keeps its
         // request-every-tick behaviour bit-for-bit.
-        let retry = cfg.faults.is_some().then(RetryPolicy::default);
+        let retry = (cfg.faults.is_some() || cfg.scenario.is_some()).then(RetryPolicy::default);
         let groups: Vec<GroupRuntime> = mmog_par::par_map(&specs, |spec| {
             let game = &cfg.games[spec.game];
             let demand_model = DemandModel::paper(game.update_model);
@@ -585,6 +623,16 @@ impl Simulation {
             trace_label.push_str(faults.label());
             trace_label.push(']');
         }
+        // Scenario runs likewise label their chunks distinctly.
+        if let Some(scenario) = &cfg.scenario {
+            trace_label.push_str(" scenario=[");
+            trace_label.push_str(scenario.label());
+            trace_label.push(']');
+        }
+        let mut region_group_counts = vec![0u64; next_region as usize];
+        for &rid in &region_ids {
+            region_group_counts[rid as usize] += 1;
+        }
         Self {
             centers: cfg.centers,
             hot: vec![GroupHot::ZERO; groups.len()],
@@ -600,6 +648,9 @@ impl Simulation {
             processing_order,
             trace_label,
             faults: cfg.faults,
+            scenario: cfg.scenario,
+            region_ids,
+            region_group_counts,
         }
     }
 
@@ -659,6 +710,26 @@ impl Simulation {
         let fault_queue = schedule.as_ref().map_or(&[][..], |s| s.events());
         let mut fault_cursor = 0usize;
         let mut fault_event_count = 0u64;
+        // Scenario plane: like the fault plane, the timeline's events
+        // apply from serial sections only. With no timeline the
+        // topology is never built, every branch below is dead, and the
+        // matcher takes its original (topology-free) code path — the
+        // run is byte-identical to the scenario-free baseline.
+        let scenario = self.scenario.take();
+        let scenario_active = scenario.is_some();
+        let scenario_queue = scenario.as_ref().map_or(&[][..], |s| s.events());
+        let migration_cost = scenario
+            .as_ref()
+            .map_or(0, ScenarioTimeline::migration_cost_ticks);
+        let mut scenario_cursor = 0usize;
+        let mut scenario_event_count = 0u64;
+        let mut migrations = 0u64;
+        let mut migration_player_ticks = 0.0f64;
+        let mut topology = scenario_active.then(|| Topology::new(self.centers.len()));
+        // Per-region flash-crowd demand multipliers (1.0 = nominal).
+        let n_regions = self.region_group_counts.len();
+        let mut region_flash = vec![1.0f64; n_regions.max(1)];
+        let mut flashes_active = 0usize;
         let mut leases_revoked = 0u64;
         let mut reprovisions = 0u64;
         let mut unserved_player_ticks = 0.0f64;
@@ -684,9 +755,12 @@ impl Simulation {
         if self.mode == AllocationMode::Static {
             for (gi, group) in self.groups.iter_mut().enumerate() {
                 let target = self.static_targets[gi];
-                let out = group
-                    .provisioner
-                    .adjust(&target, &mut self.centers, SimTime::ZERO);
+                let out = group.provisioner.adjust_via(
+                    topology.as_ref(),
+                    &target,
+                    &mut self.centers,
+                    SimTime::ZERO,
+                );
                 leases_granted += out.granted as u64;
                 leases_released += out.released as u64;
                 rejections.merge(&out.rejections);
@@ -858,6 +932,227 @@ impl Simulation {
                     }
                 }
             }
+            // Scenario application: serial, after the fill (so migration
+            // costs are charged against this tick's player counts) and
+            // before the fan-out (so dropped leases and flash-crowd
+            // demand are visible the same tick).
+            let mut partition_fired = false;
+            let mut migration_fired = false;
+            if scenario_active {
+                let topo = topology.as_mut().expect("scenario runs install a topology");
+                while scenario_cursor < scenario_queue.len()
+                    && scenario_queue[scenario_cursor].tick == t as u64
+                {
+                    let ev = scenario_queue[scenario_cursor];
+                    scenario_cursor += 1;
+                    scenario_event_count += 1;
+                    match ev.kind {
+                        ScenarioEventKind::Partition { mask } => {
+                            topo.partition(mask);
+                            partition_fired = true;
+                            let components = topo.components();
+                            if let Some(rec) = flight.as_mut() {
+                                rec.push("partition", t as u64, &[mask as f64, components as f64]);
+                            }
+                            if let Some(sink) = sink.as_mut() {
+                                sink.emit(
+                                    "partition",
+                                    &[
+                                        ("tick", t.into()),
+                                        ("mask", mask.into()),
+                                        ("components", components.into()),
+                                    ],
+                                );
+                            }
+                        }
+                        ScenarioEventKind::Heal => {
+                            topo.heal();
+                            let components = topo.components();
+                            if let Some(rec) = flight.as_mut() {
+                                rec.push("heal", t as u64, &[components as f64]);
+                            }
+                            if let Some(sink) = sink.as_mut() {
+                                sink.emit(
+                                    "heal",
+                                    &[("tick", t.into()), ("components", components.into())],
+                                );
+                            }
+                        }
+                        ScenarioEventKind::LinkDegrade { .. }
+                        | ScenarioEventKind::LinkRestore { .. } => {
+                            let (a, b, factor) = match ev.kind {
+                                ScenarioEventKind::LinkDegrade { a, b, factor } => (a, b, factor),
+                                ScenarioEventKind::LinkRestore { a, b } => (a, b, 1.0),
+                                _ => unreachable!("outer arm matched a link event"),
+                            };
+                            topo.set_link_factor(a as usize, b as usize, factor);
+                            if let Some(rec) = flight.as_mut() {
+                                rec.push(
+                                    "topology_change",
+                                    t as u64,
+                                    &[f64::from(a), f64::from(b), factor],
+                                );
+                            }
+                            if let Some(sink) = sink.as_mut() {
+                                sink.emit(
+                                    "topology_change",
+                                    &[
+                                        ("tick", t.into()),
+                                        ("a", a.into()),
+                                        ("b", b.into()),
+                                        ("factor", factor.into()),
+                                    ],
+                                );
+                            }
+                        }
+                        ScenarioEventKind::FlashBegin { .. }
+                        | ScenarioEventKind::FlashEnd { .. } => {
+                            if n_regions == 0 {
+                                continue;
+                            }
+                            let (pick, factor) = match ev.kind {
+                                ScenarioEventKind::FlashBegin { pick, factor } => {
+                                    flashes_active += 1;
+                                    (pick, factor)
+                                }
+                                ScenarioEventKind::FlashEnd { pick } => {
+                                    flashes_active = flashes_active.saturating_sub(1);
+                                    (pick, 1.0)
+                                }
+                                _ => unreachable!("outer arm matched a flash event"),
+                            };
+                            let region = (pick % n_regions as u64) as usize;
+                            region_flash[region] = factor;
+                            let groups = self.region_group_counts[region];
+                            if let Some(rec) = flight.as_mut() {
+                                rec.push(
+                                    "flash_crowd",
+                                    t as u64,
+                                    &[region as f64, factor, groups as f64],
+                                );
+                            }
+                            if let Some(sink) = sink.as_mut() {
+                                sink.emit(
+                                    "flash_crowd",
+                                    &[
+                                        ("tick", t.into()),
+                                        ("region", region.into()),
+                                        ("factor", factor.into()),
+                                        ("groups", groups.into()),
+                                    ],
+                                );
+                            }
+                        }
+                        ScenarioEventKind::Migrate { pick } => {
+                            let gi = (pick % self.groups.len() as u64) as usize;
+                            // Drain the group everywhere it holds
+                            // leases; the centers stay up, so each lease
+                            // must be revoked center-side too.
+                            let mut total_dropped = 0usize;
+                            let mut principal: Option<(usize, f64)> = None;
+                            for c in 0..self.centers.len() {
+                                let dropped = self.groups[gi].provisioner.drop_leases_at_center(c);
+                                if dropped.is_empty() {
+                                    continue;
+                                }
+                                let cpu: f64 = dropped.iter().map(|l| l.amounts.cpu).sum();
+                                for lease in &dropped {
+                                    self.centers[c].revoke(lease.id);
+                                }
+                                total_dropped += dropped.len();
+                                if principal.is_none_or(|(_, best)| cpu > best) {
+                                    principal = Some((c, cpu));
+                                }
+                            }
+                            // A group with nothing allocated migrates
+                            // for free: nothing moved, nothing charged.
+                            if total_dropped == 0 {
+                                continue;
+                            }
+                            let (center, _) = principal.expect("leases were dropped");
+                            let players = self.hot[gi].players;
+                            let cost = players * migration_cost as f64;
+                            migration_player_ticks += cost;
+                            unserved_player_ticks += cost;
+                            migrations += 1;
+                            migration_fired = true;
+                            if !open_outages.iter().any(|(c, _)| *c == center) {
+                                open_outages.push((center, t as u64));
+                            }
+                            if let Some(rec) = flight.as_mut() {
+                                rec.push(
+                                    "migration",
+                                    t as u64,
+                                    &[gi as f64, center as f64, total_dropped as f64, cost],
+                                );
+                            }
+                            if let Some(sink) = sink.as_mut() {
+                                sink.emit(
+                                    "migration",
+                                    &[
+                                        ("tick", t.into()),
+                                        ("group", gi.into()),
+                                        ("center", center.into()),
+                                        ("leases", total_dropped.into()),
+                                        ("cost", cost.into()),
+                                    ],
+                                );
+                            }
+                        }
+                        ScenarioEventKind::RegionFailover { center } => {
+                            let center = center as usize;
+                            if center >= self.centers.len() {
+                                continue;
+                            }
+                            for gi in 0..self.groups.len() {
+                                let dropped =
+                                    self.groups[gi].provisioner.drop_leases_at_center(center);
+                                if dropped.is_empty() {
+                                    continue;
+                                }
+                                for lease in &dropped {
+                                    self.centers[center].revoke(lease.id);
+                                }
+                                let players = self.hot[gi].players;
+                                let cost = players * migration_cost as f64;
+                                migration_player_ticks += cost;
+                                unserved_player_ticks += cost;
+                                migrations += 1;
+                                migration_fired = true;
+                                if !open_outages.iter().any(|(c, _)| *c == center) {
+                                    open_outages.push((center, t as u64));
+                                }
+                                if let Some(rec) = flight.as_mut() {
+                                    rec.push(
+                                        "migration",
+                                        t as u64,
+                                        &[gi as f64, center as f64, dropped.len() as f64, cost],
+                                    );
+                                }
+                                if let Some(sink) = sink.as_mut() {
+                                    sink.emit(
+                                        "migration",
+                                        &[
+                                            ("tick", t.into()),
+                                            ("group", gi.into()),
+                                            ("center", center.into()),
+                                            ("leases", dropped.len().into()),
+                                            ("cost", cost.into()),
+                                        ],
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                // Flash crowds multiply demand while active: every group
+                // in a surging region sees its player count scaled.
+                if flashes_active > 0 {
+                    for (hot, &rid) in self.hot.iter_mut().zip(&self.region_ids) {
+                        hot.players *= region_flash[rid as usize];
+                    }
+                }
+            }
             // Fan-out: score the allocation in force against the actual
             // demand and (in dynamic mode) compute each group's next
             // demand target. Each group touches only its own cold state
@@ -982,14 +1277,19 @@ impl Simulation {
                         let idx = self.processing_order[gi];
                         let target = self.hot[idx].target;
                         let group = &mut self.groups[idx];
-                        let out = group.provisioner.adjust(&target, &mut self.centers, now);
+                        let out = group.provisioner.adjust_via(
+                            topology.as_ref(),
+                            &target,
+                            &mut self.centers,
+                            now,
+                        );
                         leases_granted += out.granted as u64;
                         leases_released += out.released as u64;
                         rejections.merge(&out.rejections);
                         if out.unmet {
                             unmet_steps += 1;
                         }
-                        if faults_active {
+                        if faults_active || scenario_active {
                             let lost = group.provisioner.lost_capacity();
                             if !lost.is_negligible(1e-9) {
                                 if out.granted > 0 {
@@ -1024,11 +1324,12 @@ impl Simulation {
                     }
                 }
                 settle_ns = Some(ns_since(settle_start));
-            } else if faults_active {
-                // Static mode under faults: the operator re-buys its
-                // fixed peak allocation after losing capacity (it never
-                // otherwise adjusts). Without a schedule this loop body
-                // is unreachable — static stays allocate-once.
+            } else if faults_active || scenario_active {
+                // Static mode under faults or scenarios: the operator
+                // re-buys its fixed peak allocation after losing
+                // capacity (it never otherwise adjusts). Without a
+                // schedule or timeline this loop body is unreachable —
+                // static stays allocate-once.
                 let settle_start = std::time::Instant::now();
                 {
                     for gi in 0..self.processing_order.len() {
@@ -1039,7 +1340,12 @@ impl Simulation {
                         }
                         let target = self.static_targets[idx];
                         let group = &mut self.groups[idx];
-                        let out = group.provisioner.adjust(&target, &mut self.centers, now);
+                        let out = group.provisioner.adjust_via(
+                            topology.as_ref(),
+                            &target,
+                            &mut self.centers,
+                            now,
+                        );
                         leases_granted += out.granted as u64;
                         leases_released += out.released as u64;
                         rejections.merge(&out.rejections);
@@ -1079,7 +1385,7 @@ impl Simulation {
                 t_settle.record_ns(ns);
                 l_settle.record(ns);
             }
-            if faults_active {
+            if faults_active || scenario_active {
                 // Unserved player-ticks: each group's players scaled by
                 // the fraction of its target the settle stage could not
                 // (re-)acquire. Routine prediction lag never shows up
@@ -1149,6 +1455,16 @@ impl Simulation {
                     if let Err(err) = rec.trigger(FlightTrigger::Fault, tick, &self.trace_label) {
                         eprintln!("warning: flight dump failed: {err}");
                     }
+                } else if partition_fired {
+                    if let Err(err) = rec.trigger(FlightTrigger::Partition, tick, &self.trace_label)
+                    {
+                        eprintln!("warning: flight dump failed: {err}");
+                    }
+                } else if migration_fired {
+                    if let Err(err) = rec.trigger(FlightTrigger::Migration, tick, &self.trace_label)
+                    {
+                        eprintln!("warning: flight dump failed: {err}");
+                    }
                 } else if rec.deadline_ns().is_some_and(|d| tick_ns > d) {
                     if let Err(err) =
                         rec.trigger(FlightTrigger::DeadlineOverrun, tick, &self.trace_label)
@@ -1185,6 +1501,11 @@ impl Simulation {
                 .add(recovery_ticks.len() as u64);
             mmog_obs::counter("faults.outages_unrecovered", Domain::Semantic)
                 .add(open_outages.len() as u64);
+        }
+        // Scenario counters likewise register only on scenario runs.
+        if scenario_active {
+            mmog_obs::counter("scenario.events", Domain::Semantic).add(scenario_event_count);
+            mmog_obs::counter("scenario.migrations", Domain::Semantic).add(migrations);
         }
         // Per-group online prediction error (the paper's metric, scored
         // over the whole run); both the histogram records and the event
@@ -1298,6 +1619,9 @@ impl Simulation {
             fault_events: fault_event_count,
             leases_revoked,
             reprovisions,
+            scenario_events: scenario_event_count,
+            migrations,
+            migration_player_ticks,
             flight_dump,
         }
     }
@@ -1371,6 +1695,7 @@ mod tests {
             train_ticks: 0,
             master_seed: 5,
             faults: None,
+            scenario: None,
         }
     }
 
@@ -1662,6 +1987,189 @@ mod tests {
             "static operators re-buy their fixed allocation"
         );
         assert_eq!(report.unrecovered_outages, 0);
+    }
+
+    #[test]
+    fn empty_scenario_timeline_matches_baseline_report() {
+        // Scenario = Some(empty) exercises the scenario plumbing (retry
+        // policy installed, nominal topology threaded through every
+        // matcher call) without any event — the scored metrics must
+        // equal the scenario-free run's exactly.
+        use mmog_faults::ScenarioTimeline;
+        let baseline = Simulation::new(base_config(
+            AllocationMode::Dynamic,
+            PredictorKind::LastValue,
+        ))
+        .run();
+        let mut cfg = base_config(AllocationMode::Dynamic, PredictorKind::LastValue);
+        cfg.scenario = Some(ScenarioTimeline::from_events("empty", vec![]));
+        let scenario = Simulation::new(cfg).run();
+        use mmog_datacenter::resource::ResourceType;
+        for r in ResourceType::ALL {
+            assert_eq!(baseline.metrics.avg_over(r), scenario.metrics.avg_over(r));
+            assert_eq!(baseline.metrics.avg_under(r), scenario.metrics.avg_under(r));
+        }
+        assert_eq!(baseline.unmet_steps, scenario.unmet_steps);
+        assert_eq!(baseline.rejections, scenario.rejections);
+        assert_eq!(scenario.scenario_events, 0);
+        assert_eq!(scenario.migrations, 0);
+        assert_eq!(scenario.migration_player_ticks, 0.0);
+        assert_eq!(scenario.unserved_player_ticks, 0.0);
+    }
+
+    #[test]
+    fn migration_moves_leases_and_charges_cost() {
+        use mmog_faults::{ScenarioEvent, ScenarioEventKind, ScenarioTimeline};
+        // Group 0 migrates at tick 100 (pick 0 resolves to group 0):
+        // its leases are dropped center-side and player-visible cost is
+        // charged into both migration and unserved accounting.
+        let mut cfg = base_config(AllocationMode::Dynamic, PredictorKind::LastValue);
+        cfg.scenario = Some(
+            ScenarioTimeline::from_events(
+                "one-migration",
+                vec![ScenarioEvent {
+                    tick: 100,
+                    kind: ScenarioEventKind::Migrate { pick: 0 },
+                }],
+            )
+            .with_migration_cost(3),
+        );
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.scenario_events, 1);
+        assert_eq!(report.migrations, 1);
+        assert!(
+            report.migration_player_ticks > 0.0,
+            "a live group pays to move"
+        );
+        assert!(report.unserved_player_ticks >= report.migration_player_ticks);
+        assert_eq!(
+            report.unrecovered_outages, 0,
+            "dynamic provisioning re-acquires the moved capacity"
+        );
+        assert!(!report.recovery_ticks.is_empty());
+    }
+
+    #[test]
+    fn partition_heals_and_run_recovers() {
+        use mmog_faults::{ScenarioEvent, ScenarioEventKind, ScenarioTimeline};
+        // Split the platform for 60 ticks; the run must complete with
+        // both events applied and no lingering topology effects (the
+        // heal restores full reachability).
+        let mut cfg = base_config(AllocationMode::Dynamic, PredictorKind::LastValue);
+        cfg.scenario = Some(ScenarioTimeline::from_events(
+            "partition-heal",
+            vec![
+                ScenarioEvent {
+                    tick: 100,
+                    kind: ScenarioEventKind::Partition { mask: 0b101 },
+                },
+                ScenarioEvent {
+                    tick: 160,
+                    kind: ScenarioEventKind::Heal,
+                },
+            ],
+        ));
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.scenario_events, 2);
+        assert_eq!(report.migrations, 0);
+        assert_eq!(report.migration_player_ticks, 0.0);
+    }
+
+    #[test]
+    fn flash_crowd_inflates_demand() {
+        use mmog_faults::{ScenarioEvent, ScenarioEventKind, ScenarioTimeline};
+        let baseline = Simulation::new(base_config(
+            AllocationMode::Dynamic,
+            PredictorKind::LastValue,
+        ))
+        .run();
+        let mut cfg = base_config(AllocationMode::Dynamic, PredictorKind::LastValue);
+        cfg.scenario = Some(ScenarioTimeline::from_events(
+            "flash",
+            vec![
+                ScenarioEvent {
+                    tick: 200,
+                    kind: ScenarioEventKind::FlashBegin {
+                        pick: 0,
+                        factor: 2.0,
+                    },
+                },
+                ScenarioEvent {
+                    tick: 500,
+                    kind: ScenarioEventKind::FlashEnd { pick: 0 },
+                },
+            ],
+        ));
+        let report = Simulation::new(cfg).run();
+        assert!(
+            report.demand_cpu_series.sum() > baseline.demand_cpu_series.sum(),
+            "a 2x flash crowd must raise integrated demand"
+        );
+        assert_eq!(report.scenario_events, 2);
+    }
+
+    #[test]
+    fn region_failover_drains_every_group_at_the_center() {
+        use mmog_faults::{ScenarioEvent, ScenarioEventKind, ScenarioTimeline};
+        let victim = busiest_center(AllocationMode::Dynamic);
+        let mut cfg = base_config(AllocationMode::Dynamic, PredictorKind::LastValue);
+        cfg.scenario = Some(ScenarioTimeline::from_events(
+            "failover",
+            vec![ScenarioEvent {
+                tick: 100,
+                kind: ScenarioEventKind::RegionFailover {
+                    center: victim as u32,
+                },
+            }],
+        ));
+        let report = Simulation::new(cfg).run();
+        assert!(
+            report.migrations > 0,
+            "the busiest center hosted at least one group"
+        );
+        assert!(report.migration_player_ticks > 0.0);
+        assert_eq!(report.unrecovered_outages, 0);
+    }
+
+    #[test]
+    fn scenario_composes_with_fault_schedule() {
+        use mmog_faults::{
+            FaultEvent, FaultKind, ScenarioEvent, ScenarioEventKind, ScenarioTimeline,
+        };
+        let victim = busiest_center(AllocationMode::Dynamic);
+        let mut cfg = base_config(AllocationMode::Dynamic, PredictorKind::LastValue);
+        cfg.faults = Some(FaultSchedule::from_events(
+            "outage",
+            vec![
+                FaultEvent {
+                    tick: 100,
+                    center: victim,
+                    kind: FaultKind::CenterDown,
+                },
+                FaultEvent {
+                    tick: 160,
+                    center: victim,
+                    kind: FaultKind::CenterUp,
+                },
+            ],
+        ));
+        cfg.scenario = Some(ScenarioTimeline::from_events(
+            "partition",
+            vec![
+                ScenarioEvent {
+                    tick: 120,
+                    kind: ScenarioEventKind::Partition { mask: 0b11 },
+                },
+                ScenarioEvent {
+                    tick: 200,
+                    kind: ScenarioEventKind::Heal,
+                },
+            ],
+        ));
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.fault_events, 2);
+        assert_eq!(report.scenario_events, 2);
+        assert_eq!(report.unrecovered_outages, 0, "both planes heal");
     }
 
     #[test]

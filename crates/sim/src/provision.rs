@@ -10,10 +10,11 @@
 use crate::demand::DemandModel;
 use mmog_datacenter::center::{DataCenter, Lease, LeaseId};
 use mmog_datacenter::matching::{
-    match_request_indexed, CandidateIndex, MatchOutcome, RejectionTotals,
+    match_request_indexed_via, CandidateIndex, MatchOutcome, RejectionTotals,
 };
 use mmog_datacenter::request::{OperatorId, ResourceRequest};
 use mmog_datacenter::resource::ResourceVector;
+use mmog_datacenter::topology::Topology;
 use mmog_predict::traits::Predictor;
 use mmog_util::geo::{DistanceClass, GeoPoint};
 use mmog_util::time::{SimDuration, SimTime};
@@ -295,6 +296,23 @@ impl GroupProvisioner {
         centers: &mut [DataCenter],
         now: SimTime,
     ) -> AdjustOutcome {
+        self.adjust_via(None, target, centers, now)
+    }
+
+    /// Like [`adjust`], but matches the deficit through `topology` when
+    /// one is installed: partitioned centers are unreachable and
+    /// degraded links inflate effective distances. `adjust(..)` is
+    /// exactly `adjust_via(None, ..)`, so runs without a scenario take
+    /// the identical code path they always did.
+    ///
+    /// [`adjust`]: Self::adjust
+    pub fn adjust_via(
+        &mut self,
+        topology: Option<&Topology>,
+        target: &ResourceVector,
+        centers: &mut [DataCenter],
+        now: SimTime,
+    ) -> AdjustOutcome {
         let mut outcome = AdjustOutcome::default();
 
         // Phase 1: release surplus. A lease is only released when the
@@ -404,7 +422,8 @@ impl GroupProvisioner {
                 return outcome;
             }
             let request = ResourceRequest::new(self.operator, deficit, self.origin, self.tolerance);
-            let matched = match_request_indexed(&mut self.index, centers, &request, now);
+            let matched =
+                match_request_indexed_via(topology, &mut self.index, centers, &request, now);
             for grant in &matched.grants {
                 let lease = centers[grant.center_index]
                     .leases()

@@ -118,6 +118,7 @@ fn base_sim(
         train_ticks: 720, // one day of collection for the neural phase
         master_seed: opts.seed,
         faults: None,
+        scenario: None,
     }
 }
 
@@ -272,6 +273,27 @@ pub fn fault_injection(
     let ticks = opts.days * mmog_util::time::TICKS_PER_DAY;
     let schedule = mmog_faults::FaultSchedule::from_spec(spec, ticks, cfg.centers.len());
     cfg.faults = (!schedule.is_empty()).then_some(schedule);
+    cfg
+}
+
+/// The scenario-engine experiment: the Sec. V-B platform under a
+/// deterministic scenario timeline derived from `spec` — network
+/// partitions, link degradations, zone migrations, region failovers
+/// and flash crowds. Last-value prediction keeps the experiment about
+/// the *adaptation* mechanics rather than the predictor. A zero-rate
+/// spec yields `scenario: None`, reproducing the scenario-free
+/// baseline byte-for-byte.
+#[must_use]
+pub fn scenario_injection(
+    spec: &mmog_faults::ScenarioSpec,
+    mode: AllocationMode,
+    opts: &ScenarioOpts,
+) -> SimulationConfig {
+    let mut cfg = prediction_impact(PredictorKind::LastValue, mode, opts);
+    cfg.train_ticks = 0;
+    let ticks = opts.days * mmog_util::time::TICKS_PER_DAY;
+    let timeline = mmog_faults::ScenarioTimeline::from_spec(spec, ticks, cfg.centers.len());
+    cfg.scenario = (!timeline.is_empty()).then_some(timeline);
     cfg
 }
 

@@ -74,5 +74,59 @@ fn bench_rounding(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_match, bench_match_indexed, bench_rounding);
+/// The incremental-skip payoff: a steady-state no-op settle with the
+/// match memo armed (replay) versus the same tick forced down the full
+/// candidate walk. Both paths leave the world untouched, so one
+/// long-lived provisioner per variant is enough.
+fn bench_memo_adjust(c: &mut Criterion) {
+    use mmog_predict::simple::LastValue;
+    use mmog_sim::demand::DemandModel;
+    use mmog_sim::provision::GroupProvisioner;
+    use mmog_world::update::UpdateModel;
+
+    let setup = |memo: bool| {
+        let mut centers = table3_hp12();
+        let mut p = GroupProvisioner::new(
+            OperatorId(1),
+            GeoPoint::new(52.37, 4.90),
+            DistanceClass::VeryFar,
+            DemandModel::paper(UpdateModel::Quadratic),
+            1.0,
+            Box::new(LastValue::new()),
+        );
+        p.memo_enabled = memo;
+        // Warm into the steady state: demand flat at 1500 players, the
+        // first tick grants, the rest are no-ops.
+        for t in 0..4u64 {
+            let target = p.observe_and_target(1500.0);
+            p.adjust(&target, &mut centers, SimTime(t));
+        }
+        let target = p.observe_and_target(1500.0);
+        (p, centers, target)
+    };
+
+    let mut group = c.benchmark_group("steady_state_adjust");
+    let (mut p, mut centers, target) = setup(true);
+    group.bench_function("memo_hit", |b| {
+        b.iter(|| black_box(p.adjust(black_box(&target), &mut centers, SimTime(4))))
+    });
+    assert!(
+        p.adjust(&target, &mut centers, SimTime(4)).replayed,
+        "memo bench must measure the replay path"
+    );
+    let (mut p, mut centers, target) = setup(false);
+    group.bench_function("full_walk", |b| {
+        b.iter(|| black_box(p.adjust(black_box(&target), &mut centers, SimTime(4))))
+    });
+    assert!(!p.adjust(&target, &mut centers, SimTime(4)).replayed);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_match,
+    bench_match_indexed,
+    bench_rounding,
+    bench_memo_adjust
+);
 criterion_main!(benches);

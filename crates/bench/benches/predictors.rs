@@ -101,11 +101,47 @@ fn bench_mlp_train_step(c: &mut Criterion) {
     });
 }
 
+/// The batched tick kernel against the loop it replaces: one
+/// `forward_batch` over a 64-row feature matrix versus 64 per-row
+/// `forward_scratch` calls. The outputs are bit-identical (pinned by
+/// test); the comparison is pure dispatch overhead.
+fn bench_forward_batch(c: &mut Criterion) {
+    use mmog_predict::mlp::{FeatureMatrix, Mlp, Scratch};
+    let mut rng = Rng64::seed_from(9);
+    let net = Mlp::new(&[6, 3, 1], &mut rng);
+    let mut scratch = Scratch::default();
+    let rows = 64usize;
+    let mut batch = FeatureMatrix::with_capacity(6, rows);
+    for i in 0..rows {
+        let row: [f64; 6] = std::array::from_fn(|j| ((i * 7 + j) as f64 * 0.13).sin());
+        batch.push_row(&row);
+    }
+    let mut out = vec![0.0; rows];
+    let mut group = c.benchmark_group("mlp_forward_64_rows");
+    group.bench_function("batched", |b| {
+        b.iter(|| {
+            net.forward_batch(&mut scratch, black_box(&batch), &mut out);
+            black_box(out[rows - 1])
+        })
+    });
+    group.bench_function("per_row", |b| {
+        b.iter(|| {
+            let mut last = 0.0;
+            for i in 0..rows {
+                last = net.forward_scratch(black_box(batch.row(i)), &mut scratch)[0];
+            }
+            black_box(last)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_predict,
     bench_observe,
     bench_neural_training,
-    bench_mlp_train_step
+    bench_mlp_train_step,
+    bench_forward_batch
 );
 criterion_main!(benches);

@@ -81,7 +81,7 @@ fn check_scale(path: &str) -> Result<(), String> {
 }
 
 fn check_scale_text(text: &str) -> Result<(), String> {
-    let doc = mmog_obs::json::parse(text).map_err(|e| e.to_string())?;
+    let doc = mmog_obs::json::parse(text)?;
     // v1: pre-latency documents, still accepted (committed baselines
     // age slowly). v2: per-stage latency sections become mandatory.
     let latency_required = match doc.get("schema").and_then(Value::as_str) {
@@ -130,6 +130,24 @@ fn check_scale_text(text: &str) -> Result<(), String> {
             .ok_or_else(|| format!("stages[{i}]: missing peak_rss_kb"))?;
         if rss.as_u64().is_none() && !matches!(rss, Value::Null) {
             return Err(format!("stages[{i}]: peak_rss_kb must be integer or null"));
+        }
+        // Match-skip telemetry: optional (absent from pre-memo
+        // documents), but when present must be coherent.
+        for field in ["match_skips", "match_full"] {
+            if let Some(v) = s.get(field) {
+                v.as_u64()
+                    .ok_or_else(|| format!("stages[{i}]: {field} must be an integer"))?;
+            }
+        }
+        if let Some(rate) = s.get("match_skip_rate") {
+            let rate = rate
+                .as_f64()
+                .ok_or_else(|| format!("stages[{i}]: match_skip_rate must be numeric"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!(
+                    "stages[{i}]: match_skip_rate {rate} outside [0, 1]"
+                ));
+            }
         }
         match s.get("latency") {
             Some(latency) => check_stage_latency(latency, i)?,

@@ -124,6 +124,14 @@ pub struct PointResult {
     /// (path → merged snapshot), captured from the engine's log-bucketed
     /// histograms. Wall-clock data — never part of the semantic section.
     pub latency: Vec<(String, mmog_obs::LatencySnapshot)>,
+    /// Settle calls the match memo replayed across every world of this
+    /// point. Timing-domain: parallel fault interleavings can shift the
+    /// process-global availability epoch, so counts may vary with
+    /// `--jobs` — reported here and in the stage JSON, never in the
+    /// semantic section.
+    pub match_skips: u64,
+    /// Settle calls that ran the full candidate walk.
+    pub match_full: u64,
 }
 
 impl PointResult {
@@ -144,6 +152,18 @@ impl PointResult {
     pub fn ticks_per_sec(&self) -> f64 {
         if self.seconds > 0.0 {
             (self.point.worlds * self.ticks) as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of group-settle calls the match memo replayed instead
+    /// of walking candidates, in [0, 1]. Zero when nothing settled.
+    #[must_use]
+    pub fn match_skip_rate(&self) -> f64 {
+        let total = self.match_skips + self.match_full;
+        if total > 0 {
+            self.match_skips as f64 / total as f64
         } else {
             0.0
         }
@@ -169,12 +189,16 @@ pub fn world_config(
     let mut rs = RuneScapeConfig::paper_default(days, seed);
     rs.regions.truncate(1);
     rs.regions[0].groups = point.groups_per_world;
-    let mut game = mmog_sim::scenario::prediction_impact(
+    // The streaming workload replaces the materialized trace wholesale,
+    // so build the config through the workload-parameterized scenario
+    // constructor — generating the standard trace per world just to
+    // throw it away cost more than a third of the 1M point's wall time.
+    let mut game = mmog_sim::scenario::prediction_impact_with_workload(
         PredictorKind::LastValue,
         AllocationMode::Dynamic,
         &ScenarioOpts::smoke(seed),
+        rs.into(),
     );
-    game.games[0].workload = rs.into();
     game.ticks = Some(ticks);
     game.train_ticks = 0;
     game.warmup_ticks = 0;
@@ -199,11 +223,19 @@ fn peak_rss_kb() -> Option<u64> {
 pub fn run_point(point: &SweepPoint, ticks: usize, master_seed: u64) -> PointResult {
     let worlds: Vec<usize> = (0..point.worlds).collect();
     mmog_obs::reset_latency();
+    // Counters are process-global and cumulative: deltas around the
+    // point isolate this point's skip activity.
+    let c_skips = mmog_obs::counter("sim.match.skips", mmog_obs::Domain::Timing);
+    let c_full = mmog_obs::counter("sim.match.full", mmog_obs::Domain::Timing);
+    let skips_before = c_skips.get();
+    let full_before = c_full.get();
     let start = std::time::Instant::now();
     let reports = mmog_par::par_map(&worlds, |&w| {
         Simulation::new(world_config(point, w, ticks, master_seed)).run()
     });
     let seconds = start.elapsed().as_secs_f64();
+    let match_skips = c_skips.get().wrapping_sub(skips_before);
+    let match_full = c_full.get().wrapping_sub(full_before);
     let latency = mmog_obs::snapshot_latency()
         .into_iter()
         .filter(|(path, snap)| path.starts_with("sim/run/") && snap.count > 0)
@@ -220,6 +252,8 @@ pub fn run_point(point: &SweepPoint, ticks: usize, master_seed: u64) -> PointRes
         peak_rss_kb: peak_rss_kb(),
         worlds,
         latency,
+        match_skips,
+        match_full,
     }
 }
 
@@ -231,7 +265,7 @@ pub fn run_sweep(points: &[SweepPoint], ticks: usize, master_seed: u64) -> Vec<P
         .map(|p| {
             let result = run_point(p, ticks, master_seed);
             println!(
-                "scale/{}: {} players, {} worlds x {} groups, {:.2}s ({:.0} players/s, {:.1} world-ticks/s)",
+                "scale/{}: {} players, {} worlds x {} groups, {:.2}s ({:.0} players/s, {:.1} world-ticks/s, {:.1}% match skips)",
                 p.label,
                 p.players(),
                 p.worlds,
@@ -239,6 +273,7 @@ pub fn run_sweep(points: &[SweepPoint], ticks: usize, master_seed: u64) -> Vec<P
                 result.seconds,
                 result.players_per_sec(),
                 result.ticks_per_sec(),
+                result.match_skip_rate() * 100.0,
             );
             result
         })
@@ -305,7 +340,8 @@ pub fn render_json(results: &[PointResult], ticks: usize, seed: u64) -> String {
         out.push_str(&format!(
             "    {{\"path\": \"scale/{}\", \"players\": {}, \"worlds\": {}, \"groups\": {}, \
              \"total_ms\": {:.3}, \"players_per_sec\": {:.0}, \"ticks_per_sec\": {:.2}, \
-             \"peak_rss_kb\": {rss}, \"latency\": {latency}}}{comma}\n",
+             \"peak_rss_kb\": {rss}, \"match_skips\": {}, \"match_full\": {}, \
+             \"match_skip_rate\": {:.4}, \"latency\": {latency}}}{comma}\n",
             r.point.label,
             r.point.players(),
             r.point.worlds,
@@ -313,6 +349,9 @@ pub fn render_json(results: &[PointResult], ticks: usize, seed: u64) -> String {
             r.seconds * 1e3,
             r.players_per_sec(),
             r.ticks_per_sec(),
+            r.match_skips,
+            r.match_full,
+            r.match_skip_rate(),
         ));
     }
     out.push_str("  ],\n");

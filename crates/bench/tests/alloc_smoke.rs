@@ -59,7 +59,9 @@ fn count_allocs(mut f: impl FnMut()) -> u64 {
 #[test]
 fn hot_kernels_stay_allocation_free_in_steady_state() {
     mlp_train_step_is_allocation_free();
+    mlp_forward_batch_is_allocation_free();
     neural_observe_predict_is_allocation_free();
+    memoized_match_replay_is_allocation_free();
     emulator_step_allocations_are_bounded();
     indexed_match_allocations_are_bounded();
     streaming_trace_tick_is_allocation_free();
@@ -161,6 +163,70 @@ fn mlp_train_step_is_allocation_free() {
         }
     });
     assert_eq!(n, 0, "warmed MLP train+forward must not allocate, got {n}");
+}
+
+fn mlp_forward_batch_is_allocation_free() {
+    use mmog_predict::mlp::{FeatureMatrix, Mlp, Scratch};
+    use mmog_util::rng::Rng64;
+    let mut rng = Rng64::seed_from(42);
+    let net = Mlp::new(&[6, 3, 1], &mut rng);
+    let mut scratch = Scratch::default();
+    let mut batch = FeatureMatrix::with_capacity(6, 64);
+    let mut out = vec![0.0; 64];
+    let row = [0.1, -0.2, 0.3, -0.4, 0.5, -0.6];
+    // Warm-up: the batch grows to its row count once, the scratch to
+    // the network's shape once.
+    batch.clear();
+    for _ in 0..64 {
+        batch.push_row(&row);
+    }
+    net.forward_batch(&mut scratch, &batch, &mut out);
+    let n = count_allocs(|| {
+        for _ in 0..64 {
+            // Steady state includes the per-tick gather (clear + push
+            // into recycled storage), not just the kernel.
+            batch.clear();
+            for _ in 0..64 {
+                batch.push_row(&row);
+            }
+            net.forward_batch(&mut scratch, &batch, &mut out);
+            std::hint::black_box(out[0]);
+        }
+    });
+    assert_eq!(n, 0, "warmed batched forward must not allocate, got {n}");
+}
+
+fn memoized_match_replay_is_allocation_free() {
+    use mmog_datacenter::locations::table3_hp12;
+    use mmog_datacenter::request::OperatorId;
+    use mmog_predict::simple::LastValue;
+    use mmog_sim::demand::DemandModel;
+    use mmog_sim::provision::GroupProvisioner;
+    use mmog_util::geo::{DistanceClass, GeoPoint};
+    use mmog_util::time::SimTime;
+    use mmog_world::update::UpdateModel;
+
+    let mut centers = table3_hp12();
+    let mut p = GroupProvisioner::new(
+        OperatorId(1),
+        GeoPoint::new(52.37, 4.90),
+        DistanceClass::VeryFar,
+        DemandModel::paper(UpdateModel::Quadratic),
+        1.0,
+        Box::new(LastValue::new()),
+    );
+    let target = p.observe_and_target(1500.0);
+    // Warm-up: grant, then run the full no-op walk once to arm the memo.
+    for i in 0..4u64 {
+        let _ = p.adjust(&target, &mut centers, SimTime(i));
+    }
+    let n = count_allocs(|| {
+        for _ in 0..512 {
+            let out = p.adjust(&target, &mut centers, SimTime(4));
+            assert!(out.replayed, "steady state must hit the memo");
+        }
+    });
+    assert_eq!(n, 0, "memoized match replay must not allocate, got {n}");
 }
 
 fn neural_observe_predict_is_allocation_free() {

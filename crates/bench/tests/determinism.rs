@@ -50,6 +50,30 @@ fn engine_fingerprint() -> String {
     format!("{report:?}")
 }
 
+/// The highest-churn configuration the engine supports: the paper
+/// fault schedule AND the paper scenario timeline on one dynamic run,
+/// so the memoized settle path works under constant invalidation —
+/// availability-epoch bumps, topology changes, lease revocations,
+/// migrations, flash crowds — at every job count.
+fn churn_fingerprint() -> String {
+    use mmog_faults::{FaultSchedule, FaultSpec, ScenarioSpec};
+    let opts = tiny();
+    let mut cfg = scenario::scenario_injection(
+        &ScenarioSpec::paper_default(),
+        AllocationMode::Dynamic,
+        &opts,
+    );
+    let spec = FaultSpec {
+        seed: 5,
+        ..FaultSpec::paper_default()
+    };
+    let ticks = opts.days * mmog_util::time::TICKS_PER_DAY;
+    let schedule = FaultSchedule::from_spec(&spec, ticks, cfg.centers.len());
+    cfg.faults = (!schedule.is_empty()).then_some(schedule);
+    let report = Simulation::new(cfg).run();
+    format!("{report:?}")
+}
+
 /// Compares `actual` to the committed fixture in `tests/golden/`. The
 /// fixtures were generated from the pre-hot-path-rewrite kernels, so
 /// this pins the optimized MLP, emulator, and matcher to the exact
@@ -164,6 +188,21 @@ fn reports_identical_for_any_job_count() {
     );
     check_golden("fig05_tiny.txt", &serial_fig05);
     check_golden("fig_faults_tiny.txt", &serial_faults);
+
+    // Faulted + scenario in ONE run: the match memo is invalidated from
+    // every serial section at once (faults, partitions, migrations,
+    // flash crowds), and the report must still not depend on the job
+    // count or on whether the memo is enabled at all.
+    mmog_par::set_jobs(1);
+    let serial_churn = churn_fingerprint();
+    mmog_par::set_jobs(4);
+    let parallel_churn = churn_fingerprint();
+    assert_same_text(
+        "faulted+scenario report must be bit-identical between --jobs 1 and --jobs 4",
+        &serial_churn,
+        &parallel_churn,
+    );
+    check_golden("churn_tiny.txt", &serial_churn);
 
     // Streaming workload generation: byte-identical to the materialized
     // path at full paper scale (130 groups x 14 days), group by group.

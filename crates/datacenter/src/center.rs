@@ -128,6 +128,11 @@ pub struct DataCenter {
     pub spec: DataCenterSpec,
     allocated: ResourceVector,
     leases: Vec<Lease>,
+    /// Compact `(operator, cpu)` mirror of `leases`, index-for-index:
+    /// the engine's per-tick usage-attribution walk streams 16 bytes
+    /// per lease from here instead of pulling whole `Lease` records
+    /// through the cache. Every `leases` mutation updates both.
+    lease_cpu: Vec<(u32, f64)>,
     next_lease: u64,
     availability: Availability,
 }
@@ -140,6 +145,7 @@ impl DataCenter {
             spec,
             allocated: ResourceVector::ZERO,
             leases: Vec::new(),
+            lease_cpu: Vec::new(),
             next_lease: 0,
             availability: Availability::Up,
         }
@@ -186,6 +192,7 @@ impl DataCenter {
         self.availability = Availability::Down;
         self.allocated = ResourceVector::ZERO;
         bump_availability_epoch();
+        self.lease_cpu.clear();
         std::mem::take(&mut self.leases)
     }
 
@@ -214,6 +221,7 @@ impl DataCenter {
     pub fn revoke(&mut self, lease: LeaseId) -> Option<Lease> {
         let idx = self.leases.iter().position(|l| l.id == lease)?;
         let l = self.leases.swap_remove(idx);
+        self.lease_cpu.swap_remove(idx);
         self.allocated = (self.allocated - l.amounts).clamp_non_negative();
         Some(l)
     }
@@ -233,6 +241,16 @@ impl DataCenter {
     #[must_use]
     pub fn leases(&self) -> &[Lease] {
         &self.leases
+    }
+
+    /// Compact `(operator id, cpu)` view of the active leases, in the
+    /// same order as [`leases`] — the hot input of the engine's
+    /// per-tick usage attribution.
+    ///
+    /// [`leases`]: Self::leases
+    #[must_use]
+    pub fn lease_cpu(&self) -> &[(u32, f64)] {
+        &self.lease_cpu
     }
 
     /// Grants a lease for exactly `amounts` (caller must have
@@ -263,6 +281,7 @@ impl DataCenter {
             start: now,
             earliest_release: now + self.spec.policy.time_bulk,
         });
+        self.lease_cpu.push((operator.0, amounts.cpu));
         Some(id)
     }
 
@@ -277,6 +296,7 @@ impl DataCenter {
             return false;
         }
         let l = self.leases.swap_remove(idx);
+        self.lease_cpu.swap_remove(idx);
         self.allocated = (self.allocated - l.amounts).clamp_non_negative();
         true
     }

@@ -128,7 +128,7 @@ pub struct Rejection {
 }
 
 /// Outcome of matching one request.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct MatchOutcome {
     /// Grants made, in allocation order.
     pub grants: Vec<Grant>,
@@ -245,10 +245,30 @@ fn fill_ranked(
     ranked: &[(usize, f64)],
     request: &ResourceRequest,
     now: SimTime,
-    mut rejections: Vec<Rejection>,
+    rejections: Vec<Rejection>,
 ) -> MatchOutcome {
+    let mut out = MatchOutcome {
+        grants: Vec::new(),
+        unmet: ResourceVector::ZERO,
+        rejections,
+    };
+    fill_ranked_into(centers, ranked, request, now, &mut out);
+    out
+}
+
+/// [`fill_ranked`] writing into a caller-owned outcome whose
+/// `rejections` have been pre-seeded (grants cleared here): the
+/// provisioner's per-tick steady state reuses one outcome's buffers
+/// instead of allocating fresh vectors per request.
+fn fill_ranked_into(
+    centers: &mut [DataCenter],
+    ranked: &[(usize, f64)],
+    request: &ResourceRequest,
+    now: SimTime,
+    out: &mut MatchOutcome,
+) {
     let mut remaining = request.amounts.clamp_non_negative();
-    let mut grants = Vec::new();
+    out.grants.clear();
     for &(idx, distance_km) in ranked {
         if remaining.is_negligible(1e-9) {
             break;
@@ -273,7 +293,7 @@ fn fill_ranked(
             }
         });
         if grant_amounts.is_negligible(1e-9) {
-            rejections.push(Rejection {
+            out.rejections.push(Rejection {
                 center_index: idx,
                 reason: RejectReason::Exhausted,
             });
@@ -281,26 +301,25 @@ fn fill_ranked(
         }
         if let Some(lease) = centers[idx].grant(request.operator, grant_amounts, now) {
             remaining = (remaining - grant_amounts).clamp_non_negative();
-            grants.push(Grant {
+            out.grants.push(Grant {
                 center_index: idx,
                 lease,
                 amounts: grant_amounts,
                 distance_km,
             });
         } else {
-            rejections.push(Rejection {
+            out.rejections.push(Rejection {
                 center_index: idx,
                 reason: RejectReason::GrantFailed,
             });
         }
     }
-    let unmet = !remaining.is_negligible(1e-9);
-    obs::record(grants.len(), unmet, &rejections);
-    MatchOutcome {
-        grants,
-        unmet: remaining,
-        rejections,
-    }
+    out.unmet = remaining;
+    obs::record(
+        out.grants.len(),
+        !remaining.is_negligible(1e-9),
+        &out.rejections,
+    );
 }
 
 /// The request's backbone ingress: the center nearest its origin by
@@ -529,6 +548,123 @@ impl CandidateIndex {
     }
 }
 
+/// Memo of a provably no-op adjustment step for one requester group.
+///
+/// In steady state almost every per-tick adjustment is a no-op: no
+/// lease matured into the surplus, no reshape gain cleared its
+/// threshold, and the deficit stayed negligible — yet the provisioner
+/// still walks its whole release/reshape/request pipeline to find that
+/// out. The memo captures the *proof* that a step was a no-op together
+/// with every input the proof depended on, so later steps can replay
+/// the empty outcome without touching the [`CandidateIndex`] — exactly,
+/// not approximately.
+///
+/// A memo is keyed on:
+///
+/// - the **demand block**: the target the no-op was proven at. A new
+///   target at or above it component-wise only shrinks the surplus, and
+///   a no-op proof is monotone under a shrinking surplus (a lease that
+///   did not fit the old surplus cannot fit a smaller one; a reshape
+///   whose gain was below threshold only loses gain as the re-grant
+///   estimate grows). Arming with `any_target` widens the block to
+///   every deficit-negligible target — sound only while the ledger
+///   holds *no matured lease*, because then there are no release or
+///   reshape candidates at all, whatever the surplus;
+/// - the global **availability epoch** ([`availability_epoch`]): any
+///   fault-plane change (outage, repair, degradation) invalidates;
+/// - the **topology version**: any scenario-plane mutation invalidates;
+/// - the caller's **lease-ledger generation**, a counter the caller
+///   bumps on every grant, release, or revocation-driven drop;
+/// - optionally a **validity horizon** (`valid_until`): maturation is
+///   the only time-driven input, so the memo expires the instant the
+///   first not-yet-matured lease would become a release candidate.
+///
+/// The memo itself never decides to skip — it only answers whether its
+/// keys still cover the current inputs via [`covers`]; the caller owns
+/// the remaining step-local checks (deficit negligibility) and the
+/// obligations listed at each [`arm`] site.
+///
+/// [`covers`]: MatchMemo::covers
+/// [`arm`]: MatchMemo::arm
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MatchMemo {
+    armed: bool,
+    target: ResourceVector,
+    epoch: u64,
+    topo_version: Option<u64>,
+    lease_gen: u64,
+    any_target: bool,
+    valid_until: Option<SimTime>,
+}
+
+impl MatchMemo {
+    /// A disarmed memo.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the memo currently holds a no-op proof.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Disarms the memo (the next step must run the full pipeline).
+    pub fn invalidate(&mut self) {
+        self.armed = false;
+    }
+
+    /// Arms the memo after a full step proved itself a no-op at
+    /// `target` under the given epoch/topology/ledger keys.
+    ///
+    /// `any_target` asserts the ledger held no matured lease (so the
+    /// proof covers every deficit-negligible target) *and* the ledger
+    /// was already start-sorted (so a replayed step skipping phase 1's
+    /// sort cannot be observed later). `valid_until` is the earliest
+    /// future lease maturation (`None` when nothing can mature).
+    pub fn arm(
+        &mut self,
+        target: ResourceVector,
+        epoch: u64,
+        topo_version: Option<u64>,
+        lease_gen: u64,
+        any_target: bool,
+        valid_until: Option<SimTime>,
+    ) {
+        *self = Self {
+            armed: true,
+            target,
+            epoch,
+            topo_version,
+            lease_gen,
+            any_target,
+            valid_until,
+        };
+    }
+
+    /// Whether the memoized no-op proof covers an adjustment at
+    /// `target` now, under the given keys. The caller must additionally
+    /// check that the deficit against its current allocation is
+    /// negligible before replaying.
+    #[must_use]
+    pub fn covers(
+        &self,
+        target: &ResourceVector,
+        epoch: u64,
+        topo_version: Option<u64>,
+        lease_gen: u64,
+        now: SimTime,
+    ) -> bool {
+        self.armed
+            && self.lease_gen == lease_gen
+            && self.epoch == epoch
+            && self.topo_version == topo_version
+            && self.valid_until.is_none_or(|t| now < t)
+            && (self.any_target || self.target.fits_within(target, 0.0))
+    }
+}
+
 /// [`match_request`] through a [`CandidateIndex`]: byte-identical
 /// outcomes (grants, rejection order, unmet amounts), but the
 /// enumerate-filter-sort phase runs only when the platform's
@@ -559,6 +695,27 @@ pub fn match_request_indexed_via(
         request.origin == index.origin && request.tolerance == index.tolerance,
         "a CandidateIndex serves one (origin, tolerance) requester"
     );
+    let mut out = MatchOutcome::default();
+    match_request_indexed_into_via(topology, index, centers, request, now, &mut out);
+    out
+}
+
+/// [`match_request_indexed_via`] writing into a caller-owned outcome:
+/// byte-identical grants/rejections/unmet, but the outcome's vectors
+/// are reused across calls, so a steady-state requester pays no
+/// allocation for the match itself.
+pub fn match_request_indexed_into_via(
+    topology: Option<&Topology>,
+    index: &mut CandidateIndex,
+    centers: &mut [DataCenter],
+    request: &ResourceRequest,
+    now: SimTime,
+    out: &mut MatchOutcome,
+) {
+    debug_assert!(
+        request.origin == index.origin && request.tolerance == index.tolerance,
+        "a CandidateIndex serves one (origin, tolerance) requester"
+    );
     mmog_obs::time_stat(obs::match_timer(), || {
         let epoch = availability_epoch();
         let topo_version = topology.map(Topology::version);
@@ -571,9 +728,10 @@ pub fn match_request_indexed_via(
             index.refresh(centers);
             index.epoch = epoch;
         }
-        let rejections = index.rejections.clone();
-        fill_ranked(centers, &index.ranked, request, now, rejections)
-    })
+        out.rejections.clear();
+        out.rejections.extend_from_slice(&index.rejections);
+        fill_ranked_into(centers, &index.ranked, request, now, out);
+    });
 }
 
 #[cfg(test)]
@@ -1008,5 +1166,47 @@ mod tests {
         let out = match_request(&mut centers, &req, SimTime::ZERO);
         assert!(out.grants.is_empty());
         assert!(out.fully_met());
+    }
+
+    #[test]
+    fn memo_covers_only_inside_its_band_and_keys() {
+        let mut memo = MatchMemo::new();
+        let t = ResourceVector::new(1.0, 2.0, 0.5, 0.5);
+        let now = SimTime(10);
+        assert!(!memo.covers(&t, 3, None, 7, now), "disarmed covers nothing");
+        memo.arm(t, 3, None, 7, false, None);
+        assert!(memo.is_armed());
+        // Exactly the armed target, and any target at or above it.
+        assert!(memo.covers(&t, 3, None, 7, now));
+        let above = ResourceVector::new(1.5, 2.0, 0.5, 0.5);
+        assert!(memo.covers(&above, 3, None, 7, now));
+        // Below on any component leaves the monotone band.
+        let below = ResourceVector::new(1.0, 1.9, 0.5, 0.5);
+        assert!(!memo.covers(&below, 3, None, 7, now));
+        // Any key mismatch invalidates: epoch, topology, ledger.
+        assert!(!memo.covers(&t, 4, None, 7, now), "epoch moved");
+        assert!(!memo.covers(&t, 3, Some(1), 7, now), "topology moved");
+        assert!(!memo.covers(&t, 3, None, 8, now), "ledger moved");
+        memo.invalidate();
+        assert!(!memo.covers(&t, 3, None, 7, now));
+    }
+
+    #[test]
+    fn memo_any_target_band_and_validity_horizon() {
+        let mut memo = MatchMemo::new();
+        let t = ResourceVector::new(1.0, 1.0, 1.0, 1.0);
+        // No matured leases: the band widens to any target, but only
+        // until the first maturation instant.
+        memo.arm(t, 0, Some(2), 1, true, Some(SimTime(20)));
+        let below = ResourceVector::new(0.1, 0.0, 0.0, 0.0);
+        assert!(memo.covers(&below, 0, Some(2), 1, SimTime(19)));
+        assert!(
+            !memo.covers(&below, 0, Some(2), 1, SimTime(20)),
+            "a lease matures at t=20: the proof expires"
+        );
+        // The horizon also bounds the monotone band.
+        memo.arm(t, 0, Some(2), 1, false, Some(SimTime(20)));
+        assert!(memo.covers(&t, 0, Some(2), 1, SimTime(19)));
+        assert!(!memo.covers(&t, 0, Some(2), 1, SimTime(25)));
     }
 }

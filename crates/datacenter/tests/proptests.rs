@@ -287,4 +287,93 @@ proptest! {
         prop_assert!(!out.grants.is_empty());
         prop_assert_eq!(out.grants[0].center_index, 1);
     }
+
+    #[test]
+    fn memoized_replay_equals_full_indexed_walk(
+        policy in any_policy(),
+        machines in 5u32..40,
+        demands in prop::collection::vec((any_amounts(), 0u8..4), 1..24),
+    ) {
+        // The memo's exactness claim, replayed at the matching layer:
+        // on byte-identical inputs (same ledger, same availability
+        // epoch, same index state) the full CandidateIndex walk is a
+        // pure function, so replaying a recorded outcome instead of
+        // re-walking can never be observed — grant for grant, ledger
+        // for ledger. Random demand/fault sequences drive the pair.
+        use mmog_datacenter::matching::{match_request_indexed, CandidateIndex};
+        let origin = GeoPoint::new(50.0, 10.0);
+        let mut live = vec![center(machines, policy.clone())];
+        let mut replay = live.clone();
+        let mut live_index = CandidateIndex::new(origin, DistanceClass::VeryFar);
+        let mut replay_index = live_index.clone();
+        for (i, (amounts, fault)) in demands.iter().enumerate() {
+            match fault {
+                1 => {
+                    let _ = live[0].fail();
+                    let _ = replay[0].fail();
+                }
+                2 => {
+                    live[0].repair();
+                    replay[0].repair();
+                }
+                _ => {}
+            }
+            let req = ResourceRequest::new(
+                OperatorId(1),
+                *amounts,
+                origin,
+                DistanceClass::VeryFar,
+            );
+            let now = SimTime(i as u64);
+            let out = match_request_indexed(&mut live_index, &mut live, &req, now);
+            let replayed = match_request_indexed(&mut replay_index, &mut replay, &req, now);
+            prop_assert_eq!(&out, &replayed, "walk diverged on identical inputs");
+            prop_assert_eq!(
+                format!("{:?}", live[0].leases()),
+                format!("{:?}", replay[0].leases()),
+                "ledgers diverged structurally"
+            );
+        }
+    }
+
+    #[test]
+    fn match_memo_key_discipline_under_random_sequences(
+        t_memo in any_amounts(),
+        t_query in any_amounts(),
+        epoch in 0u64..4,
+        d_epoch in 0u64..3,
+        lease_gen in 0u64..4,
+        d_gen in 0u64..3,
+        topo in prop::option::of(0u64..3),
+        d_topo in prop::option::of(0u64..3),
+        any_target in any::<bool>(),
+        horizon in prop::option::of(1u64..50),
+        now in 0u64..60,
+    ) {
+        // covers() may say yes ONLY when every key matches, the clock
+        // is inside the validity horizon, and (unless the memo is
+        // any-target) the queried target sits inside the monotone band.
+        use mmog_datacenter::matching::MatchMemo;
+        let mut memo = MatchMemo::new();
+        prop_assert!(!memo.covers(&t_query, epoch, topo, lease_gen, SimTime(now)));
+        memo.arm(
+            t_memo,
+            epoch,
+            topo,
+            lease_gen,
+            any_target,
+            horizon.map(SimTime),
+        );
+        let q_epoch = epoch + d_epoch;
+        let q_gen = lease_gen + d_gen;
+        let q_topo = d_topo;
+        let covered = memo.covers(&t_query, q_epoch, q_topo, q_gen, SimTime(now));
+        let keys_match = q_epoch == epoch && q_gen == lease_gen && q_topo == topo;
+        let in_horizon = horizon.is_none_or(|h| now < h);
+        let in_band = any_target || t_memo.fits_within(&t_query, 0.0);
+        prop_assert_eq!(covered, keys_match && in_horizon && in_band);
+        // Any invalidation is final until the next arm.
+        memo.invalidate();
+        prop_assert!(!memo.covers(&t_query, epoch, topo, lease_gen, SimTime(now)));
+    }
 }

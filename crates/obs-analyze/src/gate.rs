@@ -385,6 +385,28 @@ pub fn check_bench(
             }
         }
     }
+    // The reverse direction: work the current run does that the
+    // baseline has never seen is work the gate silently isn't judging.
+    // A renamed or newly-added kernel path would otherwise dodge the
+    // p99 gate forever, so surface every one and point at --update.
+    for cur in &cur_stages {
+        let Some(base) = base_stages.iter().find(|s| s.path == cur.path) else {
+            outcome.warnings.push(format!(
+                "stage `{}` is not in the baseline — ungated; refresh the baseline with --update",
+                cur.path
+            ));
+            continue;
+        };
+        for (lat_path, _) in &cur.p99_us {
+            if !base.p99_us.iter().any(|(p, _)| p == lat_path) {
+                outcome.warnings.push(format!(
+                    "stage `{}`: latency path `{lat_path}` is not in the baseline — its p99 is \
+                     ungated; refresh the baseline with --update",
+                    cur.path
+                ));
+            }
+        }
+    }
     if let (Some(base_wall), Some(cur_wall)) = (
         baseline.get("wall_seconds").and_then(Value::as_f64),
         bench.get("wall_seconds").and_then(Value::as_f64),
@@ -500,6 +522,37 @@ mod tests {
         let v1_baseline = make_bench_baseline(&bench(1, 1, 100.0)).unwrap();
         let against_v1 = check_bench(&v1_baseline, &bench(1, 1, 100.0), &t).unwrap();
         assert!(against_v1.pass(), "{:?}", against_v1.failures);
+    }
+
+    #[test]
+    fn paths_unknown_to_the_baseline_warn_instead_of_dodging_the_gate() {
+        let t = BenchThresholds::default();
+        let baseline = make_bench_baseline(&bench_v2(1, 1, 80_000)).unwrap();
+        // A latency path added since the baseline (a renamed kernel,
+        // say) must be called out as ungated, not silently passed.
+        let with_new_path =
+            bench_v2(1, 1, 80_000).replace(r#""sim/run/reduce""#, r#""sim/run/match_skip""#);
+        let out = check_bench(&baseline, &with_new_path, &t).unwrap();
+        assert!(out.pass(), "new paths warn, they don't fail: {out:?}");
+        assert!(
+            out.warnings
+                .iter()
+                .any(|w| w.contains("sim/run/match_skip") && w.contains("--update")),
+            "missing ungated-path warning: {out:?}"
+        );
+        // Same for a whole stage the baseline has never seen.
+        let with_new_stage =
+            bench_v2(1, 1, 80_000).replace(r#""path":"scale/10k""#, r#""path":"scale/1M""#);
+        let out = check_bench(&baseline, &with_new_stage, &t).unwrap();
+        assert!(
+            out.warnings
+                .iter()
+                .any(|w| w.contains("scale/1M") && w.contains("--update")),
+            "missing ungated-stage warning: {out:?}"
+        );
+        // An identical run stays warning-free in both directions.
+        let clean = check_bench(&baseline, &bench_v2(1, 1, 80_000), &t).unwrap();
+        assert!(clean.warnings.is_empty(), "{clean:?}");
     }
 
     #[test]

@@ -86,6 +86,82 @@ impl Scratch {
     }
 }
 
+/// A contiguous row-major batch of feature rows (one sample per row,
+/// `width` features each), the input side of [`Mlp::forward_batch`].
+/// Rows are pushed once and the backing storage is recycled via
+/// [`clear`], so a per-tick gather loop allocates nothing steady-state.
+///
+/// [`clear`]: FeatureMatrix::clear
+#[derive(Debug, Clone, Default)]
+pub struct FeatureMatrix {
+    data: Vec<f64>,
+    width: usize,
+}
+
+impl FeatureMatrix {
+    /// An empty matrix whose rows are `width` features wide.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        Self::with_capacity(width, 0)
+    }
+
+    /// An empty matrix pre-sized for `rows` rows of `width` features.
+    ///
+    /// # Panics
+    /// Panics if `width == 0`.
+    #[must_use]
+    pub fn with_capacity(width: usize, rows: usize) -> Self {
+        assert!(width > 0, "row width must be positive");
+        Self {
+            data: Vec::with_capacity(width * rows),
+            width,
+        }
+    }
+
+    /// Appends one sample row.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the matrix width.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.width, "row width mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Drops all rows, keeping the backing storage.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Number of rows currently stored.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.width
+    }
+
+    /// Features per row.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterator over the rows, in order.
+    pub fn rows_iter(&self) -> std::slice::ChunksExact<'_, f64> {
+        self.data.chunks_exact(self.width)
+    }
+}
+
 /// A feed-forward network with tanh hidden layers and a linear output.
 ///
 /// Weights live in one flat row-major array covering all layers; layer
@@ -278,6 +354,39 @@ impl Mlp {
         }
         let nl = self.layer_count();
         &scratch.acts[self.act_off[nl]..self.act_off[nl] + self.shape[nl]]
+    }
+
+    /// Batched forward pass: every row of `batch` through the network,
+    /// outputs written row-major into `out` (`output_size()` values per
+    /// row, so one `f64` per row for the paper's `[n, h, 1]` shape).
+    ///
+    /// Each row's arithmetic is exactly [`forward_scratch`]'s — the
+    /// batch form only hoists the shape dispatch and scratch sizing out
+    /// of the row loop, so outputs are bit-identical to per-row calls
+    /// and the pass is allocation-free once the scratch is sized.
+    ///
+    /// # Panics
+    /// Panics if `batch.width()` mismatches the network's input size or
+    /// `out.len()` differs from `batch.rows() * output_size()`.
+    ///
+    /// [`forward_scratch`]: Self::forward_scratch
+    pub fn forward_batch(&self, scratch: &mut Scratch, batch: &FeatureMatrix, out: &mut [f64]) {
+        assert_eq!(batch.width(), self.input_size(), "feature width mismatch");
+        let k = self.output_size();
+        assert_eq!(out.len(), batch.rows() * k, "output length mismatch");
+        scratch.ensure(self);
+        if self.is_2l1() {
+            for (slot, row) in out.iter_mut().zip(batch.rows_iter()) {
+                *slot = self.forward_2l1(row, &mut scratch.acts);
+            }
+        } else {
+            let nl = self.layer_count();
+            let off = self.act_off[nl];
+            for (slots, row) in out.chunks_exact_mut(k).zip(batch.rows_iter()) {
+                self.forward_into_acts(row, &mut scratch.acts);
+                slots.copy_from_slice(&scratch.acts[off..off + k]);
+            }
+        }
     }
 
     /// Forward pass.
@@ -583,6 +692,56 @@ mod tests {
         for (a, b) in fast.velocity.iter().zip(&slow.velocity) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn forward_batch_matches_per_row_bitwise() {
+        // The batched kernel must be pinned to the per-row path bit for
+        // bit, on both the fused paper shape and the generic layered
+        // path (including a multi-output network).
+        for shape in [&[6usize, 3, 1][..], &[5, 4, 2][..], &[4, 7, 3, 1][..]] {
+            let mut rng = Rng64::seed_from(33);
+            let net = Mlp::new(shape, &mut rng);
+            let n = net.input_size();
+            let k = net.output_size();
+            let mut batch = FeatureMatrix::with_capacity(n, 200);
+            for i in 0..200usize {
+                let row: Vec<f64> = (0..n)
+                    .map(|j| ((i * 11 + j * 3) as f64 * 0.07).sin())
+                    .collect();
+                batch.push_row(&row);
+            }
+            let mut s_batch = Scratch::default();
+            let mut s_row = Scratch::default();
+            let mut out = vec![0.0; batch.rows() * k];
+            net.forward_batch(&mut s_batch, &batch, &mut out);
+            for (i, slots) in out.chunks_exact(k).enumerate() {
+                let per_row = net.forward_scratch(batch.row(i), &mut s_row);
+                for (a, b) in slots.iter().zip(per_row) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "row {i} diverged ({shape:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feature_matrix_roundtrips_rows() {
+        let mut m = FeatureMatrix::new(3);
+        assert_eq!((m.rows(), m.width()), (0, 3));
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.rows_iter().count(), 2);
+        m.clear();
+        assert_eq!(m.rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn feature_matrix_rejects_ragged_rows() {
+        let mut m = FeatureMatrix::new(3);
+        m.push_row(&[1.0, 2.0]);
     }
 
     #[test]

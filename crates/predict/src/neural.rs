@@ -170,6 +170,16 @@ impl NeuralPredictor {
         let split = split.clamp(1, n_samples.saturating_sub(1).max(1));
         let split = split.min(n_samples);
         let test_count = n_samples - split;
+        // The test rows, gathered once into a contiguous batch: every
+        // era's convergence check (and the final RMSE) then runs one
+        // batched forward instead of `test_count` per-row calls. The
+        // batch kernel is bit-pinned to the per-row path, and the error
+        // sum below keeps its index order, so losses are unchanged.
+        let mut test_feats = mlp::FeatureMatrix::with_capacity(window.max(1), test_count);
+        for i in split..n_samples {
+            test_feats.push_row(&feats[i * window..(i + 1) * window]);
+        }
+        let mut test_out = vec![0.0; test_count];
 
         let mut prev_loss = f64::INFINITY;
         let mut stable = 0;
@@ -199,11 +209,12 @@ impl NeuralPredictor {
             let test_loss = if test_count == 0 {
                 0.0
             } else {
+                predictor
+                    .net
+                    .forward_batch(&mut bufs.mlp, &test_feats, &mut test_out);
                 let mut sum = 0.0;
-                for i in split..n_samples {
-                    let x = &feats[i * window..(i + 1) * window];
-                    let o = predictor.net.forward_scratch(x, &mut bufs.mlp)[0];
-                    sum += (o - targets[i]) * (o - targets[i]);
+                for (o, t) in test_out.iter().zip(&targets[split..]) {
+                    sum += (o - t) * (o - t);
                 }
                 sum / test_count as f64
             };
@@ -221,11 +232,12 @@ impl NeuralPredictor {
         let test_rmse = if test_count == 0 {
             0.0
         } else {
+            predictor
+                .net
+                .forward_batch(&mut bufs.mlp, &test_feats, &mut test_out);
             let mut sum = 0.0;
-            for i in split..n_samples {
-                let x = &feats[i * window..(i + 1) * window];
-                let o = predictor.net.forward_scratch(x, &mut bufs.mlp)[0];
-                sum += (o - targets[i]) * (o - targets[i]);
+            for (o, t) in test_out.iter().zip(&targets[split..]) {
+                sum += (o - t) * (o - t);
             }
             (sum / test_count as f64).sqrt()
         };
@@ -331,6 +343,20 @@ impl Predictor for NeuralPredictor {
         self.window.clear();
         self.has_features = false;
     }
+
+    fn observe_predict(&mut self, value: f64) -> f64 {
+        self.observe(value);
+        if self.window.len() < self.cfg.window {
+            return self.predict(); // cold start: rare, keep it simple
+        }
+        assert!(self.has_features, "window full implies features");
+        // Same arithmetic as `predict`, but through the exclusive
+        // borrow `observe` already holds a right to — no RefCell
+        // bookkeeping on the per-tick hot path.
+        let bufs = self.scratch.get_mut();
+        let out = self.net.forward_scratch(&self.last_features, &mut bufs.mlp)[0];
+        self.normalizer.denorm(out).max(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -382,6 +408,24 @@ mod tests {
             e_trained < e_cold,
             "trained {e_trained} should beat cold {e_cold}"
         );
+    }
+
+    #[test]
+    fn observe_predict_is_bitwise_split_equivalent() {
+        // The fused hot-path entry point must be indistinguishable from
+        // observe-then-predict, across cold start, window fill, and
+        // online learning — byte-determinism of reports depends on it.
+        let series = diurnal_series(400, 7);
+        let (train, eval) = series.split_at(300);
+        let (trained, _) = NeuralPredictor::train(NeuralConfig::default(), train);
+        let mut fused = trained.clone();
+        let mut split = trained;
+        for &x in eval {
+            let f = fused.observe_predict(x);
+            split.observe(x);
+            let s = split.predict();
+            assert_eq!(f.to_bits(), s.to_bits(), "fused {f} vs split {s}");
+        }
     }
 
     #[test]

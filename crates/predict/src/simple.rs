@@ -37,6 +37,12 @@ impl Predictor for LastValue {
     fn reset(&mut self) {
         self.last = None;
     }
+    fn observe_predict(&mut self, value: f64) -> f64 {
+        // The persistence forecast after observing `value` is `value`
+        // itself — skip the Option round-trip on the hot path.
+        self.last = Some(value);
+        value
+    }
 }
 
 /// Predicts the running mean of the entire history ("Average" in the
@@ -492,6 +498,17 @@ mod tests {
     #[should_panic(expected = "blend must be in")]
     fn seasonal_bad_blend_rejected() {
         let _ = SeasonalNaive::new(10, 1.5);
+    }
+
+    #[test]
+    fn observe_predict_matches_split_calls() {
+        let mut fused = LastValue::new();
+        let mut split = LastValue::new();
+        for x in [3.0, 0.0, -2.5, 7.125] {
+            let f = fused.observe_predict(x);
+            split.observe(x);
+            assert_eq!(f.to_bits(), split.predict().to_bits());
+        }
     }
 
     #[test]

@@ -22,6 +22,16 @@ pub trait Predictor {
     /// Clears all history, returning the predictor to its initial state
     /// (trained parameters, if any, are retained).
     fn reset(&mut self);
+
+    /// Feeds the newest sample and returns the forecast for the next
+    /// one, in one call. Must be exactly equivalent to `observe(value)`
+    /// followed by `predict()`; the default does just that.
+    /// Implementations override it to fuse the two passes (share one
+    /// scratch borrow, skip a recompute) on the per-tick hot path.
+    fn observe_predict(&mut self, value: f64) -> f64 {
+        self.observe(value);
+        self.predict()
+    }
 }
 
 /// Blanket helper: run a predictor over a series, collecting the

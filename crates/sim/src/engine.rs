@@ -738,9 +738,31 @@ impl Simulation {
         // player again.
         let mut open_outages: Vec<(usize, u64)> = Vec::new();
         let mut recovery_ticks: Vec<u64> = Vec::new();
-        // Center usage accumulators.
-        let mut usage: Vec<(BTreeMap<u32, f64>, f64)> =
-            vec![(BTreeMap::new(), 0.0); self.centers.len()];
+        // Center usage accumulators, slot-indexed by operator. The
+        // operator set is fixed at construction, so the per-tick
+        // attribution loop indexes a flat array instead of paying a map
+        // lookup per lease; slots stay in ascending-id order so the
+        // final per-operator maps render identically to the old
+        // `BTreeMap` accumulation (same per-lease addition order, same
+        // iteration order).
+        let mut op_ids: Vec<u32> = self
+            .groups
+            .iter()
+            .map(|g| g.provisioner.operator.0)
+            .collect();
+        op_ids.sort_unstable();
+        op_ids.dedup();
+        // Direct operator-id → slot table: the usage walk does one
+        // indexed load per lease instead of a binary search. Ids are
+        // small dense integers, so the table stays tiny.
+        let max_op = op_ids.last().copied().unwrap_or(0) as usize;
+        let mut op_slot: Vec<u32> = vec![u32::MAX; max_op + 1];
+        for (slot, &op) in op_ids.iter().enumerate() {
+            op_slot[op as usize] = slot as u32;
+        }
+        // (per-slot cpu sum, per-slot touched flag, free-cpu sum).
+        let mut usage: Vec<(Vec<f64>, Vec<bool>, f64)> =
+            vec![(vec![0.0; op_ids.len()], vec![false; op_ids.len()], 0.0); self.centers.len()];
         // Stride for per-center `center_tick` trace samples: at most
         // ~96 sampled ticks per run regardless of scale, derived from
         // the configuration so it is jobs-independent.
@@ -800,7 +822,21 @@ impl Simulation {
         let l_predict = mmog_obs::latency("sim/run/predict_score");
         let l_reduce = mmog_obs::latency("sim/run/reduce");
         let l_settle = mmog_obs::latency("sim/run/match_settle");
+        // Ticks where every group replayed its no-op memo: the settle
+        // stage's fast-path distribution, recorded alongside (not
+        // instead of) match_settle so the slow path's tail stays
+        // comparable against old baselines.
+        let l_skip = mmog_obs::latency("sim/run/match_skip");
         let l_tick = mmog_obs::latency("sim/run/tick");
+        // Memo hit accounting. Timing domain on purpose: the memo keys
+        // on the process-global availability epoch, so parallel faulted
+        // experiments interleave epoch bumps differently across --jobs
+        // and the split between skipped and full walks is not
+        // jobs-stable. The grants themselves are (replay is an exact
+        // no-op); only this diagnostic split varies, so it lives with
+        // the other masked timing data.
+        let c_skips = mmog_obs::counter("sim.match.skips", mmog_obs::Domain::Timing);
+        let c_full = mmog_obs::counter("sim.match.full", mmog_obs::Domain::Timing);
         let ns_since = |start: std::time::Instant| {
             u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
         };
@@ -1228,10 +1264,13 @@ impl Simulation {
                 demand_cpu_series.push(total_demand.cpu);
                 alloc_cpu_series.push(total_alloc.cpu);
                 for (center, acc) in self.centers.iter().zip(usage.iter_mut()) {
-                    for lease in center.leases() {
-                        *acc.0.entry(lease.operator.0).or_insert(0.0) += lease.amounts.cpu;
+                    for &(op, cpu) in center.lease_cpu() {
+                        let slot = op_slot[op as usize] as usize;
+                        debug_assert!(slot < op_ids.len(), "lease from a non-group operator");
+                        acc.0[slot] += cpu;
+                        acc.1[slot] = true;
                     }
-                    acc.1 += center.free().cpu;
+                    acc.2 += center.free().cpu;
                 }
             }
             if let Some(sink) = sink.as_mut() {
@@ -1270,6 +1309,8 @@ impl Simulation {
             // capacity first. Matching contends on the shared centers,
             // so this ordering IS the semantics and cannot fan out.
             let mut settle_ns = None;
+            let mut tick_skips = 0u64;
+            let mut tick_full = 0u64;
             if dynamic {
                 let settle_start = std::time::Instant::now();
                 {
@@ -1283,6 +1324,11 @@ impl Simulation {
                             &mut self.centers,
                             now,
                         );
+                        if out.replayed {
+                            tick_skips += 1;
+                        } else {
+                            tick_full += 1;
+                        }
                         leases_granted += out.granted as u64;
                         leases_released += out.released as u64;
                         rejections.merge(&out.rejections);
@@ -1346,6 +1392,11 @@ impl Simulation {
                             &mut self.centers,
                             now,
                         );
+                        if out.replayed {
+                            tick_skips += 1;
+                        } else {
+                            tick_full += 1;
+                        }
                         leases_granted += out.granted as u64;
                         leases_released += out.released as u64;
                         rejections.merge(&out.rejections);
@@ -1384,6 +1435,14 @@ impl Simulation {
             if let Some(ns) = settle_ns {
                 t_settle.record_ns(ns);
                 l_settle.record(ns);
+                c_skips.add(tick_skips);
+                c_full.add(tick_full);
+                if tick_full == 0 && tick_skips > 0 {
+                    // A pure fast-path tick: the whole settle stage was
+                    // memo replays, so its duration belongs to the skip
+                    // distribution too.
+                    l_skip.record(ns);
+                }
             }
             if faults_active || scenario_active {
                 // Unserved player-ticks: each group's players scaled by
@@ -1479,12 +1538,26 @@ impl Simulation {
             .centers
             .iter()
             .zip(usage)
-            .map(|(c, (by_op, free))| CenterUsage {
-                name: c.spec.name.clone(),
-                capacity_cpu: c.spec.capacity().cpu,
-                cpu_total: by_op.values().sum(),
-                cpu_by_operator: by_op,
-                cpu_free: free,
+            .map(|(c, (sums, touched, free))| {
+                // Slots are in ascending operator-id order, so both the
+                // map contents and the total's summation order match
+                // the historical `BTreeMap` accumulation exactly; an
+                // operator that never leased here stays absent even if
+                // its (untouched) slot is zero.
+                let by_op: BTreeMap<u32, f64> = op_ids
+                    .iter()
+                    .zip(sums)
+                    .zip(touched)
+                    .filter(|(_, t)| *t)
+                    .map(|((op, sum), _)| (*op, sum))
+                    .collect();
+                CenterUsage {
+                    name: c.spec.name.clone(),
+                    capacity_cpu: c.spec.capacity().cpu,
+                    cpu_total: by_op.values().sum(),
+                    cpu_by_operator: by_op,
+                    cpu_free: free,
+                }
             })
             .collect();
 

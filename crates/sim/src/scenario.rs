@@ -90,6 +90,15 @@ fn base_game(
     update_model: UpdateModel,
     tolerance: DistanceClass,
 ) -> GameSpec {
+    base_game_with(trace.into(), predictor, update_model, tolerance)
+}
+
+fn base_game_with(
+    workload: crate::engine::GameWorkload,
+    predictor: PredictorKind,
+    update_model: UpdateModel,
+    tolerance: DistanceClass,
+) -> GameSpec {
     GameSpec {
         name: "RuneScape-like".into(),
         operator_base: 0,
@@ -97,7 +106,7 @@ fn base_game(
         tolerance,
         headroom: 1.0,
         predictor,
-        workload: trace.into(),
+        workload,
         static_peak_players: 2100.0, // capacity x the 1.05 overfull clamp
         priority: 0,
     }
@@ -133,6 +142,28 @@ pub fn prediction_impact(
     let trace = standard_trace(opts);
     let game = base_game(
         trace,
+        predictor,
+        UpdateModel::Quadratic,
+        DistanceClass::VeryFar,
+    );
+    base_sim(table3_hp12(), vec![game], mode, opts)
+}
+
+/// [`prediction_impact`] with a caller-supplied workload: the same
+/// Sec. V-B platform and game axes, but without materializing (and
+/// then discarding) the standard trace. Byte-identical to calling
+/// [`prediction_impact`] and overwriting `games[0].workload` — callers
+/// driving streaming workloads at scale skip the trace generation that
+/// dominated their per-world setup.
+#[must_use]
+pub fn prediction_impact_with_workload(
+    predictor: PredictorKind,
+    mode: AllocationMode,
+    opts: &ScenarioOpts,
+    workload: crate::engine::GameWorkload,
+) -> SimulationConfig {
+    let game = base_game_with(
+        workload,
         predictor,
         UpdateModel::Quadratic,
         DistanceClass::VeryFar,

@@ -159,6 +159,14 @@ fn main() {
         Ok(None) => {}
         Err(e) => eprintln!("== event trace write failed: {e}"),
     }
+    match mmog_obs::flush_ts() {
+        Ok(paths) => {
+            for path in paths {
+                println!("== time series -> {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("== time-series write failed: {e}"),
+    }
     if opts.metrics {
         // Give the summary the suite wall time so the `obs/self`
         // section can report the recorder's overhead as a percentage.

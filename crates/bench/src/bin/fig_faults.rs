@@ -23,6 +23,14 @@ fn main() {
         Ok(None) => {}
         Err(e) => eprintln!("== event trace write failed: {e}"),
     }
+    match mmog_obs::flush_ts() {
+        Ok(paths) => {
+            for path in paths {
+                println!("== time series -> {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("== time-series write failed: {e}"),
+    }
     if opts.metrics {
         let summary_path = out_dir.join("OBS_summary.json");
         fs::write(&summary_path, mmog_obs::summary_json()).expect("cannot write OBS summary");

@@ -8,6 +8,15 @@
 //! Usage: `obs_check <OBS_summary.json> [trace.jsonl]`
 //!        `obs_check --scale <BENCH_scale.json>`
 //!        `obs_check --flight <FLIGHT_run.jsonl>`
+//!        `obs_check --ts <TS_run.json | OBS_live.json>...`
+//!
+//! Trace validation also replays the causal lease-lifecycle chain
+//! (`mmog_obs_analyze::lifecycle`): every grant must name a request,
+//! lease keys must never be reused, and every granted lease must reach
+//! exactly one terminal release/revocation — orphans fail the check.
+//! The kind-coverage count is reported against
+//! `mmog_obs::KNOWN_EVENT_KINDS.len()`, so it tracks schema growth
+//! automatically instead of a hand-maintained total.
 //!
 //! `--scale` validates a `scale_bench` document instead: the
 //! `mmog-scale-bench/v1` or `/v2` schema tag, the gate-compatible
@@ -67,7 +76,36 @@ fn check_trace(path: &str) -> Result<(), String> {
     if count == 0 {
         return Err(format!("{path}: trace is empty"));
     }
-    println!("OK trace {path} ({count} events, {kinds_seen} kinds, all field sets valid)");
+    // Causality invariants: reconstruct every lease's lifecycle and
+    // fail on orphans, reused keys, or grants without requests.
+    let report = mmog_obs_analyze::analyze_lifecycle(&text).map_err(|e| format!("{path}: {e}"))?;
+    mmog_obs_analyze::check_lifecycle(&report).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "OK trace {path} ({count} events, {kinds_seen}/{} kinds, all field sets valid, \
+         {} leases reconstructed)",
+        mmog_obs::KNOWN_EVENT_KINDS.len(),
+        report.total_leases()
+    );
+    Ok(())
+}
+
+/// Validates a time-series (`TS_<run>.json`) or live-snapshot
+/// (`OBS_live.json`) document, dispatching on the embedded schema tag.
+fn check_ts(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = mmog_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(mmog_obs::TS_SCHEMA) => {
+            mmog_obs::validate_ts(&doc).map_err(|e| format!("{path}: {e}"))?;
+            println!("OK time series {path}");
+        }
+        Some(mmog_obs::LIVE_SCHEMA) => {
+            mmog_obs::validate_live(&doc).map_err(|e| format!("{path}: {e}"))?;
+            println!("OK live snapshot {path}");
+        }
+        Some(other) => return Err(format!("{path}: unknown schema {other:?}")),
+        None => return Err(format!("{path}: missing schema field")),
+    }
     Ok(())
 }
 
@@ -302,7 +340,8 @@ fn main() -> ExitCode {
     let Some(first) = args.next() else {
         eprintln!(
             "usage: obs_check <OBS_summary.json> [trace.jsonl] | obs_check --scale \
-             <BENCH_scale.json> | obs_check --flight <FLIGHT_run.jsonl>"
+             <BENCH_scale.json> | obs_check --flight <FLIGHT_run.jsonl> | obs_check --ts \
+             <TS_run.json | OBS_live.json>..."
         );
         return ExitCode::FAILURE;
     };
@@ -310,6 +349,13 @@ fn main() -> ExitCode {
         match args.next() {
             Some(path) => check_scale(&path),
             None => Err("--scale needs a path".into()),
+        }
+    } else if first == "--ts" {
+        let paths: Vec<String> = args.collect();
+        if paths.is_empty() {
+            Err("--ts needs at least one path".into())
+        } else {
+            paths.iter().try_for_each(|p| check_ts(p))
         }
     } else if first == "--flight" {
         match args.next() {

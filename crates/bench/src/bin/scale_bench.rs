@@ -10,6 +10,7 @@
 //! ```text
 //! scale_bench [--quick] [--full] [--ticks N] [--jobs N] [--seed N]
 //!             [--flight N] [--flight-dump] [--tick-deadline-ms N]
+//!             [--trace PATH] [--ts DIR] [--live PATH] [--live-every N]
 //! ```
 //!
 //! `--quick` stops the ladder at 100k (the CI smoke scale), the default
@@ -57,11 +58,12 @@ fn parse_args() -> Opts {
         }
         i += 1;
     }
-    // --jobs and the flight flags share the experiment binaries'
-    // parser, so every binary spells them identically.
+    // --jobs and the observability flags (--trace, --flight, --ts,
+    // --live, ...) share the experiment binaries' parser, so every
+    // binary spells them identically.
     let run = mmog_bench::cli::RunOpts::parse(args);
     run.apply_jobs();
-    mmog_obs::set_flight_config(run.flight_config());
+    run.apply_obs();
     opts
 }
 
@@ -83,4 +85,17 @@ fn main() {
     fs::write(&path, &json).expect("cannot write BENCH_scale.json");
     println!("-> {}", path.display());
     print!("{json}");
+    match mmog_obs::flush_trace() {
+        Ok(Some(path)) => println!("== event trace -> {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("== event trace write failed: {e}"),
+    }
+    match mmog_obs::flush_ts() {
+        Ok(paths) => {
+            for path in paths {
+                println!("== time series -> {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("== time-series write failed: {e}"),
+    }
 }

@@ -2,7 +2,7 @@
 
 use mmog_faults::{FaultSpec, ScenarioSpec};
 use mmog_sim::scenario::ScenarioOpts;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// `--help` text shared by the experiment binaries: every flag plus the
 /// full `--faults` and `--scenario` grammars.
@@ -25,6 +25,13 @@ Observability:
   --flight-dump          dump the final window at run end regardless
   --tick-deadline-ms N   fire the flight recorder when a tick exceeds
                          N wall-clock milliseconds (diagnosis only)
+  --ts DIR               export per-run downsampled time series as
+                         DIR/TS_<run>.json (fallback: MMOG_TS)
+  --live PATH            atomically rewrite a live telemetry snapshot
+                         at PATH every few ticks; watch it with
+                         mmog_top (fallback: MMOG_LIVE)
+  --live-every N         live snapshot rewrite interval in ticks
+                         (default 64)
 
 Fault injection (--faults SPEC | MMOG_FAULTS):
   SPEC is `paper` or comma-separated key=value pairs; whitespace
@@ -86,6 +93,16 @@ pub struct RunOpts {
     /// tick exceeding it fires the flight recorder's deadline-overrun
     /// trigger. Wall-clock — for interactive diagnosis, never CI gates.
     pub tick_deadline_ms: Option<u64>,
+    /// Time-series output directory (`--ts DIR`; the `MMOG_TS`
+    /// environment variable is the fallback). Each run exports its
+    /// downsampled per-metric series as `DIR/TS_<run>.json`. `None`
+    /// disables the plane (the default — runs stay byte-identical).
+    pub ts_dir: Option<PathBuf>,
+    /// Live telemetry snapshot path (`--live PATH`; the `MMOG_LIVE`
+    /// environment variable is the fallback). `None` disables the tap.
+    pub live: Option<PathBuf>,
+    /// Live snapshot rewrite interval in ticks (`--live-every N`).
+    pub live_every: Option<u64>,
 }
 
 impl Default for RunOpts {
@@ -102,6 +119,9 @@ impl Default for RunOpts {
             flight: None,
             flight_dump: false,
             tick_deadline_ms: None,
+            ts_dir: None,
+            live: None,
+            live_every: None,
         }
     }
 }
@@ -196,6 +216,18 @@ impl RunOpts {
                     opts.tick_deadline_ms = args[i + 1].parse().ok();
                     i += 1;
                 }
+                "--ts" if i + 1 < args.len() => {
+                    opts.ts_dir = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
+                "--live" if i + 1 < args.len() => {
+                    opts.live = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
+                "--live-every" if i + 1 < args.len() => {
+                    opts.live_every = args[i + 1].parse().ok();
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
@@ -212,13 +244,39 @@ impl RunOpts {
     /// Installs the trace destination: `--trace` wins, otherwise the
     /// `MMOG_TRACE` environment variable applies. Also installs the
     /// flight-recorder configuration when `--flight`/`--flight-dump`
-    /// asked for one.
+    /// asked for one, the time-series output directory (`--ts` /
+    /// `MMOG_TS`) and the live telemetry tap (`--live` / `MMOG_LIVE`).
     pub fn apply_obs(&self) {
         match &self.trace {
             Some(path) => mmog_obs::set_trace_path(Some(path)),
             None => mmog_obs::apply_trace_env(),
         }
         mmog_obs::set_flight_config(self.flight_config());
+        match &self.ts_dir {
+            Some(dir) => mmog_obs::set_ts_dir(Some(dir)),
+            None => {
+                if let Ok(dir) = std::env::var("MMOG_TS") {
+                    if !dir.is_empty() {
+                        mmog_obs::set_ts_dir(Some(Path::new(&dir)));
+                    }
+                }
+            }
+        }
+        match self.live_config() {
+            Some(cfg) => mmog_obs::set_live_config(Some(cfg)),
+            None => mmog_obs::apply_live_env(),
+        }
+    }
+
+    /// The live-tap configuration this run asked for, if any.
+    #[must_use]
+    pub fn live_config(&self) -> Option<mmog_obs::LiveConfig> {
+        let path = self.live.as_deref()?;
+        let mut cfg = mmog_obs::LiveConfig::new(path);
+        if let Some(every) = self.live_every {
+            cfg.every_ticks = every;
+        }
+        Some(cfg)
     }
 
     /// The flight-recorder configuration this run asked for, if any.
@@ -392,6 +450,29 @@ mod tests {
         // --trace without a value is ignored like any malformed flag.
         let o = RunOpts::parse(args(&["--trace"]));
         assert_eq!(o.trace, None);
+    }
+
+    #[test]
+    fn ts_and_live_flags_parse_and_configure() {
+        // Off by default: no tap, runs stay byte-identical.
+        let o = RunOpts::parse(args(&[]));
+        assert_eq!(o.ts_dir, None);
+        assert!(o.live_config().is_none());
+        let o = RunOpts::parse(args(&[
+            "--ts",
+            "results",
+            "--live",
+            "results/OBS_live.json",
+            "--live-every",
+            "16",
+        ]));
+        assert_eq!(o.ts_dir.as_deref(), Some(Path::new("results")));
+        let cfg = o.live_config().expect("configured");
+        assert_eq!(cfg.path, Path::new("results/OBS_live.json"));
+        assert_eq!(cfg.interval(), 16);
+        // --live without --live-every keeps the default interval.
+        let o = RunOpts::parse(args(&["--live", "x.json"]));
+        assert_eq!(o.live_config().expect("configured").interval(), 64);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! The causal lease-lifecycle contract at experiment scale: every
+//! lease the engine grants is reconstructible from the trace alone —
+//! request → grant → (maturity) → exactly one terminal — with no
+//! orphans, at `--jobs 1` and `--jobs 4` with byte-identical semantic
+//! output. The time-series export rides the same contract: its
+//! deterministic downsampling makes `TS_<run>.json` documents
+//! byte-identical across job counts.
+//!
+//! One test function: the jobs setting, the metric registry, the trace
+//! destination and the time-series collector are all process-global,
+//! so separate `#[test]`s would race under the parallel test harness.
+//!
+//! The mini-suite is chosen to exercise every terminal cause family:
+//! fig08 drives plain dynamic provisioning (surplus/reshape/run_end
+//! releases), fig_faults adds fault-plane revocations and center-down
+//! drops, fig_scenarios adds migration and failover releases.
+
+use mmog_bench::experiments as exp;
+use mmog_bench::RunOpts;
+use mmog_obs_analyze::{analyze_lifecycle, check_lifecycle, render_lifecycle, trace_diff};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn tiny() -> RunOpts {
+    RunOpts {
+        days: 1,
+        cap: Some(2),
+        seed: 77,
+        ..RunOpts::default()
+    }
+}
+
+fn mini_suite(opts: &RunOpts) -> Vec<String> {
+    vec![
+        exp::fig08_static_vs_dynamic(opts),
+        exp::fig_faults(opts),
+        exp::fig_scenarios(opts),
+    ]
+}
+
+/// Runs the mini-suite with tracing into `trace_path` and time-series
+/// export into `ts_dir`, returning `(trace bytes, sorted ts docs)`.
+fn traced_pass(opts: &RunOpts, trace_path: &PathBuf, ts_dir: &Path) -> (String, Vec<String>) {
+    mmog_obs::reset();
+    mmog_obs::set_trace_path(Some(trace_path));
+    fs::create_dir_all(ts_dir).expect("ts dir");
+    mmog_obs::set_ts_dir(Some(ts_dir));
+    let _reports = mini_suite(opts);
+    mmog_obs::flush_trace().expect("trace flush succeeds");
+    let ts_paths = mmog_obs::flush_ts().expect("ts flush succeeds");
+    mmog_obs::set_trace_path(None);
+    mmog_obs::set_ts_dir(None);
+    let trace = fs::read_to_string(trace_path).expect("trace file exists");
+    // flush_ts writes in label order, so the document sequence is
+    // directly comparable across passes.
+    let docs = ts_paths
+        .iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let body = fs::read_to_string(p).expect("ts file exists");
+            format!("{name}\n{body}")
+        })
+        .collect();
+    (trace, docs)
+}
+
+#[test]
+fn lease_lifecycles_reconstruct_fully_across_jobs() {
+    let baseline_jobs = mmog_par::jobs();
+    let opts = tiny();
+
+    // Warm the process-wide workload/emulator caches so cache-build
+    // effects don't differ between the compared passes.
+    mmog_par::set_jobs(1);
+    let _ = mini_suite(&opts);
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let p1 = dir.join(format!("mmog_lease_det_j1_{pid}.jsonl"));
+    let p4 = dir.join(format!("mmog_lease_det_j4_{pid}.jsonl"));
+    let d1 = dir.join(format!("mmog_lease_ts_j1_{pid}"));
+    let d4 = dir.join(format!("mmog_lease_ts_j4_{pid}"));
+
+    let (trace_serial, ts_serial) = traced_pass(&opts, &p1, &d1);
+    mmog_par::set_jobs(4);
+    let (trace_parallel, ts_parallel) = traced_pass(&opts, &p4, &d4);
+    mmog_par::set_jobs(baseline_jobs);
+    let _ = fs::remove_file(&p1);
+    let _ = fs::remove_file(&p4);
+    let _ = fs::remove_dir_all(&d1);
+    let _ = fs::remove_dir_all(&d4);
+
+    // The event logs (lifecycle events included) are byte-identical.
+    if let Some(d) = trace_diff(&trace_serial, &trace_parallel) {
+        panic!(
+            "JSONL event log must be byte-identical between --jobs 1 and --jobs 4: {}",
+            d.message()
+        );
+    }
+
+    // Every lease reconstructs: the causality invariants hold (every
+    // grant has a request, no orphan terminals, no reused keys) and
+    // 100% of granted leases reach exactly one terminal.
+    let report = analyze_lifecycle(&trace_serial).expect("trace parses");
+    check_lifecycle(&report).expect("causality invariants hold on the real suite");
+    assert!(
+        report.total_leases() > 0,
+        "mini-suite must grant leases to make the check meaningful"
+    );
+    assert_eq!(
+        report.total_closed(),
+        report.total_leases(),
+        "every granted lease must reach a terminal event"
+    );
+    for scope in &report.scopes {
+        assert_eq!(
+            scope.closed(),
+            scope.leases.len(),
+            "scope {} reconstructs 100% of its leases",
+            scope.scope
+        );
+    }
+
+    // The fault and scenario planes actually contributed terminal
+    // causes beyond plain provisioning (the engine's own releases are
+    // covered by every scope's run_end closure).
+    let all_causes: Vec<String> = report
+        .scopes
+        .iter()
+        .flat_map(|s| s.causes().into_keys())
+        .collect();
+    assert!(
+        all_causes.iter().any(|c| c == "run_end"),
+        "run-end closure must close surviving leases: {all_causes:?}"
+    );
+    assert!(
+        all_causes.iter().any(|c| c == "revoked"),
+        "fault suite must contribute revocations: {all_causes:?}"
+    );
+
+    // The rendered lifecycle report is pure semantic output, so it is
+    // byte-identical across job counts (same input trace, same fold).
+    let report_parallel = analyze_lifecycle(&trace_parallel).expect("trace parses");
+    assert_eq!(
+        render_lifecycle(&report),
+        render_lifecycle(&report_parallel),
+        "lifecycle report must be byte-identical across --jobs"
+    );
+
+    // Time-series exports: every document validates against the
+    // `mmog-obs-ts/v1` schema, and the `semantic` sections (demand,
+    // allocation, shortfall — sampled from serial sections and
+    // downsampled by a pure function of the sample sequence) are
+    // byte-identical across job counts. The `timing` sections (stage
+    // latencies, and the memo skip rate, whose replay eligibility keys
+    // on the process-wide availability epoch and so moves with --jobs)
+    // are excluded, per the determinism contract.
+    assert!(
+        !ts_serial.is_empty(),
+        "mini-suite must export at least one TS document"
+    );
+    let semantic_of = |doc: &String| {
+        let (name, body) = doc.split_once('\n').expect("name header");
+        let value = mmog_obs::json::parse(body).expect("ts doc parses");
+        mmog_obs::validate_ts(&value).expect("ts doc validates");
+        format!(
+            "{name}\n{}",
+            value
+                .get("semantic")
+                .expect("semantic section")
+                .render_pretty()
+        )
+    };
+    let sem_serial: Vec<String> = ts_serial.iter().map(semantic_of).collect();
+    let sem_parallel: Vec<String> = ts_parallel.iter().map(semantic_of).collect();
+    assert_eq!(
+        sem_serial, sem_parallel,
+        "TS semantic sections must be byte-identical across --jobs"
+    );
+}

@@ -24,7 +24,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// availability-dependent filtering is stale. The epoch is a pure
 /// invalidation signal: a spurious bump (e.g. from an unrelated center
 /// set in another test) only costs a redundant refresh, never changes a
-/// match result, so determinism is unaffected.
+/// match result, so determinism is unaffected. It does move the
+/// memo-replay *counts* (a spuriously invalidated step runs the full
+/// no-op walk instead of replaying), which is why skip counters and the
+/// `match_skip_rate` series are classified as timing, never semantic.
 static AVAIL_EPOCH: AtomicU64 = AtomicU64::new(0);
 
 /// Current value of the global availability epoch.
@@ -161,6 +164,14 @@ impl DataCenter {
     #[must_use]
     pub fn availability(&self) -> Availability {
         self.availability
+    }
+
+    /// Whether the center is in full outage ([`Availability::Down`]).
+    /// The live telemetry tap counts down centers with this instead of
+    /// matching on the state machine at every call site.
+    #[must_use]
+    pub fn is_down(&self) -> bool {
+        matches!(self.availability, Availability::Down)
     }
 
     /// Capacity usable in the current availability state.

@@ -390,6 +390,14 @@ impl FaultSchedule {
     pub fn len(&self) -> usize {
         self.events.len()
     }
+
+    /// Number of events at ticks `<= tick` — how many the engine has
+    /// applied once it finishes that tick (events are sorted by tick).
+    /// The live telemetry tap reports this as its `fault_events` gauge.
+    #[must_use]
+    pub fn applied_through(&self, tick: u64) -> u64 {
+        self.events.partition_point(|e| e.tick <= tick) as u64
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,51 @@
+//! `lease_report` — reconstruct per-lease causal waterfalls from a
+//! JSONL trace.
+//!
+//! ```text
+//! lease_report TRACE [--quiet]
+//! ```
+//!
+//! Replays the `lease_request` → `lease_grant` → `lease_mature` →
+//! release/revoke chain per run and prints the deterministic lifecycle
+//! report: request→grant latency, lease lifetime distributions, the
+//! terminal-cause breakdown, and held cpu-ticks per center and per
+//! operator. Exits nonzero when any causality invariant fails (orphan
+//! terminals, grants without requests, reused lease keys, or leases
+//! that never reached a terminal), listing every violation —
+//! `--quiet` suppresses the report and prints violations only, for CI.
+
+use mmog_obs_analyze::{analyze_lifecycle, check_lifecycle, render_lifecycle};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let mut trace: Option<PathBuf> = None;
+    let mut quiet = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quiet" => quiet = true,
+            "--help" | "-h" => return Err("usage: lease_report TRACE [--quiet]".to_string()),
+            other if trace.is_none() && !other.starts_with('-') => {
+                trace = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    let trace = trace.ok_or("missing TRACE argument")?;
+    let text = std::fs::read_to_string(&trace).map_err(|e| format!("{}: {e}", trace.display()))?;
+    let report = analyze_lifecycle(&text)?;
+    if !quiet {
+        print!("{}", render_lifecycle(&report));
+    }
+    check_lifecycle(&report)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lease_report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

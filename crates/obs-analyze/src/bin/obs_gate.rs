@@ -7,13 +7,16 @@
 //!          --bench-baseline results/BASELINE_bench.json
 //!          [--max-slowdown-pct 25] [--min-stage-ms 50]
 //!          [--max-p99-slowdown-pct 100] [--min-p99-us 20]
-//!          [--update] [--suite quick]
+//!          [--strict-paths] [--update] [--suite quick]
 //! ```
 //!
 //! Default mode compares and exits non-zero on any failure (semantic
 //! drift always fails; timing failures require a matching
-//! `jobs`/`logical_cpus` environment). `--update` regenerates the
-//! baseline files from the current artifacts instead.
+//! `jobs`/`logical_cpus` environment). Stages and latency paths the
+//! baseline has never seen are listed by name — warnings by default,
+//! hard failures under `--strict-paths` (the CI posture, so a renamed
+//! kernel path can't silently dodge the p99 gate). `--update`
+//! regenerates the baseline files from the current artifacts instead.
 //!
 //! `--summary`/`--obs-baseline` may be omitted **together** for
 //! bench-only gating — any timing document with `jobs`,
@@ -78,6 +81,7 @@ fn parse_args() -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--min-p99-us: {e}"))?;
             }
+            "--strict-paths" => thresholds.strict_paths = true,
             "--update" => update = true,
             "--suite" => suite = value("--suite")?,
             other => return Err(format!("unknown argument {other}")),

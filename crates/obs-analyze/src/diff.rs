@@ -264,6 +264,62 @@ mod tests {
         assert_eq!(d.right, END_OF_TRACE);
     }
 
+    /// A real flight-recorder dump: `flight_meta` first line, then the
+    /// retained full-detail window (same envelope as the trace, so
+    /// `trace_diff` localizes divergences in dumps too).
+    fn flight_dump() -> String {
+        use mmog_obs::{FlightConfig, FlightRecorder, FlightTrigger};
+        let dir = std::env::temp_dir().join("obs_analyze_diff_flight");
+        let mut cfg = FlightConfig::new(4);
+        cfg.dump_dir.clone_from(&dir);
+        let mut rec = FlightRecorder::new(cfg);
+        for t in 0..12 {
+            rec.begin_tick(t);
+            rec.push("tick", t, &[10.0, 12.5, 0.0]);
+            rec.push("tick_latency", t, &[10.0, 5.0, 0.0, 20.0]);
+        }
+        let path = rec
+            .trigger(FlightTrigger::Explicit, 11, "diff-test")
+            .unwrap()
+            .expect("trigger writes a dump");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        text
+    }
+
+    #[test]
+    fn flight_dumps_diff_like_traces() {
+        let dump = flight_dump();
+        // Identical dumps: no divergence.
+        assert!(trace_diff(&dump, &dump).is_none());
+        // Tamper one record's payload: the divergence names the record
+        // kind, its tick, and the exact field that moved — not a byte
+        // offset.
+        let tampered = dump.replacen(r#""alloc_cpu":12.5"#, r#""alloc_cpu":99"#, 1);
+        assert_ne!(dump, tampered, "fixture must contain an alloc_cpu field");
+        let d = trace_diff(&dump, &tampered).expect("tampered dump must diverge");
+        assert_eq!(d.kind.as_deref(), Some("tick"));
+        assert_eq!(d.field.as_deref(), Some("alloc_cpu"));
+        assert_eq!(d.left, "12.5");
+        assert_eq!(d.right, "99");
+        assert!(d.tick.is_some());
+        // Tamper the meta line: the divergence lands on line 1 and
+        // names `flight_meta`.
+        let meta_tampered = dump.replacen(r#""trigger":"explicit""#, r#""trigger":"fault""#, 1);
+        assert_ne!(dump, meta_tampered, "fixture must carry the trigger");
+        let d = trace_diff(&dump, &meta_tampered).expect("must diverge");
+        assert_eq!(d.line, 1);
+        assert_eq!(d.kind.as_deref(), Some("flight_meta"));
+        assert_eq!(d.field.as_deref(), Some("trigger"));
+        // Truncate the dump (a torn write): the first missing record is
+        // reported against <end of trace>.
+        let lines: Vec<&str> = dump.lines().collect();
+        let truncated = lines[..lines.len() - 1].join("\n") + "\n";
+        let d = trace_diff(&dump, &truncated).expect("must diverge");
+        assert_eq!(d.right, END_OF_TRACE);
+        assert_eq!(d.line, lines.len());
+    }
+
     #[test]
     fn text_divergence_reports_first_line() {
         let d = first_text_divergence("a\nb\nc\n", "a\nB\nc\n").expect("differs");

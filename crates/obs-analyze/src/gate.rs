@@ -53,6 +53,12 @@ pub struct BenchThresholds {
     pub max_p99_slowdown_pct: f64,
     /// Baseline p99 tails faster than this are never judged, µs.
     pub min_p99_us: f64,
+    /// When set, stages and latency paths the baseline has never seen
+    /// — work the gate is silently not judging — fail instead of
+    /// warning. Either way the verdict lists every missing path by
+    /// name. Off by default: exploratory runs add paths legitimately;
+    /// CI turns it on so a renamed kernel can't dodge the p99 gate.
+    pub strict_paths: bool,
 }
 
 impl Default for BenchThresholds {
@@ -62,6 +68,7 @@ impl Default for BenchThresholds {
             min_stage_ms: DEFAULT_MIN_STAGE_MS,
             max_p99_slowdown_pct: DEFAULT_MAX_P99_SLOWDOWN_PCT,
             min_p99_us: DEFAULT_MIN_P99_US,
+            strict_paths: false,
         }
     }
 }
@@ -295,6 +302,9 @@ pub fn make_bench_baseline(bench_text: &str) -> Result<String, String> {
 /// slowed past [`BenchThresholds::max_p99_slowdown_pct`] do too —
 /// unless the environment (`jobs`, `logical_cpus`) differs from the
 /// baseline's, in which case every timing verdict is a warning.
+/// Stages and latency paths absent from the baseline are listed by
+/// name: warnings by default, hard failures under
+/// [`BenchThresholds::strict_paths`].
 ///
 /// # Errors
 /// Returns a message when either document is malformed.
@@ -388,22 +398,38 @@ pub fn check_bench(
     // The reverse direction: work the current run does that the
     // baseline has never seen is work the gate silently isn't judging.
     // A renamed or newly-added kernel path would otherwise dodge the
-    // p99 gate forever, so surface every one and point at --update.
+    // p99 gate forever, so surface every one by name and point at
+    // --update. Under `strict_paths` (the CI posture) an ungated path
+    // is a hard failure, not a warning.
+    let ungated = |outcome: &mut GateOutcome, message: String| {
+        if thresholds.strict_paths {
+            outcome.failures.push(message);
+        } else {
+            outcome.warnings.push(message);
+        }
+    };
     for cur in &cur_stages {
         let Some(base) = base_stages.iter().find(|s| s.path == cur.path) else {
-            outcome.warnings.push(format!(
-                "stage `{}` is not in the baseline — ungated; refresh the baseline with --update",
-                cur.path
-            ));
+            ungated(
+                &mut outcome,
+                format!(
+                    "stage `{}` is not in the baseline — ungated; refresh the baseline with \
+                     --update",
+                    cur.path
+                ),
+            );
             continue;
         };
         for (lat_path, _) in &cur.p99_us {
             if !base.p99_us.iter().any(|(p, _)| p == lat_path) {
-                outcome.warnings.push(format!(
-                    "stage `{}`: latency path `{lat_path}` is not in the baseline — its p99 is \
-                     ungated; refresh the baseline with --update",
-                    cur.path
-                ));
+                ungated(
+                    &mut outcome,
+                    format!(
+                        "stage `{}`: latency path `{lat_path}` is not in the baseline — its p99 \
+                         is ungated; refresh the baseline with --update",
+                        cur.path
+                    ),
+                );
             }
         }
     }
@@ -553,6 +579,39 @@ mod tests {
         // An identical run stays warning-free in both directions.
         let clean = check_bench(&baseline, &bench_v2(1, 1, 80_000), &t).unwrap();
         assert!(clean.warnings.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn strict_paths_promotes_ungated_paths_to_failures() {
+        let strict = BenchThresholds {
+            strict_paths: true,
+            ..Default::default()
+        };
+        let baseline = make_bench_baseline(&bench_v2(1, 1, 80_000)).unwrap();
+        // A new latency path fails under --strict-paths, still naming
+        // the exact path.
+        let with_new_path =
+            bench_v2(1, 1, 80_000).replace(r#""sim/run/reduce""#, r#""sim/run/match_skip""#);
+        let out = check_bench(&baseline, &with_new_path, &strict).unwrap();
+        assert!(!out.pass(), "strict mode must fail on ungated paths");
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("sim/run/match_skip") && f.contains("--update")),
+            "failure must name the missing path: {out:?}"
+        );
+        // Same for a stage the baseline has never seen.
+        let with_new_stage =
+            bench_v2(1, 1, 80_000).replace(r#""path":"scale/10k""#, r#""path":"scale/1M""#);
+        let out = check_bench(&baseline, &with_new_stage, &strict).unwrap();
+        assert!(
+            out.failures.iter().any(|f| f.contains("scale/1M")),
+            "failure must name the missing stage: {out:?}"
+        );
+        // A clean run passes strict mode — the flag only bites when
+        // paths actually went ungated.
+        let clean = check_bench(&baseline, &bench_v2(1, 1, 80_000), &strict).unwrap();
+        assert!(clean.pass(), "{clean:?}");
     }
 
     #[test]

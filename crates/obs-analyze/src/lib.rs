@@ -27,6 +27,12 @@
 //! - [`latency`] — percentile tables and ASCII distribution sketches
 //!   over the log-bucketed latency snapshots in `BENCH_scale.json`
 //!   (v2) and `OBS_summary.json` (the `latency_report` binary).
+//! - [`lifecycle`] — causal lease-lifecycle reconstruction: replays
+//!   the `lease_request` → `lease_grant` → `lease_mature` →
+//!   release/revoke chain per run, rebuilds every lease's waterfall
+//!   (grant latency, lifetime, terminal cause, held capacity per
+//!   center/operator) and checks the causality invariants (the
+//!   `lease_report` binary).
 //!
 //! Everything here is offline analysis of already-deterministic
 //! artifacts, so the same determinism rule applies transitively: any
@@ -40,6 +46,7 @@
 pub mod diff;
 pub mod gate;
 pub mod latency;
+pub mod lifecycle;
 pub mod profile;
 pub mod reader;
 pub mod timeline;
@@ -49,6 +56,10 @@ pub use gate::{
     check_bench, check_obs, make_bench_baseline, make_obs_baseline, BenchThresholds, GateOutcome,
 };
 pub use latency::{collect_snapshots, render_report, render_sketch, render_table, NamedSnapshot};
+pub use lifecycle::{
+    analyze_lifecycle, check_lifecycle, render_lifecycle, LeaseRecord, LifecycleReport,
+    RequestRecord, ScopeLifecycle,
+};
 pub use profile::{profile_from_spans, profile_from_summary, render_profile, ProfileNode};
 pub use reader::{read_trace, Query, TraceEvent};
 pub use timeline::{analyze_trace, render_timelines, timelines_value, RunTimeline};

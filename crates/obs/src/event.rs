@@ -58,6 +58,14 @@ pub const KNOWN_EVENT_KINDS: &[&str] = &[
     "heal",
     "migration",
     "flash_crowd",
+    // Lease lifecycle (causal chain request → grant → mature →
+    // release). `lease_revoked` above is the fault-plane terminal of
+    // the same chain; every granted lease ends in exactly one
+    // `lease_release` or `lease_revoked`.
+    "lease_request",
+    "lease_grant",
+    "lease_mature",
+    "lease_release",
 ];
 
 /// The type an event field must carry.
@@ -309,6 +317,63 @@ pub const EVENT_FIELDS: &[(&str, &[(&str, FieldType)])] = &[
             ("groups", FieldType::U64),
         ],
     ),
+    (
+        // A provisioner asked the matcher for capacity. `request` is
+        // the stable causal id (group index in the high 32 bits, a
+        // per-group sequence number in the low 32); every grant the
+        // request produced carries the same id.
+        "lease_request",
+        &[
+            ("tick", FieldType::U64),
+            ("request", FieldType::U64),
+            ("group", FieldType::U64),
+            ("operator", FieldType::U64),
+            ("cpu", FieldType::Num),
+        ],
+    ),
+    (
+        // The matcher granted a lease against `request`. The causal
+        // lease id is the `(center, lease)` pair — centers never reuse
+        // lease ids, so the pair is unique for the whole run.
+        "lease_grant",
+        &[
+            ("tick", FieldType::U64),
+            ("request", FieldType::U64),
+            ("center", FieldType::U64),
+            ("lease", FieldType::U64),
+            ("operator", FieldType::U64),
+            ("cpu", FieldType::Num),
+        ],
+    ),
+    (
+        // A held lease passed its earliest-release tick and became
+        // releasable. Emitted the first tick the owning provisioner
+        // observes maturity, so the stage is present wherever the
+        // provisioner adjusts every tick (dynamic mode).
+        "lease_mature",
+        &[
+            ("tick", FieldType::U64),
+            ("center", FieldType::U64),
+            ("lease", FieldType::U64),
+            ("operator", FieldType::U64),
+        ],
+    ),
+    (
+        // A lease left its holder for any non-fault reason; `cause` is
+        // one of surplus / reshape / center_down / migration /
+        // failover / run_end. Fault-plane revocations keep emitting
+        // `lease_revoked` instead — the two kinds together are the
+        // terminal set of the lifecycle chain.
+        "lease_release",
+        &[
+            ("tick", FieldType::U64),
+            ("center", FieldType::U64),
+            ("lease", FieldType::U64),
+            ("operator", FieldType::U64),
+            ("cpu", FieldType::Num),
+            ("cause", FieldType::Str),
+        ],
+    ),
 ];
 
 /// The expected field set for `kind`, if it is a known event kind.
@@ -417,13 +482,15 @@ impl From<bool> for Field {
 }
 
 impl Field {
-    fn to_value(&self) -> Value {
+    /// Writes the field's JSON rendering, byte-identical to what the
+    /// equivalent [`Value`] node would produce.
+    fn write(&self, out: &mut String) {
         match self {
-            Field::U64(v) => Value::UInt(*v),
-            Field::I64(v) => Value::Int(*v),
-            Field::F64(v) => Value::Num(*v),
-            Field::Str(v) => Value::Str(v.clone()),
-            Field::Bool(v) => Value::Bool(*v),
+            Field::U64(v) => crate::json::write_u64(out, *v),
+            Field::I64(v) => crate::json::write_i64(out, *v),
+            Field::F64(v) => crate::json::write_f64(out, *v),
+            Field::Str(v) => crate::json::write_escaped(out, v),
+            Field::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
         }
     }
 }
@@ -432,10 +499,18 @@ impl Field {
 /// unit of work), emit from serial sections only, and [`submit`] the
 /// finished buffer under a deterministic label.
 ///
+/// Events are buffered as one newline-separated string rather than a
+/// `Vec<String>`: traced suite runs emit millions of events, and one
+/// geometric buffer keeps emission at a plain byte append instead of a
+/// per-event heap allocation.
+///
 /// [`submit`]: EventSink::submit
 #[derive(Debug, Default)]
 pub struct EventSink {
-    lines: Vec<String>,
+    /// Newline-terminated JSON lines, concatenated.
+    buf: String,
+    /// Number of buffered events.
+    count: usize,
 }
 
 impl EventSink {
@@ -454,32 +529,42 @@ impl EventSink {
 
     /// Appends one event. `kind` names the event type; fields follow in
     /// the given order.
+    ///
+    /// Renders the JSON line directly rather than building a [`Value`]
+    /// tree: lease lifecycles emit millions of events per suite run,
+    /// and the per-event key/kind allocations of the tree path showed
+    /// up as a multiple of the whole settle stage. The output is
+    /// byte-identical to `Value::Obj(..).render()` over the same
+    /// members.
     pub fn emit(&mut self, kind: &str, fields: &[(&str, Field)]) {
-        let mut members = Vec::with_capacity(fields.len() + 1);
-        members.push(("kind".to_string(), Value::Str(kind.to_string())));
+        self.buf.push_str("{\"kind\":");
+        crate::json::write_escaped(&mut self.buf, kind);
         for (name, field) in fields {
-            members.push(((*name).to_string(), field.to_value()));
+            self.buf.push(',');
+            crate::json::write_escaped(&mut self.buf, name);
+            self.buf.push(':');
+            field.write(&mut self.buf);
         }
-        self.lines.push(Value::Obj(members).render());
+        self.buf.push_str("}\n");
+        self.count += 1;
     }
 
     /// Number of buffered events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.lines.len()
+        self.count
     }
 
     /// Whether no events have been emitted.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.lines.is_empty()
+        self.count == 0
     }
 
     /// The buffered JSON lines (without `seq`/`scope`, which are
     /// assigned at flush time).
-    #[must_use]
-    pub fn lines(&self) -> &[String] {
-        &self.lines
+    pub fn lines(&self) -> impl Iterator<Item = &str> {
+        self.buf.lines()
     }
 
     /// Hands the buffered events to the global trace collector as one
@@ -487,19 +572,20 @@ impl EventSink {
     /// (derive it from the run's configuration, never from wall-clock,
     /// thread ids or completion order).
     pub fn submit(self, label: &str) {
-        if self.lines.is_empty() {
+        if self.count == 0 {
             return;
         }
         let mut state = trace_lock();
         if let Some(state) = state.as_mut() {
-            state.chunks.push((label.to_string(), self.lines));
+            state.chunks.push((label.to_string(), self.buf));
         }
     }
 }
 
 struct TraceState {
     path: PathBuf,
-    chunks: Vec<(String, Vec<String>)>,
+    /// `(label, newline-terminated lines)` per submitted sink.
+    chunks: Vec<(String, String)>,
 }
 
 fn trace_cell() -> &'static Mutex<Option<TraceState>> {
@@ -551,15 +637,22 @@ pub fn render_trace() -> String {
         return String::new();
     };
     state.chunks.sort();
-    let mut out = String::new();
+    let total: usize = state.chunks.iter().map(|(_, lines)| lines.len()).sum();
+    let mut out = String::with_capacity(total + total / 2);
     let mut seq = 0u64;
     for (label, lines) in &state.chunks {
         let scope = Value::Str(label.clone()).render();
-        for line in lines {
+        for line in lines.lines() {
             // Buffered lines are complete objects `{"kind":...}`; splice
             // the flush-time fields in front of the first member.
             let body = line.strip_prefix('{').expect("buffered line is an object");
-            out.push_str(&format!("{{\"seq\":{seq},\"scope\":{scope},{body}\n"));
+            out.push_str("{\"seq\":");
+            json::write_u64(&mut out, seq);
+            out.push_str(",\"scope\":");
+            out.push_str(&scope);
+            out.push(',');
+            out.push_str(body);
+            out.push('\n');
             seq += 1;
         }
     }
@@ -625,7 +718,7 @@ mod tests {
             ],
         );
         assert_eq!(
-            sink.lines()[0],
+            sink.lines().next().unwrap(),
             r#"{"kind":"provision","tick":7,"target_cpu":1.5,"unmet":false,"name":"g\"0"}"#
         );
     }
@@ -637,12 +730,13 @@ mod tests {
             "tick",
             &[("tick", 3u64.into()), ("demand_cpu", 0.25.into())],
         );
-        let parsed = json::parse(&sink.lines()[0]).unwrap();
+        let line = sink.lines().next().unwrap().to_string();
+        let parsed = json::parse(&line).unwrap();
         assert_eq!(parsed.get("kind").unwrap().as_str(), Some("tick"));
         assert_eq!(parsed.get("tick").unwrap().as_u64(), Some(3));
         assert_eq!(parsed.get("demand_cpu").unwrap().as_f64(), Some(0.25));
         // Re-rendering reproduces the exact bytes.
-        assert_eq!(parsed.render(), sink.lines()[0]);
+        assert_eq!(parsed.render(), line);
     }
 
     #[test]
@@ -755,6 +849,51 @@ mod tests {
             validate_event_fields(kind, &value)
                 .unwrap_or_else(|e| panic!("canonical `{kind}` line rejected: {e}"));
         }
+    }
+
+    #[test]
+    fn lifecycle_event_schemas_accept_canonical_lines() {
+        let lines = [
+            (
+                "lease_request",
+                r#"{"seq":0,"scope":"s","kind":"lease_request","tick":4,"request":4294967296,"group":1,"operator":7,"cpu":2.5}"#,
+            ),
+            (
+                "lease_grant",
+                r#"{"seq":1,"scope":"s","kind":"lease_grant","tick":4,"request":4294967296,"center":2,"lease":9,"operator":7,"cpu":2.5}"#,
+            ),
+            (
+                "lease_mature",
+                r#"{"seq":2,"scope":"s","kind":"lease_mature","tick":10,"center":2,"lease":9,"operator":7}"#,
+            ),
+            (
+                "lease_release",
+                r#"{"seq":3,"scope":"s","kind":"lease_release","tick":30,"center":2,"lease":9,"operator":7,"cpu":2.5,"cause":"surplus"}"#,
+            ),
+        ];
+        for (kind, line) in lines {
+            let value = json::parse(line).unwrap();
+            validate_event_fields(kind, &value)
+                .unwrap_or_else(|e| panic!("canonical `{kind}` line rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn lifecycle_event_schemas_reject_tampering() {
+        // Dropped field.
+        let missing = json::parse(
+            r#"{"kind":"lease_grant","tick":4,"request":1,"center":2,"lease":9,"operator":7}"#,
+        )
+        .unwrap();
+        let err = validate_event_fields("lease_grant", &missing).unwrap_err();
+        assert!(err.contains("cpu"), "{err}");
+        // Wrong type for the cause string.
+        let wrong_type = json::parse(
+            r#"{"kind":"lease_release","tick":30,"center":2,"lease":9,"operator":7,"cpu":2.5,"cause":3}"#,
+        )
+        .unwrap();
+        let err = validate_event_fields("lease_release", &wrong_type).unwrap_err();
+        assert!(err.contains("wrong type"), "{err}");
     }
 
     #[test]

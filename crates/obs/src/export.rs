@@ -134,11 +134,17 @@ fn per_op_ns(n: u64, mut op: impl FnMut(u64)) -> f64 {
 fn obs_self_value() -> Value {
     let _span = crate::span::span("obs/self/export");
     let latency_records: u64 = snapshot_latency().iter().map(|(_, s)| s.count).sum();
-    let flight = |name: &str| crate::registry::counter(name, Domain::Timing).get();
-    let flight_pushes = flight("obs.self.flight_pushes");
-    let flight_dropped = flight("obs.self.flight_dropped");
-    let flight_dumps = flight("obs.self.flight_dumps");
-    let flight_suppressed = flight("obs.self.flight_suppressed");
+    let own = |name: &str| crate::registry::counter(name, Domain::Timing).get();
+    let flight_pushes = own("obs.self.flight_pushes");
+    let flight_dropped = own("obs.self.flight_dropped");
+    let flight_dumps = own("obs.self.flight_dumps");
+    let flight_suppressed = own("obs.self.flight_suppressed");
+    let ts_samples = own("obs.self.ts_samples");
+    let live_writes = own("obs.self.live_writes");
+    // Live-snapshot publishing is file IO, so the engine measures it
+    // directly (accumulated nanoseconds) instead of relying on a
+    // calibration loop.
+    let live_write_ns = own("obs.self.live_write_ns");
 
     const CAL_ITERS: u64 = 16_384;
     let scratch = LatencyHisto::new();
@@ -152,9 +158,15 @@ fn obs_self_value() -> Value {
         ring.push("tick_latency", i, &[1.0, 2.0, 3.0, 6.0]);
     });
     std::hint::black_box(ring.retained());
+    let mut series = crate::timeseries::RingSeries::new(crate::timeseries::TS_DEFAULT_CAPACITY);
+    let per_ts_sample_ns = per_op_ns(CAL_ITERS, |i| series.push(i as f64 * 0.5));
+    std::hint::black_box(series.samples());
 
-    let overhead_ms =
-        (latency_records as f64 * per_record_ns + flight_pushes as f64 * per_push_ns) / 1e6;
+    let overhead_ms = (latency_records as f64 * per_record_ns
+        + flight_pushes as f64 * per_push_ns
+        + ts_samples as f64 * per_ts_sample_ns
+        + live_write_ns as f64)
+        / 1e6;
     let wall_ms = crate::registry::gauge("obs.wall_ms", Domain::Timing).get();
     let overhead_pct = (wall_ms > 0).then(|| overhead_ms / wall_ms as f64 * 100.0);
     Value::Obj(vec![
@@ -163,8 +175,12 @@ fn obs_self_value() -> Value {
         ("flight_dropped".into(), Value::UInt(flight_dropped)),
         ("flight_dumps".into(), Value::UInt(flight_dumps)),
         ("flight_suppressed".into(), Value::UInt(flight_suppressed)),
+        ("ts_samples".into(), Value::UInt(ts_samples)),
+        ("live_writes".into(), Value::UInt(live_writes)),
+        ("live_write_ns".into(), Value::UInt(live_write_ns)),
         ("per_record_ns".into(), Value::Num(per_record_ns)),
         ("per_push_ns".into(), Value::Num(per_push_ns)),
+        ("per_ts_sample_ns".into(), Value::Num(per_ts_sample_ns)),
         ("estimated_overhead_ms".into(), Value::Num(overhead_ms)),
         (
             "wall_ms".into(),
@@ -265,6 +281,14 @@ pub fn validate_summary(text: &str) -> Result<(), String> {
         own.get("estimated_overhead_ms")
             .and_then(Value::as_f64)
             .ok_or("timing.obs/self.estimated_overhead_ms must be numeric")?;
+        // Time-series / live-tap accounting is additive (absent before
+        // the live plane existed) but must be u64 counts when present.
+        for field in ["ts_samples", "live_writes", "live_write_ns"] {
+            if let Some(v) = own.get(field) {
+                v.as_u64()
+                    .ok_or_else(|| format!("timing.obs/self.{field} must be a u64"))?;
+            }
+        }
     }
     Ok(())
 }

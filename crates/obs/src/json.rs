@@ -127,12 +127,8 @@ impl Value {
         match self {
             Value::Null => out.push_str("null"),
             Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Value::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
-            Value::UInt(u) => {
-                let _ = write!(out, "{u}");
-            }
+            Value::Int(i) => write_i64(out, *i),
+            Value::UInt(u) => write_u64(out, *u),
             Value::Num(x) => write_f64(out, *x),
             Value::Str(s) => write_escaped(out, s),
             Value::Arr(items) => {
@@ -197,32 +193,92 @@ fn indent(out: &mut String, depth: usize) {
     }
 }
 
-/// Writes a float in valid JSON: shortest round-trip decimal for finite
-/// values, `null` otherwise.
-fn write_f64(out: &mut String, x: f64) {
-    if x.is_finite() {
-        let _ = write!(out, "{x}");
-    } else {
-        out.push_str("null");
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+/// Writes a decimal `u64` without going through `core::fmt` — event
+/// emission formats millions of small integers per traced run, and the
+/// formatting machinery dominates at that volume.
+pub(crate) fn write_u64(out: &mut String, mut v: u64) {
+    let mut buf = [0u8; 20];
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
         }
     }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
+}
+
+/// Signed companion of [`write_u64`].
+pub(crate) fn write_i64(out: &mut String, v: i64) {
+    if v < 0 {
+        out.push('-');
+    }
+    write_u64(out, v.unsigned_abs());
+}
+
+/// Writes a float in valid JSON: shortest round-trip decimal for finite
+/// values, `null` otherwise.
+///
+/// Quarter-integer multiples (the vast majority of traced values —
+/// lease amounts are bulk-rounded) take a manual path that matches the
+/// `Display` rendering exactly without the shortest-round-trip search.
+pub(crate) fn write_f64(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let quarters = x * 4.0;
+    // Exactness bound: below 2^52 every quarter multiple is exact in
+    // f64 and `x != 0.0` keeps `-0.0` (which Display renders "-0") on
+    // the general path.
+    if x != 0.0 && quarters == quarters.trunc() && quarters.abs() < 4.503_599_627_370_496e15 {
+        if x < 0.0 {
+            out.push('-');
+        }
+        let q = quarters.abs() as u64;
+        write_u64(out, q / 4);
+        match q % 4 {
+            1 => out.push_str(".25"),
+            2 => out.push_str(".5"),
+            3 => out.push_str(".75"),
+            _ => {}
+        }
+        return;
+    }
+    let _ = write!(out, "{x}");
+}
+
+pub(crate) fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
+    // Fast path: copy maximal runs that need no escaping in one
+    // `push_str` instead of pushing char-by-char (event emission
+    // renders millions of short strings per traced run).
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        if c != '"' && c != '\\' && (c as u32) >= 0x20 {
+            continue;
+        }
+        out.push_str(&s[start..i]);
+        start = i + c.len_utf8();
+        write_escape_code(out, c);
+    }
+    out.push_str(&s[start..]);
+    out.push('"');
+}
+
+fn write_escape_code(out: &mut String, c: char) {
+    match c {
+        '"' => out.push_str("\\\""),
+        '\\' => out.push_str("\\\\"),
+        '\n' => out.push_str("\\n"),
+        '\r' => out.push_str("\\r"),
+        '\t' => out.push_str("\\t"),
+        c => {
+            let _ = write!(out, "\\u{:04x}", c as u32);
+        }
+    }
 }
 
 /// Parses one JSON document. Trailing whitespace is allowed; trailing

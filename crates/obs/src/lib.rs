@@ -23,7 +23,14 @@
 //!   cannot.
 //! - [`event`] — a structured JSONL event log (provisioning decisions,
 //!   match accept/reject with reason, prediction error per group, bulk
-//!   waste per center), gated behind `--trace` / `MMOG_TRACE`.
+//!   waste per center, and the causal lease lifecycle chain
+//!   request → grant → mature → release), gated behind `--trace` /
+//!   `MMOG_TRACE`.
+//! - [`timeseries`] — fixed-memory, deterministically-downsampled
+//!   per-metric ring series exported as `TS_<run>.json`.
+//! - [`live`] — the live telemetry tap: an atomically-rewritten
+//!   `OBS_live.json` snapshot (`--live` / `MMOG_LIVE`) that `mmog_top`
+//!   renders while a run executes.
 //! - [`export`] — the `OBS_summary.json` document plus a human-readable
 //!   table, and the schema validator CI runs against it.
 //! - [`json`] — the dependency-free JSON layer underneath (the
@@ -52,8 +59,10 @@ pub mod export;
 pub mod flight;
 pub mod json;
 pub mod latency;
+pub mod live;
 pub mod registry;
 pub mod span;
+pub mod timeseries;
 
 pub use event::{
     apply_trace_env, event_fields, flush_trace, parse_trace_line, render_trace, set_trace_path,
@@ -71,12 +80,20 @@ pub use flight::{
 pub use latency::{
     latency, reset_latency, snapshot_latency, LatencyHisto, LatencySnapshot, LATENCY_BUCKETS,
 };
+pub use live::{
+    apply_live_env, live_config, live_enabled, set_live_config, validate_live, write_live,
+    LiveCenter, LiveConfig, LiveSnapshot, LIVE_SCHEMA,
+};
 pub use registry::{
     counter, gauge, histogram, reset_metrics, snapshot_metrics, Counter, Domain, Gauge, Histogram,
     HistogramSnapshot, MetricsSnapshot,
 };
 pub use span::{
     reset_spans, snapshot_spans, span, time_stat, timer, SpanGuard, SpanSnapshot, SpanStat,
+};
+pub use timeseries::{
+    flush_ts, set_ts_dir, submit_ts, ts_enabled, validate_ts, RingSeries, TimeSeries,
+    TS_DEFAULT_CAPACITY, TS_SCHEMA,
 };
 
 /// Marks the start of a non-deterministic (wall-clock) region inside

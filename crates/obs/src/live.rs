@@ -1,0 +1,392 @@
+//! The live telemetry tap: a compact `OBS_live.json` snapshot the
+//! engine atomically rewrites every N ticks so an operator (or the
+//! `mmog_top` dashboard) can watch a long run while it executes.
+//!
+//! Like the trace and flight paths, the tap is configured
+//! process-globally and disabled by default — with no [`LiveConfig`]
+//! installed, runs are byte-for-byte unaffected. When enabled, the
+//! engine builds a [`LiveSnapshot`] inside its serial sections (so the
+//! semantic half is byte-identical across `--jobs` values at any given
+//! tick) and [`write_live`] publishes it with a write-to-temp + rename,
+//! so a concurrent reader never observes a torn file.
+//!
+//! The document (schema [`LIVE_SCHEMA`]) keeps the crate's
+//! semantic/timing split: allocation state, shortfall and per-center
+//! utilization are semantic; tick rate, stage p99s and the memo skip
+//! rate are execution-dependent and live in the `timing` section that
+//! determinism comparisons drop (the skip rate keys on the
+//! process-wide availability epoch, so it moves with `--jobs` even
+//! though the run's semantic output does not).
+
+use crate::json::Value;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+/// Schema identifier stamped into every live snapshot.
+pub const LIVE_SCHEMA: &str = "mmog-obs-live/v1";
+
+/// Live tap configuration, installed process-globally with
+/// [`set_live_config`].
+#[derive(Debug, Clone)]
+pub struct LiveConfig {
+    /// Snapshot path (conventionally `results/OBS_live.json`).
+    pub path: PathBuf,
+    /// Rewrite interval in ticks (clamped to ≥ 1 on use).
+    pub every_ticks: u64,
+}
+
+impl LiveConfig {
+    /// A config rewriting `path` every 64 ticks.
+    #[must_use]
+    pub fn new(path: &Path) -> Self {
+        Self {
+            path: path.to_path_buf(),
+            every_ticks: 64,
+        }
+    }
+
+    /// The rewrite interval, never zero.
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.every_ticks.max(1)
+    }
+}
+
+/// Per-center utilization line of a snapshot.
+#[derive(Debug, Clone)]
+pub struct LiveCenter {
+    /// Center name.
+    pub name: String,
+    /// CPU currently allocated to leases.
+    pub alloc_cpu: f64,
+    /// Nominal CPU capacity (0 while the center is down).
+    pub capacity_cpu: f64,
+}
+
+/// One snapshot of a running simulation. Semantic fields must be
+/// derived from engine state inside a serial section; timing fields are
+/// wall-clock and excluded from determinism comparison.
+#[derive(Debug, Clone)]
+pub struct LiveSnapshot {
+    /// Run label (same label the trace chunk uses).
+    pub run: String,
+    /// Current tick.
+    pub tick: u64,
+    /// Total ticks the run will execute.
+    pub ticks_total: u64,
+    /// Whether this is the final snapshot of the run.
+    pub done: bool,
+    /// Platform-wide CPU demand this tick.
+    pub demand_cpu: f64,
+    /// Platform-wide CPU allocation this tick.
+    pub alloc_cpu: f64,
+    /// Unmet CPU demand this tick.
+    pub shortfall_cpu: f64,
+    /// Fraction of groups whose match was memo-skipped this tick
+    /// (timing: replay eligibility keys on the process-wide
+    /// availability epoch, so the fraction is execution-dependent).
+    pub match_skip_rate: f64,
+    /// Leases currently held across all groups.
+    pub leases_held: u64,
+    /// Fault-plane events applied so far.
+    pub fault_events: u64,
+    /// Scenario events applied so far.
+    pub scenario_events: u64,
+    /// Centers currently down.
+    pub centers_down: u64,
+    /// Per-center utilization.
+    pub centers: Vec<LiveCenter>,
+    /// Ticks per wall-clock second since run start (timing).
+    pub tick_rate: f64,
+    /// Per-stage p99 latency in microseconds (timing), in stable
+    /// path order.
+    pub stage_p99_us: Vec<(String, f64)>,
+}
+
+impl LiveSnapshot {
+    /// Renders the snapshot document.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let centers = self
+            .centers
+            .iter()
+            .map(|c| {
+                Value::Obj(vec![
+                    ("name".to_string(), Value::Str(c.name.clone())),
+                    ("alloc_cpu".to_string(), Value::Num(c.alloc_cpu)),
+                    ("capacity_cpu".to_string(), Value::Num(c.capacity_cpu)),
+                ])
+            })
+            .collect();
+        let semantic = Value::Obj(vec![
+            ("demand_cpu".to_string(), Value::Num(self.demand_cpu)),
+            ("alloc_cpu".to_string(), Value::Num(self.alloc_cpu)),
+            ("shortfall_cpu".to_string(), Value::Num(self.shortfall_cpu)),
+            ("leases_held".to_string(), Value::UInt(self.leases_held)),
+            ("fault_events".to_string(), Value::UInt(self.fault_events)),
+            (
+                "scenario_events".to_string(),
+                Value::UInt(self.scenario_events),
+            ),
+            ("centers_down".to_string(), Value::UInt(self.centers_down)),
+            ("centers".to_string(), Value::Arr(centers)),
+        ]);
+        let timing = Value::Obj(vec![
+            ("tick_rate".to_string(), Value::Num(self.tick_rate)),
+            (
+                "match_skip_rate".to_string(),
+                Value::Num(self.match_skip_rate),
+            ),
+            (
+                "stage_p99_us".to_string(),
+                Value::Obj(
+                    self.stage_p99_us
+                        .iter()
+                        .map(|(p, v)| (p.clone(), Value::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        Value::Obj(vec![
+            ("schema".to_string(), Value::Str(LIVE_SCHEMA.to_string())),
+            ("run".to_string(), Value::Str(self.run.clone())),
+            ("tick".to_string(), Value::UInt(self.tick)),
+            ("ticks_total".to_string(), Value::UInt(self.ticks_total)),
+            ("done".to_string(), Value::Bool(self.done)),
+            ("semantic".to_string(), semantic),
+            ("timing".to_string(), timing),
+        ])
+    }
+}
+
+/// Validates a parsed `OBS_live.json` document against [`LIVE_SCHEMA`]:
+/// envelope fields, the semantic gauge set with correct types, and the
+/// per-center array shape.
+///
+/// # Errors
+/// Returns a message naming the first violation.
+pub fn validate_live(value: &Value) -> Result<(), String> {
+    let schema = value
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or("missing schema field")?;
+    if schema != LIVE_SCHEMA {
+        return Err(format!("schema is `{schema}`, expected `{LIVE_SCHEMA}`"));
+    }
+    value
+        .get("run")
+        .and_then(Value::as_str)
+        .ok_or("missing run label")?;
+    let tick = value
+        .get("tick")
+        .and_then(Value::as_u64)
+        .ok_or("missing tick")?;
+    let total = value
+        .get("ticks_total")
+        .and_then(Value::as_u64)
+        .ok_or("missing ticks_total")?;
+    if tick > total {
+        return Err(format!("tick {tick} exceeds ticks_total {total}"));
+    }
+    if !matches!(value.get("done"), Some(Value::Bool(_))) {
+        return Err("missing done flag".to_string());
+    }
+    let semantic = value
+        .get("semantic")
+        .and_then(Value::as_obj)
+        .ok_or("missing semantic section")?;
+    for gauge in ["demand_cpu", "alloc_cpu", "shortfall_cpu"] {
+        let v = semantic
+            .iter()
+            .find(|(n, _)| n == gauge)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("semantic.{gauge} missing"))?;
+        if v.as_f64().is_none() {
+            return Err(format!("semantic.{gauge} is not a number"));
+        }
+    }
+    for count in [
+        "leases_held",
+        "fault_events",
+        "scenario_events",
+        "centers_down",
+    ] {
+        let v = semantic
+            .iter()
+            .find(|(n, _)| n == count)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("semantic.{count} missing"))?;
+        if v.as_u64().is_none() {
+            return Err(format!("semantic.{count} is not an unsigned integer"));
+        }
+    }
+    let centers = semantic
+        .iter()
+        .find(|(n, _)| n == "centers")
+        .and_then(|(_, v)| v.as_arr())
+        .ok_or("semantic.centers missing or not an array")?;
+    for (i, c) in centers.iter().enumerate() {
+        if c.get("name").and_then(Value::as_str).is_none()
+            || c.get("alloc_cpu").and_then(Value::as_f64).is_none()
+            || c.get("capacity_cpu").and_then(Value::as_f64).is_none()
+        {
+            return Err(format!("semantic.centers[{i}] is malformed"));
+        }
+    }
+    let timing = value
+        .get("timing")
+        .and_then(Value::as_obj)
+        .ok_or("missing timing section")?;
+    for rate in ["tick_rate", "match_skip_rate"] {
+        if !timing.iter().any(|(n, _)| n == rate) {
+            return Err(format!("timing.{rate} missing"));
+        }
+    }
+    Ok(())
+}
+
+/// Atomically publishes a snapshot: the document is written to a
+/// sibling temp file and renamed over `path`, so readers only ever see
+/// a complete document.
+///
+/// # Errors
+/// Propagates the file-write or rename error (the engine reports and
+/// continues — a failed live write must never fail the run).
+pub fn write_live(path: &Path, doc: &Value) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, doc.render_pretty())?;
+    std::fs::rename(&tmp, path)
+}
+
+fn live_cell() -> &'static Mutex<Option<LiveConfig>> {
+    static LIVE: OnceLock<Mutex<Option<LiveConfig>>> = OnceLock::new();
+    LIVE.get_or_init(|| Mutex::new(None))
+}
+
+fn live_lock() -> std::sync::MutexGuard<'static, Option<LiveConfig>> {
+    live_cell()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Installs (or removes, with `None`) the process-global live tap
+/// configuration. `None` (the default) keeps runs byte-identical, the
+/// same contract the trace and flight paths honour.
+pub fn set_live_config(cfg: Option<LiveConfig>) {
+    *live_lock() = cfg;
+}
+
+/// The installed live tap configuration, if any.
+#[must_use]
+pub fn live_config() -> Option<LiveConfig> {
+    live_lock().clone()
+}
+
+/// Whether a live tap is configured.
+#[must_use]
+pub fn live_enabled() -> bool {
+    live_lock().is_some()
+}
+
+/// Applies the `MMOG_LIVE` environment variable if set (and non-empty)
+/// and no live tap is configured yet.
+pub fn apply_live_env() {
+    if live_enabled() {
+        return;
+    }
+    if let Ok(path) = std::env::var("MMOG_LIVE") {
+        if !path.is_empty() {
+            set_live_config(Some(LiveConfig::new(Path::new(&path))));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn snapshot() -> LiveSnapshot {
+        LiveSnapshot {
+            run: "quick seed=7".to_string(),
+            tick: 40,
+            ticks_total: 96,
+            done: false,
+            demand_cpu: 12.5,
+            alloc_cpu: 14.0,
+            shortfall_cpu: 0.0,
+            match_skip_rate: 0.75,
+            leases_held: 9,
+            fault_events: 1,
+            scenario_events: 0,
+            centers_down: 1,
+            centers: vec![
+                LiveCenter {
+                    name: "us-east".to_string(),
+                    alloc_cpu: 8.0,
+                    capacity_cpu: 16.0,
+                },
+                LiveCenter {
+                    name: "eu-west".to_string(),
+                    alloc_cpu: 6.0,
+                    capacity_cpu: 0.0,
+                },
+            ],
+            tick_rate: 1234.5,
+            stage_p99_us: vec![("sim/run/tick".to_string(), 850.25)],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_the_validator() {
+        let doc = snapshot().to_value();
+        validate_live(&doc).expect("self-rendered snapshot must validate");
+        let reparsed = json::parse(&doc.render()).unwrap();
+        validate_live(&reparsed).expect("snapshot must survive a parse round-trip");
+    }
+
+    #[test]
+    fn validator_names_the_first_violation() {
+        let bad = json::parse(r#"{"schema":"nope"}"#).unwrap();
+        assert!(validate_live(&bad).unwrap_err().contains("schema"));
+
+        let mut snap = snapshot();
+        snap.tick = 200;
+        let err = validate_live(&snap.to_value()).unwrap_err();
+        assert!(err.contains("exceeds ticks_total"), "{err}");
+    }
+
+    #[test]
+    fn write_live_is_atomic_and_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join("mmog-live-test");
+        let path = dir.join("OBS_live.json");
+        let doc = snapshot().to_value();
+        write_live(&path, &doc).expect("publish");
+        let read = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        validate_live(&read).unwrap();
+        assert!(
+            !path.with_extension("json.tmp").exists(),
+            "temp file must be renamed away"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn global_config_gates_the_tap() {
+        // Process-global cell: only assert the default "off" state, and
+        // restore it after the set/get round-trip.
+        if live_config().is_none() {
+            assert!(!live_enabled());
+            set_live_config(Some(LiveConfig::new(Path::new("results/OBS_live.json"))));
+            let cfg = live_config().expect("installed");
+            assert_eq!(cfg.interval(), 64);
+            set_live_config(None);
+            assert!(!live_enabled());
+        }
+    }
+}

@@ -9,7 +9,7 @@
 
 use crate::demand::DemandModel;
 use crate::metrics::MetricsCollector;
-use crate::provision::{GroupProvisioner, RetryPolicy};
+use crate::provision::{GroupProvisioner, ReleaseCause, RetryPolicy};
 use mmog_datacenter::center::DataCenter;
 use mmog_datacenter::matching::RejectionTotals;
 use mmog_datacenter::request::OperatorId;
@@ -312,6 +312,12 @@ const PARALLEL_GROUP_THRESHOLD: usize = 8;
 /// same step also lands in the flight ring (when a recorder is active)
 /// so a triggered dump carries provisioning detail even when the full
 /// trace is off.
+///
+/// On traced runs the step's causal lease-lifecycle chain rides along,
+/// in the order the provisioner performed it: maturities observed this
+/// tick, releases (with cause), then the request and the grants that
+/// answered it. Grants carry the request id, so the analyzer can
+/// reconstruct every lease's waterfall without guessing.
 fn emit_adjust_events(
     sink: Option<&mut EventSink>,
     flight: Option<&mut FlightRecorder>,
@@ -320,24 +326,81 @@ fn emit_adjust_events(
     target: &ResourceVector,
     out: &crate::provision::AdjustOutcome,
 ) {
-    if out.granted == 0 && out.released == 0 && !out.unmet {
+    let detail = provisioner.lifecycle_detail();
+    let changed = out.granted > 0 || out.released > 0 || out.unmet;
+    if !changed && detail.is_empty() {
         return;
     }
-    if let Some(flight) = flight {
-        flight.push(
-            "provision",
-            tick as u64,
+    if changed {
+        if let Some(flight) = flight {
+            flight.push(
+                "provision",
+                tick as u64,
+                &[
+                    f64::from(provisioner.operator.0),
+                    out.granted as f64,
+                    out.released as f64,
+                    if out.unmet { 1.0 } else { 0.0 },
+                    target.cpu,
+                    provisioner.allocated().cpu,
+                ],
+            );
+        }
+    }
+    let Some(sink) = sink else { return };
+    let op = provisioner.operator.0;
+    for &(center, lease_id) in &detail.matured {
+        sink.emit(
+            "lease_mature",
             &[
-                f64::from(provisioner.operator.0),
-                out.granted as f64,
-                out.released as f64,
-                if out.unmet { 1.0 } else { 0.0 },
-                target.cpu,
-                provisioner.allocated().cpu,
+                ("tick", tick.into()),
+                ("center", center.into()),
+                ("lease", lease_id.0.into()),
+                ("operator", op.into()),
             ],
         );
     }
-    let Some(sink) = sink else { return };
+    for (center, lease, cause) in &detail.releases {
+        sink.emit(
+            "lease_release",
+            &[
+                ("tick", tick.into()),
+                ("center", (*center).into()),
+                ("lease", lease.id.0.into()),
+                ("operator", op.into()),
+                ("cpu", lease.amounts.cpu.into()),
+                ("cause", cause.label().into()),
+            ],
+        );
+    }
+    if let Some((request, cpu)) = detail.request {
+        sink.emit(
+            "lease_request",
+            &[
+                ("tick", tick.into()),
+                ("request", request.into()),
+                ("group", (request >> 32).into()),
+                ("operator", op.into()),
+                ("cpu", cpu.into()),
+            ],
+        );
+        for (center, lease) in &detail.grants {
+            sink.emit(
+                "lease_grant",
+                &[
+                    ("tick", tick.into()),
+                    ("request", request.into()),
+                    ("center", (*center).into()),
+                    ("lease", lease.id.0.into()),
+                    ("operator", op.into()),
+                    ("cpu", lease.amounts.cpu.into()),
+                ],
+            );
+        }
+    }
+    if !changed {
+        return;
+    }
     sink.emit(
         "provision",
         &[
@@ -536,7 +599,7 @@ impl Simulation {
         // scenario injection; the undisturbed baseline keeps its
         // request-every-tick behaviour bit-for-bit.
         let retry = (cfg.faults.is_some() || cfg.scenario.is_some()).then(RetryPolicy::default);
-        let groups: Vec<GroupRuntime> = mmog_par::par_map(&specs, |spec| {
+        let mut groups: Vec<GroupRuntime> = mmog_par::par_map(&specs, |spec| {
             let game = &cfg.games[spec.game];
             let demand_model = DemandModel::paper(game.update_model);
             let history: &[f64] = match &spec.stream_train {
@@ -561,6 +624,13 @@ impl Simulation {
             }
         });
         drop(train_span);
+        // Causal-group ids: the group index names each group's request-id
+        // stream (`request = group << 32 | seq`), so it is assigned in
+        // configuration order by a post-pass (`par_map` is
+        // order-preserving but its closure never sees the index).
+        for (gi, group) in groups.iter_mut().enumerate() {
+            group.provisioner.set_causal_group(gi as u64);
+        }
         // The specs' materialized series become the run's per-tick
         // sources (moved, not cloned a second time); streaming games
         // get a fresh source that replays from tick 0.
@@ -773,6 +843,31 @@ impl Simulation {
         // push site and changes nothing else.
         let mut flight = mmog_obs::flight_recorder();
 
+        // Time-series plane: fixed-memory ring series per metric,
+        // sampled once per tick from the serial tail. Downsampling is a
+        // pure function of the sample sequence, so the semantic series
+        // are byte-identical across `--jobs`. `None` (no output
+        // directory) costs one branch per tick and changes nothing.
+        let mut ts = mmog_obs::ts_enabled()
+            .then(|| mmog_obs::timeseries::TimeSeries::new(mmog_obs::TS_DEFAULT_CAPACITY));
+        let mut ts_samples = 0u64;
+        // Live telemetry tap: atomically rewritten snapshot, built from
+        // serial state only so the semantic half is jobs-independent.
+        // On top of the tick interval, writes are wall-clock throttled:
+        // a dashboard cannot use more than a few frames per second, and
+        // each atomic publish costs two filesystem syscalls — without
+        // the throttle, fast runs spend percent-level wall on the tap.
+        // The throttle is pure timing (which ticks get published);
+        // nothing semantic flows back into the run, and the final
+        // `done` snapshot is always written.
+        let live = mmog_obs::live_config();
+        let live_interval = live.as_ref().map_or(1, mmog_obs::LiveConfig::interval);
+        const MIN_LIVE_WRITE_GAP: std::time::Duration = std::time::Duration::from_millis(250);
+        let mut last_live_write: Option<std::time::Instant> = None;
+        let mut live_writes = 0u64;
+        let mut live_write_ns = 0u64;
+        let run_start_wall = std::time::Instant::now();
+
         // Static mode: one up-front allocation per group.
         if self.mode == AllocationMode::Static {
             for (gi, group) in self.groups.iter_mut().enumerate() {
@@ -874,7 +969,26 @@ impl Simulation {
                         let lost = self.centers[ev.center].fail();
                         leases_revoked += lost.len() as u64;
                         for group in &mut self.groups {
-                            group.provisioner.drop_leases_at_center(ev.center);
+                            let dropped = group.provisioner.drop_leases_at_center(ev.center);
+                            // Terminal lifecycle events for the outage's
+                            // victims: groups are walked in index order,
+                            // so the emission order is jobs-independent.
+                            if let Some(sink) = sink.as_mut() {
+                                let op = group.provisioner.operator.0;
+                                for lease in &dropped {
+                                    sink.emit(
+                                        "lease_release",
+                                        &[
+                                            ("tick", t.into()),
+                                            ("center", ev.center.into()),
+                                            ("lease", lease.id.0.into()),
+                                            ("operator", op.into()),
+                                            ("cpu", lease.amounts.cpu.into()),
+                                            ("cause", ReleaseCause::CenterDown.label().into()),
+                                        ],
+                                    );
+                                }
+                            }
                         }
                         if !open_outages.iter().any(|(c, _)| *c == ev.center) {
                             open_outages.push((ev.center, t as u64));
@@ -1095,6 +1209,22 @@ impl Simulation {
                                 for lease in &dropped {
                                     self.centers[c].revoke(lease.id);
                                 }
+                                if let Some(sink) = sink.as_mut() {
+                                    let op = self.groups[gi].provisioner.operator.0;
+                                    for lease in &dropped {
+                                        sink.emit(
+                                            "lease_release",
+                                            &[
+                                                ("tick", t.into()),
+                                                ("center", c.into()),
+                                                ("lease", lease.id.0.into()),
+                                                ("operator", op.into()),
+                                                ("cpu", lease.amounts.cpu.into()),
+                                                ("cause", ReleaseCause::Migration.label().into()),
+                                            ],
+                                        );
+                                    }
+                                }
                                 total_dropped += dropped.len();
                                 if principal.is_none_or(|(_, best)| cpu > best) {
                                     principal = Some((c, cpu));
@@ -1148,6 +1278,22 @@ impl Simulation {
                                 }
                                 for lease in &dropped {
                                     self.centers[center].revoke(lease.id);
+                                }
+                                if let Some(sink) = sink.as_mut() {
+                                    let op = self.groups[gi].provisioner.operator.0;
+                                    for lease in &dropped {
+                                        sink.emit(
+                                            "lease_release",
+                                            &[
+                                                ("tick", t.into()),
+                                                ("center", center.into()),
+                                                ("lease", lease.id.0.into()),
+                                                ("operator", op.into()),
+                                                ("cpu", lease.amounts.cpu.into()),
+                                                ("cause", ReleaseCause::Failover.label().into()),
+                                            ],
+                                        );
+                                    }
                                 }
                                 let players = self.hot[gi].players;
                                 let cost = players * migration_cost as f64;
@@ -1488,6 +1634,85 @@ impl Simulation {
             }
             let tick_ns = ns_since(tick_start);
             l_tick.record(tick_ns);
+            // Time-series + live tap, fed from this serial tail. The
+            // skip rate is this tick's memo-replay fraction; with no
+            // settle stage this tick it is zero. It is a timing series,
+            // like the `sim.match.skips` counter: memo replays key on
+            // the process-wide availability epoch, so a concurrent
+            // run's fault can demote a replay to an (equally no-op)
+            // full walk without any semantic output changing.
+            let settled = tick_skips + tick_full;
+            let skip_rate = if settled > 0 {
+                tick_skips as f64 / settled as f64
+            } else {
+                0.0
+            };
+            if let Some(ts) = ts.as_mut() {
+                ts.record_semantic("demand_cpu", total_demand.cpu);
+                ts.record_semantic("alloc_cpu", total_alloc.cpu);
+                ts.record_semantic("shortfall_cpu", shortfall.cpu);
+                ts.record_timing("match_skip_rate", skip_rate);
+                ts.record_timing("predict_ns", predict_ns as f64);
+                ts.record_timing("reduce_ns", reduce_ns as f64);
+                ts.record_timing("settle_ns", settle_ns.unwrap_or(0) as f64);
+                ts.record_timing("tick_ns", tick_ns as f64);
+                ts_samples += 8;
+            }
+            if let Some(cfg) = live.as_ref() {
+                let done = t + 1 == self.ticks;
+                let due = (t as u64).is_multiple_of(live_interval) || done;
+                let throttled =
+                    !done && last_live_write.is_some_and(|at| at.elapsed() < MIN_LIVE_WRITE_GAP);
+                if due && !throttled {
+                    let p99_us = |l: &mmog_obs::LatencyHisto| {
+                        l.snapshot().p99().map_or(0.0, |ns| ns as f64 / 1000.0)
+                    };
+                    let snap = mmog_obs::LiveSnapshot {
+                        run: self.trace_label.clone(),
+                        tick: t as u64,
+                        ticks_total: self.ticks as u64,
+                        done,
+                        demand_cpu: total_demand.cpu,
+                        alloc_cpu: total_alloc.cpu,
+                        shortfall_cpu: shortfall.cpu,
+                        match_skip_rate: skip_rate,
+                        leases_held: self
+                            .groups
+                            .iter()
+                            .map(|g| g.provisioner.held_leases().len() as u64)
+                            .sum(),
+                        fault_events: schedule.as_ref().map_or(0, |s| s.applied_through(t as u64)),
+                        scenario_events: scenario
+                            .as_ref()
+                            .map_or(0, |s| s.applied_through(t as u64)),
+                        centers_down: self.centers.iter().filter(|c| c.is_down()).count() as u64,
+                        centers: self
+                            .centers
+                            .iter()
+                            .map(|c| mmog_obs::LiveCenter {
+                                name: c.spec.name.clone(),
+                                alloc_cpu: c.allocated().cpu,
+                                capacity_cpu: c.effective_capacity().cpu,
+                            })
+                            .collect(),
+                        tick_rate: (t + 1) as f64
+                            / run_start_wall.elapsed().as_secs_f64().max(1e-9),
+                        stage_p99_us: vec![
+                            ("predict_score".to_string(), p99_us(&l_predict)),
+                            ("reduce".to_string(), p99_us(&l_reduce)),
+                            ("match_settle".to_string(), p99_us(&l_settle)),
+                            ("tick".to_string(), p99_us(&l_tick)),
+                        ],
+                    };
+                    let write_start = std::time::Instant::now();
+                    if let Err(err) = mmog_obs::write_live(&cfg.path, &snap.to_value()) {
+                        eprintln!("warning: live snapshot write failed: {err}");
+                    }
+                    live_write_ns += ns_since(write_start);
+                    live_writes += 1;
+                    last_live_write = Some(std::time::Instant::now());
+                }
+            }
             if let Some(rec) = flight.as_mut() {
                 let tick = t as u64;
                 rec.push(
@@ -1633,6 +1858,26 @@ impl Simulation {
                     ],
                 );
             }
+            // Lifecycle closure: every lease still held at run end gets
+            // its terminal event (groups in index order), so the
+            // analyzer always reconstructs 100% of granted leases.
+            let end_tick = self.ticks.saturating_sub(1);
+            for group in &self.groups {
+                let op = group.provisioner.operator.0;
+                for held in group.provisioner.held_leases() {
+                    sink.emit(
+                        "lease_release",
+                        &[
+                            ("tick", end_tick.into()),
+                            ("center", held.center.into()),
+                            ("lease", held.lease.id.0.into()),
+                            ("operator", op.into()),
+                            ("cpu", held.lease.amounts.cpu.into()),
+                            ("cause", ReleaseCause::RunEnd.label().into()),
+                        ],
+                    );
+                }
+            }
             sink.emit(
                 "run_end",
                 &[
@@ -1643,6 +1888,21 @@ impl Simulation {
                 ],
             );
             sink.submit(&self.trace_label);
+        }
+
+        // Time-series submission + self-cost accounting (timing domain:
+        // sample counts depend on whether the planes are enabled, never
+        // on the run's semantics).
+        if let Some(ts) = ts.take() {
+            mmog_obs::submit_ts(
+                &self.trace_label,
+                &ts.to_value(&self.trace_label, self.ticks as u64),
+            );
+            mmog_obs::counter("obs.self.ts_samples", Domain::Timing).add(ts_samples);
+        }
+        if live.is_some() {
+            mmog_obs::counter("obs.self.live_writes", Domain::Timing).add(live_writes);
+            mmog_obs::counter("obs.self.live_write_ns", Domain::Timing).add(live_write_ns);
         }
 
         // Flight recorder teardown: the end-of-run explicit dump (when

@@ -26,6 +26,80 @@ pub struct HeldLease {
     pub center: usize,
     /// The lease (amounts, start, earliest release).
     pub lease: Lease,
+    /// Whether the lifecycle plane already observed this lease passing
+    /// its earliest-release tick (only maintained while
+    /// [`GroupProvisioner::record_matches`] is set).
+    pub matured: bool,
+}
+
+/// Why a lease left its holder — the `cause` field of `lease_release`
+/// lifecycle events. Fault-plane revocations keep their own
+/// `lease_revoked` event kind and do not appear here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReleaseCause {
+    /// Phase 1: the lease matured and fit inside the demand surplus.
+    Surplus,
+    /// Phase 1b: an oversized lease was released to re-request finer.
+    Reshape,
+    /// The hosting center went down (fault plane).
+    CenterDown,
+    /// The owning group migrated away from the center (scenario plane).
+    Migration,
+    /// A region failover drained the center (scenario plane).
+    Failover,
+    /// The run ended with the lease still held (closure terminal, so
+    /// lifecycle reconstruction always reaches 100%).
+    RunEnd,
+}
+
+impl ReleaseCause {
+    /// Stable label used in `lease_release` events.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ReleaseCause::Surplus => "surplus",
+            ReleaseCause::Reshape => "reshape",
+            ReleaseCause::CenterDown => "center_down",
+            ReleaseCause::Migration => "migration",
+            ReleaseCause::Failover => "failover",
+            ReleaseCause::RunEnd => "run_end",
+        }
+    }
+}
+
+/// Per-lease causal detail of the most recent adjustment step, retained
+/// only while [`GroupProvisioner::record_matches`] is set (the same
+/// gate as [`GroupProvisioner::last_match`]): with tracing off the
+/// vectors stay empty and the adjust path never touches them.
+#[derive(Debug, Clone, Default)]
+pub struct LifecycleDetail {
+    /// The causal id and requested CPU of the step's matcher request,
+    /// when phase 2 issued one.
+    pub request: Option<(u64, f64)>,
+    /// Leases granted this step, with their granting center index.
+    pub grants: Vec<(usize, Lease)>,
+    /// Leases released this step (phase 1 surplus or phase 1b reshape).
+    pub releases: Vec<(usize, Lease, ReleaseCause)>,
+    /// Leases first observed past their earliest-release tick this step.
+    pub matured: Vec<(usize, LeaseId)>,
+}
+
+impl LifecycleDetail {
+    fn clear(&mut self) {
+        self.request = None;
+        self.grants.clear();
+        self.releases.clear();
+        self.matured.clear();
+    }
+
+    /// Whether the step produced no lifecycle activity at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.request.is_none()
+            && self.grants.is_empty()
+            && self.releases.is_empty()
+            && self.matured.is_empty()
+    }
 }
 
 /// Outcome of one adjustment step.
@@ -153,6 +227,28 @@ pub struct GroupProvisioner {
     /// Reusable matcher outcome: phase 2 writes into these buffers
     /// every step instead of allocating fresh vectors per request.
     match_scratch: MatchOutcome,
+    /// Stable causal group id baked into request ids (the engine sets
+    /// it to the group's index at construction).
+    causal_group: u64,
+    /// Per-group request sequence number; bumped on every matcher
+    /// request regardless of tracing so causal ids are identical
+    /// whether or not a trace is being written.
+    request_seq: u64,
+    /// Per-lease causal detail of the most recent step (gated by
+    /// [`record_matches`]).
+    ///
+    /// [`record_matches`]: Self::record_matches
+    detail: LifecycleDetail,
+    /// Earliest `earliest_release` across held leases not yet flagged
+    /// `matured` — the watermark that lets [`adjust_via`] skip the
+    /// per-step maturity scan until something can actually mature.
+    /// May be stale after a release/revocation (the removed lease's
+    /// time survives here), which only costs one harmless empty scan.
+    /// Only maintained while [`record_matches`] is set.
+    ///
+    /// [`adjust_via`]: Self::adjust_via
+    /// [`record_matches`]: Self::record_matches
+    next_maturity: Option<SimTime>,
 }
 
 impl GroupProvisioner {
@@ -188,7 +284,35 @@ impl GroupProvisioner {
             memo: MatchMemo::new(),
             lease_gen: 0,
             match_scratch: MatchOutcome::default(),
+            causal_group: 0,
+            request_seq: 0,
+            detail: LifecycleDetail::default(),
+            next_maturity: None,
         }
+    }
+
+    /// Installs the stable causal group id baked into this group's
+    /// request ids (`group << 32 | seq`). The engine sets it to the
+    /// group's index right after construction.
+    pub fn set_causal_group(&mut self, group: u64) {
+        self.causal_group = group;
+    }
+
+    /// The per-lease causal detail of the most recent [`adjust`] step
+    /// (empty unless [`record_matches`] is set).
+    ///
+    /// [`adjust`]: Self::adjust
+    /// [`record_matches`]: Self::record_matches
+    #[must_use]
+    pub fn lifecycle_detail(&self) -> &LifecycleDetail {
+        &self.detail
+    }
+
+    /// Every lease the group currently holds (run-end closure reads
+    /// this to emit `run_end`-cause release events).
+    #[must_use]
+    pub fn held_leases(&self) -> &[HeldLease] {
+        &self.leases
     }
 
     /// Currently held amounts.
@@ -338,6 +462,33 @@ impl GroupProvisioner {
         centers: &mut [DataCenter],
         now: SimTime,
     ) -> AdjustOutcome {
+        if self.record_matches {
+            // Lifecycle plane: observe newly-matured leases before any
+            // step can release them (and before the memo fast path,
+            // which skips the rest of the walk). Ledger order is
+            // deterministic, so the emission order is too. The
+            // `next_maturity` watermark keeps this O(1) on the steps
+            // where nothing can mature — a lease matures on the same
+            // step either way, because the watermark is a lower bound
+            // on every unmatured lease's `earliest_release`.
+            self.detail.clear();
+            if self.next_maturity.is_some_and(|at| now >= at) {
+                let mut next: Option<SimTime> = None;
+                for held in &mut self.leases {
+                    if held.matured {
+                        continue;
+                    }
+                    if now >= held.lease.earliest_release {
+                        held.matured = true;
+                        self.detail.matured.push((held.center, held.lease.id));
+                    } else {
+                        let at = held.lease.earliest_release;
+                        next = Some(next.map_or(at, |n| n.min(at)));
+                    }
+                }
+                self.next_maturity = next;
+            }
+        }
         // Fast path: replay a memoized no-op. The memo's keys prove
         // nothing that feeds this step changed since the last full run
         // (ledger generation, fault epoch, topology version, target
@@ -381,6 +532,11 @@ impl GroupProvisioner {
                     self.leases.swap_remove(i);
                     self.lease_gen = self.lease_gen.wrapping_add(1);
                     outcome.released += 1;
+                    if self.record_matches {
+                        self.detail
+                            .releases
+                            .push((held.center, held.lease, ReleaseCause::Surplus));
+                    }
                 } else {
                     i += 1;
                 }
@@ -457,6 +613,11 @@ impl GroupProvisioner {
                     self.leases.swap_remove(i);
                     self.lease_gen = self.lease_gen.wrapping_add(1);
                     outcome.released += 1;
+                    if self.record_matches {
+                        self.detail
+                            .releases
+                            .push((held.center, held.lease, ReleaseCause::Reshape));
+                    }
                 }
             }
         }
@@ -471,6 +632,14 @@ impl GroupProvisioner {
                 outcome.deferred = true;
                 self.memo.invalidate();
                 return outcome;
+            }
+            // Causal request id: group in the high 32 bits, a per-group
+            // sequence number in the low 32. Minted unconditionally so
+            // the ids are identical whether or not a trace is written.
+            self.request_seq = self.request_seq.wrapping_add(1);
+            let request_id = (self.causal_group << 32) | (self.request_seq & 0xffff_ffff);
+            if self.record_matches {
+                self.detail.request = Some((request_id, deficit.cpu));
             }
             let request = ResourceRequest::new(self.operator, deficit, self.origin, self.tolerance);
             let mut matched = std::mem::take(&mut self.match_scratch);
@@ -496,9 +665,15 @@ impl GroupProvisioner {
                 self.leases.push(HeldLease {
                     center: grant.center_index,
                     lease,
+                    matured: false,
                 });
                 self.lease_gen = self.lease_gen.wrapping_add(1);
                 outcome.granted += 1;
+                if self.record_matches {
+                    self.detail.grants.push((grant.center_index, lease));
+                    let at = lease.earliest_release;
+                    self.next_maturity = Some(self.next_maturity.map_or(at, |n| n.min(at)));
+                }
             }
             for rejection in &matched.rejections {
                 outcome.rejections.add(rejection.reason);
